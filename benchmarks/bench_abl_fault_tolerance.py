@@ -1,0 +1,131 @@
+"""Ablation -- fault tolerance (paper section 7).
+
+Two sweeps:
+
+1. **Loss resilience** -- discovery success rate and mean time as the
+   per-hop UDP drop probability grows.  Retransmission should hold the
+   success rate high well past realistic loss levels, at increasing
+   time cost.
+2. **Fallback ladder** -- mean discovery time per path: healthy BDN,
+   all BDNs dead with multicast available, and all BDNs dead with only
+   the cached target set.  All three succeed ("no single point of
+   failure"); costs differ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import record_report
+from repro.experiments.report import comparison_table
+from repro.experiments.scenarios import DiscoveryScenario, ScenarioSpec
+from repro.topology.sites import TABLE1_MACHINES
+
+LOSS_LEVELS = (0.0, 0.002, 0.01, 0.03)
+RUNS = 40
+LAB = tuple(s.name for s in TABLE1_MACHINES) + ("bloomington",)
+
+
+def test_ablation_loss_resilience(benchmark):
+    rows = []
+    success = {}
+    for loss in LOSS_LEVELS:
+        spec = ScenarioSpec.unconnected(
+            seed=71,
+            per_hop_loss=loss,
+            max_retransmits=3,
+            retransmit_interval=1.0,
+            response_timeout=2.0,
+            min_responses=2,
+        )
+        scenario = DiscoveryScenario(spec)
+        outcomes = scenario.run(runs=RUNS)
+        ok = [o for o in outcomes if o.success]
+        success[loss] = len(ok) / len(outcomes)
+        rows.append(
+            (
+                f"per-hop loss {loss:g}",
+                {
+                    "success %": 100.0 * success[loss],
+                    "mean total (ms)": float(np.mean([o.total_time * 1000 for o in ok]))
+                    if ok
+                    else float("nan"),
+                    "mean transmissions": float(np.mean([o.transmissions for o in ok]))
+                    if ok
+                    else float("nan"),
+                },
+            )
+        )
+    benchmark.pedantic(
+        DiscoveryScenario(ScenarioSpec.unconnected(seed=71, per_hop_loss=0.01)).run_one,
+        rounds=3,
+        iterations=1,
+    )
+    record_report(
+        "abl-loss",
+        comparison_table(
+            rows,
+            columns=["success %", "mean total (ms)", "mean transmissions"],
+            title="Ablation -- success under growing UDP loss (retransmission on)",
+        ),
+    )
+    assert success[0.0] == 1.0
+    assert success[0.01] >= 0.95  # retransmission rides out 1%/hop loss
+
+
+def test_ablation_fallback_ladder(benchmark):
+    rows = []
+    times = {}
+
+    # Path 1: healthy BDN.
+    healthy = DiscoveryScenario(ScenarioSpec.unconnected(seed=72))
+    outcomes = healthy.run(runs=20)
+    times["bdn"] = float(np.mean([o.total_time * 1000 for o in outcomes if o.success]))
+    assert all(o.via == "bdn" for o in outcomes)
+
+    # Path 2: every BDN dead, multicast reaches all brokers (shared lab
+    # realm), short retransmit schedule so the ladder is walked quickly.
+    mc = DiscoveryScenario(
+        ScenarioSpec.unconnected(
+            seed=72,
+            lab_sites=LAB,
+            retransmit_interval=0.5,
+            max_retransmits=1,
+        )
+    )
+    mc.bdn.stop()
+    outcomes = mc.run(runs=20)
+    assert all(o.success and o.via == "multicast" for o in outcomes)
+    times["multicast (BDNs down)"] = float(
+        np.mean([o.total_time * 1000 for o in outcomes])
+    )
+
+    # Path 3: every BDN dead, multicast useless (client alone in its
+    # realm) -- but the client has a cached target set from a healthy
+    # discovery made before the failure.
+    cached = DiscoveryScenario(
+        ScenarioSpec.unconnected(
+            seed=72, retransmit_interval=0.5, max_retransmits=1
+        )
+    )
+    warm = cached.run_one()
+    assert warm.success
+    cached.bdn.stop()
+    outcomes = cached.run(runs=20)
+    assert all(o.success and o.via == "cached" for o in outcomes)
+    times["cached targets (BDNs down)"] = float(
+        np.mean([o.total_time * 1000 for o in outcomes])
+    )
+
+    benchmark.pedantic(healthy.run_one, rounds=3, iterations=1)
+    record_report(
+        "abl-fallback",
+        comparison_table(
+            rows=[(name, {"mean total (ms)": value}) for name, value in times.items()],
+            columns=["mean total (ms)"],
+            title="Ablation -- fallback ladder: every path completes discovery",
+        ),
+    )
+    # The ladder costs time (retransmit windows) but never availability.
+    assert times["multicast (BDNs down)"] > 0
+    assert times["cached targets (BDNs down)"] > 0

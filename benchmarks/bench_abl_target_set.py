@@ -1,0 +1,90 @@
+"""Ablation -- target-set size |T| vs selection quality and ping cost.
+
+Paper, sections 6/10: the target set is "limited to a very small
+number, between 5 and 20, and is configurable"; pings over T give the
+precise delays the NTP estimates cannot.
+
+With |T| = 1 the client effectively trusts the NTP-based estimate plus
+usage metrics outright -- and the NTP residual (1-20 ms per node, fixed
+until the next sync) can systematically misorder nearby brokers.
+Growing |T| buys insurance against that bias at a linear ping cost.
+Each |T| is evaluated across many *independent worlds* (fresh NTP
+residual draws), since within one world the bias is constant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import record_report
+from repro.experiments.report import comparison_table
+from repro.experiments.scenarios import DiscoveryScenario, ScenarioSpec
+from repro.topology.sites import paper_latency_model
+
+SIZES = (1, 2, 3, 5)
+WORLDS = 12
+RUNS_PER_WORLD = 4
+CLIENT_SITE = "bloomington"
+
+
+def _true_rtt(model, broker_id: str) -> float:
+    site = broker_id.removeprefix("broker-")
+    return 2.0 * model.base_delay(CLIENT_SITE, site)
+
+
+def test_ablation_target_set_size(benchmark):
+    model = paper_latency_model(jitter_sigma=0.0)
+    optimal = _true_rtt(model, "broker-indianapolis")
+    rows = []
+    hit_rate = {}
+    inflation = {}
+    for size in SIZES:
+        hits: list[bool] = []
+        inflations: list[float] = []
+        pings: list[int] = []
+        for world_seed in range(WORLDS):
+            spec = ScenarioSpec.unconnected(
+                client_site=CLIENT_SITE, seed=300 + world_seed, target_set_size=size
+            )
+            scenario = DiscoveryScenario(spec)
+            for outcome in scenario.run(runs=RUNS_PER_WORLD):
+                if not outcome.success:
+                    continue
+                hits.append(outcome.selected.broker_id == "broker-indianapolis")
+                inflations.append(_true_rtt(model, outcome.selected.broker_id) / optimal)
+                pings.append(len(outcome.target_set) * 2)
+        hit_rate[size] = float(np.mean(hits))
+        inflation[size] = float(np.mean(inflations))
+        rows.append(
+            (
+                f"|T| = {size}",
+                {
+                    "nearest-hit %": 100.0 * hit_rate[size],
+                    "mean inflation": inflation[size],
+                    "pings/run": float(np.mean(pings)),
+                },
+            )
+        )
+
+    benchmark.pedantic(
+        DiscoveryScenario(
+            ScenarioSpec.unconnected(client_site=CLIENT_SITE, seed=300, target_set_size=3)
+        ).run_one,
+        rounds=3,
+        iterations=1,
+    )
+    record_report(
+        "abl-target-set",
+        comparison_table(
+            rows,
+            columns=["nearest-hit %", "mean inflation", "pings/run"],
+            title=(
+                "Ablation -- target-set size vs selection quality "
+                f"(client in Bloomington, {WORLDS} worlds x {RUNS_PER_WORLD} runs)"
+            ),
+        ),
+    )
+    # Pinging a shortlist must beat trusting the noisy estimate alone.
+    assert hit_rate[3] >= hit_rate[1]
+    assert inflation[3] <= inflation[1]
+    assert hit_rate[3] >= 0.9

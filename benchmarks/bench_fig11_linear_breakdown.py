@@ -1,0 +1,64 @@
+"""Figures 10-11 -- linear topology sub-activity breakdown.
+
+Paper: *"the time spent in waiting for the initial set of responses
+although better than the first case was still poor compared to the
+second case ... the brokering network uses optimized routing to
+disseminate [the] request ... however it still takes finite amount of
+time for the request to reach the last broker in the chain."*
+
+Reproduction check -- the three-way ordering on mean waiting time::
+
+    star  <  linear  <  unconnected
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import record_report
+from repro.experiments.report import comparison_table, percentage_table
+from repro.experiments.stats import paper_sample
+
+
+def _mean_wait_ms(outcomes) -> float:
+    waits = [
+        o.phases.duration("wait_initial_responses") * 1000.0
+        for o in outcomes
+        if o.success
+    ]
+    return float(np.mean(paper_sample(waits)))
+
+
+def test_fig11_linear_phase_breakdown(benchmark, topology_experiments):
+    linear_scenario, linear_outcomes = topology_experiments["linear"]
+    _, star_outcomes = topology_experiments["star"]
+    _, unconnected_outcomes = topology_experiments["unconnected"]
+
+    benchmark.pedantic(linear_scenario.run_one, rounds=5, iterations=1)
+
+    pcts = linear_scenario.mean_phase_percentages(linear_outcomes)
+    record_report(
+        "fig11",
+        percentage_table(
+            pcts,
+            "Figure 11 -- % of discovery time per sub-activity (linear topology)",
+        ),
+    )
+
+    waits = {
+        "unconnected": _mean_wait_ms(unconnected_outcomes),
+        "star": _mean_wait_ms(star_outcomes),
+        "linear": _mean_wait_ms(linear_outcomes),
+    }
+    record_report(
+        "fig11b",
+        comparison_table(
+            rows=[(name, {"mean wait (ms)": value}) for name, value in waits.items()],
+            columns=["mean wait (ms)"],
+            title="Figures 2/9/11 cross-check -- mean wait-for-initial-responses",
+        ),
+    )
+    # The paper's three-way ordering.
+    assert waits["star"] < waits["linear"] < waits["unconnected"]
+    # And waiting still dominates the linear breakdown.
+    assert pcts["wait_initial_responses"] == max(pcts.values())

@@ -1,0 +1,56 @@
+"""Figure 12 -- broker discovery times using ONLY multicast.
+
+Paper: the request is multicast with no BDN in play; *"since multicast
+was disabled for network traffic outside the lab, the multicast
+requests could only reach to those brokers which were in the lab"*.
+
+Reproduction checks: discovery succeeds without any BDN, only in-realm
+brokers respond, and the trimmed mean is far below the BDN-mediated
+unconnected-topology mean (no WAN round trip to a discovery service,
+no fan-out wait).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import PAPER_KEEP, PAPER_RUNS, record_report
+from repro.experiments.report import metric_table
+from repro.experiments.scenarios import DiscoveryScenario, ScenarioSpec
+from repro.experiments.stats import paper_sample, summarize
+
+LAB = ("bloomington", "indianapolis", "urbana")
+
+
+def test_fig12_multicast_only(benchmark, topology_experiments):
+    scenario = DiscoveryScenario(
+        ScenarioSpec.multicast_only(client_site="bloomington", seed=7, lab_sites=LAB)
+    )
+
+    def experiment():
+        return scenario.run(runs=PAPER_RUNS)
+
+    outcomes = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert all(o.success for o in outcomes)
+    assert all(o.via == "multicast" for o in outcomes)
+    # Only lab brokers ever respond.
+    responders = {c.broker_id for o in outcomes for c in o.candidates}
+    assert responders <= {"broker-indianapolis", "broker-urbana"}
+
+    times = scenario.total_times_ms(outcomes)
+    kept = paper_sample(times, keep=PAPER_KEEP)
+    stats = summarize(kept)
+    record_report(
+        "fig12",
+        metric_table(
+            stats,
+            "Figure 12 -- broker discovery times using ONLY multicast "
+            "(lab realm: bloomington+indianapolis+urbana)",
+        ),
+    )
+
+    _, unconnected_outcomes = topology_experiments["unconnected"]
+    unconnected_mean = float(
+        np.mean(paper_sample([o.total_time * 1000 for o in unconnected_outcomes if o.success]))
+    )
+    assert stats.mean < 0.5 * unconnected_mean

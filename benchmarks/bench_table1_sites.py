@@ -1,0 +1,53 @@
+"""Table 1 -- the machines used in the testing process.
+
+The paper's Table 1 lists five WAN machines.  This benchmark renders
+our simulated stand-in (site, location, machine, region) together with
+the calibrated one-way latency matrix, and times the construction of
+the full simulated testbed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import record_report
+from repro.experiments.scenarios import DiscoveryScenario, ScenarioSpec
+from repro.topology.sites import PAPER_SITES, paper_latency_model, paper_site_names
+
+
+def _table1_text() -> str:
+    lines = ["Table 1 -- machines/sites used in the testing process (simulated)"]
+    lines.append(f"{'site':<14}{'machine':<28}{'region':<16}location")
+    for site in PAPER_SITES:
+        machine = site.machine or "(client/BDN site)"
+        lines.append(f"{site.name:<14}{machine:<28}{site.region:<16}{site.location}")
+    lines.append("")
+    lines.append("One-way latency matrix (ms):")
+    model = paper_latency_model(jitter_sigma=0.0)
+    names = paper_site_names()
+    header = f"{'':<14}" + "".join(f"{n[:10]:>12}" for n in names)
+    lines.append(header)
+    for a in names:
+        row = f"{a:<14}" + "".join(
+            f"{model.base_delay(a, b) * 1000:>12.1f}" for b in names
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def test_table1_build_testbed(benchmark):
+    """Time the construction of the full Table 1 world (brokers, BDN,
+    client, NTP warm-up) and record the table itself."""
+
+    def build():
+        return DiscoveryScenario(ScenarioSpec.unconnected(seed=1))
+
+    scenario = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert len(scenario.brokers) == 5
+    record_report("table1", _table1_text())
+    # Sanity: Cardiff is the WAN outlier in every row.
+    model = paper_latency_model(jitter_sigma=0.0)
+    for site in paper_site_names():
+        if site == "cardiff":
+            continue
+        assert model.base_delay(site, "cardiff") >= 0.054

@@ -1,0 +1,61 @@
+"""Shared machinery for the figure-reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper and
+registers an ASCII rendering of it; everything registered is printed in
+the terminal summary so that::
+
+    pytest benchmarks/ --benchmark-only
+
+ends with the full set of reproduced tables, in paper order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenarios import DiscoveryScenario, ScenarioSpec
+
+# Reproduced tables, in registration order: (sort_key, text).
+_REPORTS: list[tuple[str, str]] = []
+
+
+def record_report(key: str, text: str) -> None:
+    """Register one reproduced table for the terminal summary."""
+    _REPORTS.append((key, text))
+
+
+def pytest_terminal_summary(terminalreporter) -> None:
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced paper tables & figures")
+    for key, text in sorted(_REPORTS, key=lambda kv: kv[0]):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)
+    terminalreporter.write_line("")
+
+
+# ---------------------------------------------------------------------------
+# The paper's three-topology experiment, computed once per session
+# ---------------------------------------------------------------------------
+
+PAPER_RUNS = 120  # "The discovery process was carried out 120 times"
+PAPER_KEEP = 100  # "the first 100 results were selected after removing outliers"
+
+
+@pytest.fixture(scope="session")
+def topology_experiments():
+    """Outcomes for the three paper topologies (client in Bloomington).
+
+    Shared session-wide so the Figure 2/9/11 benchmarks can compare
+    breakdowns without recomputing 120-run experiments per test.
+    """
+    results = {}
+    for name, spec in [
+        ("unconnected", ScenarioSpec.unconnected(seed=42)),
+        ("star", ScenarioSpec.star(seed=42)),
+        ("linear", ScenarioSpec.linear(seed=42)),
+    ]:
+        scenario = DiscoveryScenario(spec)
+        results[name] = (scenario, scenario.run(runs=PAPER_RUNS))
+    return results

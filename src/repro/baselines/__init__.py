@@ -1,0 +1,48 @@
+"""Nearest-broker selection baselines from the paper's related work.
+
+Section 10 positions the scheme against a family of network-distance
+approaches.  We implement each as a selector over the same simulated
+WAN so the ablation benchmarks can compare *selection quality* (how
+close to optimal the chosen broker's RTT is) and *measurement cost*
+(how many probes the client had to issue):
+
+* :class:`StaticSelector` -- the strawman of section 1.2: always use a
+  certain known remote broker.
+* :class:`RandomSelector` -- pick uniformly at random.
+* :class:`IDMapsSelector` -- [8]: HOPS servers + Tracers; distance(A,B)
+  is estimated via each host's nearest Tracer and the Tracer virtual
+  topology.
+* :class:`LandmarkSelector` -- Hotz [9]: triangulation against a small
+  set of landmark nodes.
+* :class:`GNPSelector` -- [12]: embed hosts into a coordinate space by
+  least-squares (scipy) and predict distances geometrically.
+* :class:`RendezvousSelector` -- JXTA [10]: ask a rendezvous peer for
+  the brokers it knows, ping those.
+* :class:`TiersSelector` -- [11]: hierarchical grouping; probe cluster
+  heads, descend into the nearest cluster.
+* :class:`PingAllSelector` -- the brute-force upper bound: ping every
+  broker (what the paper's scheme approximates with far fewer probes
+  via the target set).
+"""
+
+from repro.baselines.base import DistanceOracle, SelectionResult, optimal_broker
+from repro.baselines.simple import StaticSelector, RandomSelector, PingAllSelector
+from repro.baselines.idmaps import IDMapsSelector
+from repro.baselines.landmarks import LandmarkSelector
+from repro.baselines.gnp import GNPSelector
+from repro.baselines.rendezvous import RendezvousSelector
+from repro.baselines.tiers import TiersSelector
+
+__all__ = [
+    "DistanceOracle",
+    "SelectionResult",
+    "optimal_broker",
+    "StaticSelector",
+    "RandomSelector",
+    "PingAllSelector",
+    "IDMapsSelector",
+    "LandmarkSelector",
+    "GNPSelector",
+    "RendezvousSelector",
+    "TiersSelector",
+]

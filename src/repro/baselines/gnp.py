@@ -1,0 +1,132 @@
+"""Global Network Positioning coordinates (related work [12]).
+
+"In the Global Network Positioning (GNP) approach the network distances
+are predicted using a distance function over a set of coordinates that
+characterizes the location of the peer in the Internet."
+
+Two-phase embedding, as in the original system:
+
+1. **Landmark embedding** (offline): place the landmark sites in a
+   low-dimensional Euclidean space by minimising the squared relative
+   error between coordinate distances and measured inter-landmark RTTs
+   (``scipy.optimize.least_squares``).
+2. **Host embedding**: every broker (offline) and the client (online,
+   paying probes) solves for its own coordinates against the fixed
+   landmarks.
+
+Distances are then predicted geometrically and the closest-predicted
+broker wins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from repro.baselines.base import DistanceOracle, SelectionResult
+
+__all__ = ["GNPSelector"]
+
+
+def _embed_landmarks(
+    rtts: np.ndarray, dims: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Coordinates for the landmarks from their pairwise RTT matrix."""
+    n = rtts.shape[0]
+    iu = np.triu_indices(n, k=1)
+    targets = rtts[iu]
+
+    def residuals(flat: np.ndarray) -> np.ndarray:
+        coords = flat.reshape(n, dims)
+        deltas = coords[iu[0]] - coords[iu[1]]
+        dists = np.sqrt((deltas**2).sum(axis=1))
+        return (dists - targets) / np.maximum(targets, 1e-9)
+
+    scale = targets.mean() if targets.size else 1.0
+    best = None
+    for _ in range(4):  # multi-restart: the embedding is non-convex
+        x0 = rng.normal(0.0, scale, size=n * dims)
+        fit = least_squares(residuals, x0, method="trf", max_nfev=2000)
+        if best is None or fit.cost < best.cost:
+            best = fit
+    return best.x.reshape(n, dims)
+
+
+def _embed_host(
+    to_landmarks: np.ndarray,
+    landmark_coords: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Coordinates for one host from its RTTs to the landmarks."""
+    dims = landmark_coords.shape[1]
+
+    def residuals(x: np.ndarray) -> np.ndarray:
+        dists = np.sqrt(((landmark_coords - x) ** 2).sum(axis=1))
+        return (dists - to_landmarks) / np.maximum(to_landmarks, 1e-9)
+
+    # Multi-restart around the landmarks: host embedding has mirror
+    # ambiguities whenever the landmark constellation is symmetric.
+    spread = float(np.abs(landmark_coords).max() + 1e-6)
+    best = None
+    for _ in range(4):
+        x0 = landmark_coords.mean(axis=0) + rng.normal(0.0, spread, size=dims)
+        fit = least_squares(residuals, x0, method="trf", max_nfev=1000)
+        if best is None or fit.cost < best.cost:
+            best = fit
+    return best.x
+
+
+class GNPSelector:
+    """Predict broker distances from Euclidean network coordinates.
+
+    Parameters
+    ----------
+    landmark_sites:
+        Sites acting as GNP landmarks (need at least ``dims + 1``).
+    dims:
+        Dimensionality of the coordinate space (GNP's evaluations used
+        2-7; the Table 1 WAN embeds well in 2).
+    """
+
+    name = "gnp"
+
+    def __init__(self, landmark_sites: tuple[str, ...], dims: int = 2) -> None:
+        if len(landmark_sites) < dims + 1:
+            raise ValueError(f"need at least dims+1={dims + 1} landmarks")
+        self.landmark_sites = tuple(landmark_sites)
+        self.dims = dims
+
+    def select(
+        self,
+        client_site: str,
+        brokers: dict[str, str],
+        oracle: DistanceOracle,
+        rng: np.random.Generator,
+    ) -> SelectionResult:
+        before = oracle.probes
+        landmarks = self.landmark_sites
+        n = len(landmarks)
+        # Offline: landmark mesh and broker coordinates.
+        mesh = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                mesh[i, j] = mesh[j, i] = oracle.true_rtt(landmarks[i], landmarks[j])
+        lm_coords = _embed_landmarks(mesh, self.dims, rng)
+        broker_coords: dict[str, np.ndarray] = {}
+        for name, site in sorted(brokers.items()):
+            vec = np.array([oracle.true_rtt(site, l) for l in landmarks])
+            broker_coords[name] = _embed_host(vec, lm_coords, rng)
+        # Online: the client measures its landmark RTTs (probes) and
+        # solves for its own coordinates.
+        client_vec = np.array([oracle.measure_rtt(client_site, l) for l in landmarks])
+        client_coords = _embed_host(client_vec, lm_coords, rng)
+        estimates = {
+            name: float(np.sqrt(((coords - client_coords) ** 2).sum()))
+            for name, coords in broker_coords.items()
+        }
+        chosen = min(estimates, key=lambda b: (estimates[b], b))
+        return SelectionResult(
+            broker=chosen,
+            probes=oracle.probes - before,
+            estimated_rtt=estimates[chosen],
+        )

@@ -1,0 +1,73 @@
+"""IDMaps-style distance estimation (related work [8]).
+
+"Special HOPS servers maintain a virtual topology map of the Internet,
+consisting of end hosts and special hosts called Tracers.  The distance
+between two peers A and B is then estimated as the distance between A
+and its nearest Tracer T1, plus the distance between B and its nearest
+Tracer T2, plus the shortest path distance between the Tracers T1 and
+T2 over the Tracer virtual topology.  The prediction accuracy improves
+with the growing number of tracers.  This approach however requires
+Internet-wide deployment of measurement entities."
+
+The tracer-side infrastructure (tracer-to-tracer distances, brokers'
+nearest tracers) is maintained *offline* by the IDMaps deployment; the
+client only pays probes to find its own nearest tracer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import DistanceOracle, SelectionResult
+
+__all__ = ["IDMapsSelector"]
+
+
+class IDMapsSelector:
+    """Estimate broker distances via the tracer overlay.
+
+    Parameters
+    ----------
+    tracer_sites:
+        Sites hosting Tracers.  Accuracy improves with more tracers,
+        exactly as the paper notes.
+    """
+
+    name = "idmaps"
+
+    def __init__(self, tracer_sites: tuple[str, ...]) -> None:
+        if not tracer_sites:
+            raise ValueError("IDMaps needs at least one tracer site")
+        self.tracer_sites = tuple(tracer_sites)
+
+    def select(
+        self,
+        client_site: str,
+        brokers: dict[str, str],
+        oracle: DistanceOracle,
+        rng: np.random.Generator,
+    ) -> SelectionResult:
+        before = oracle.probes
+        # Client side: measure distance to every tracer (these are the
+        # probes the client pays for).
+        client_to_tracer = {
+            t: oracle.measure_rtt(client_site, t) for t in self.tracer_sites
+        }
+        t1 = min(client_to_tracer, key=lambda t: (client_to_tracer[t], t))
+        # Infrastructure side (offline, no client probes): each broker's
+        # nearest tracer and the tracer-tracer distances.
+        estimates: dict[str, float] = {}
+        for name, site in sorted(brokers.items()):
+            broker_to_tracer = {t: oracle.true_rtt(site, t) for t in self.tracer_sites}
+            t2 = min(broker_to_tracer, key=lambda t: (broker_to_tracer[t], t))
+            estimates[name] = (
+                client_to_tracer[t1]
+                + oracle.true_rtt(t1, t2)
+                + broker_to_tracer[t2]
+            )
+        chosen = min(estimates, key=lambda b: (estimates[b], b))
+        return SelectionResult(
+            broker=chosen,
+            probes=oracle.probes - before,
+            estimated_rtt=estimates[chosen],
+        )

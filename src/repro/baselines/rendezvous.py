@@ -1,0 +1,70 @@
+"""JXTA-style rendezvous peers (related work [10]).
+
+"The JXTA P2P system uses rendezvous peers to locate peers with
+matching resource availability constraints.  This scheme however
+assumes knowledge of existence of rendezvous peers in the network and
+the means to connect to at least one of these peers."
+
+The rendezvous peer knows a (possibly partial) subset of the brokers;
+the client queries it (one probe-equivalent round trip) and then pings
+the returned brokers to pick the nearest.  Quality is capped by the
+rendezvous peer's knowledge -- the structural weakness the paper's
+scheme avoids by propagating requests through the broker network
+itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import DistanceOracle, SelectionResult
+
+__all__ = ["RendezvousSelector"]
+
+
+class RendezvousSelector:
+    """Query a rendezvous peer, ping the brokers it returns.
+
+    Parameters
+    ----------
+    rendezvous_site:
+        Site of the rendezvous peer.
+    known_fraction:
+        Fraction of the brokers the rendezvous peer happens to know
+        (it deduplicates adverts it saw; coverage is rarely total).
+    """
+
+    name = "rendezvous"
+
+    def __init__(self, rendezvous_site: str, known_fraction: float = 0.6) -> None:
+        if not 0.0 < known_fraction <= 1.0:
+            raise ValueError("known_fraction must be in (0, 1]")
+        self.rendezvous_site = rendezvous_site
+        self.known_fraction = known_fraction
+
+    def select(
+        self,
+        client_site: str,
+        brokers: dict[str, str],
+        oracle: DistanceOracle,
+        rng: np.random.Generator,
+    ) -> SelectionResult:
+        before = oracle.probes
+        # One round trip to the rendezvous peer counts as a probe.
+        oracle.measure_rtt(client_site, self.rendezvous_site)
+        names = sorted(brokers)
+        known_count = max(1, int(round(self.known_fraction * len(names))))
+        known = sorted(
+            np.asarray(names, dtype=object)[
+                rng.choice(len(names), size=known_count, replace=False)
+            ].tolist()
+        )
+        measured = {
+            name: oracle.measure_rtt(client_site, brokers[name]) for name in known
+        }
+        chosen = min(measured, key=lambda b: (measured[b], b))
+        return SelectionResult(
+            broker=chosen,
+            probes=oracle.probes - before,
+            estimated_rtt=measured[chosen],
+        )

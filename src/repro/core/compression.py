@@ -1,0 +1,89 @@
+"""Payload (de)compression.
+
+The paper's introduction lists "(de)compression of large payloads"
+among the NaradaBrokering services the substrate provides.  This module
+implements it as a self-describing framing: a one-byte method tag
+followed by the (possibly compressed) body, so receivers need no
+out-of-band signalling.
+
+Compression is applied only when it actually helps: payloads below a
+threshold, or payloads that do not shrink (already-compressed data),
+are stored raw.  ``decompress_payload`` handles both framings
+transparently.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.core.errors import CodecError
+
+__all__ = [
+    "compress_payload",
+    "decompress_payload",
+    "is_compressed",
+    "COMPRESSION_THRESHOLD",
+]
+
+#: Below this many bytes compression is never attempted.
+COMPRESSION_THRESHOLD = 128
+
+_RAW = 0x00
+_ZLIB = 0x01
+
+
+def compress_payload(
+    data: bytes, threshold: int = COMPRESSION_THRESHOLD, level: int = 6
+) -> bytes:
+    """Frame ``data``, zlib-compressing it when that shrinks it.
+
+    The result is always decodable by :func:`decompress_payload`,
+    whether or not compression was applied.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    if len(data) >= threshold:
+        packed = zlib.compress(data, level)
+        if len(packed) < len(data):
+            return bytes([_ZLIB]) + packed
+    return bytes([_RAW]) + data
+
+
+def is_compressed(framed: bytes) -> bool:
+    """Whether a framed payload carries a compressed body."""
+    if not framed:
+        raise CodecError("empty framed payload")
+    return framed[0] == _ZLIB
+
+
+def decompress_payload(framed: bytes, max_size: int = 64 * 1024 * 1024) -> bytes:
+    """Recover the original bytes from a framed payload.
+
+    Parameters
+    ----------
+    framed:
+        Output of :func:`compress_payload`.
+    max_size:
+        Decompression-bomb guard: inflating beyond this raises.
+
+    Raises
+    ------
+    CodecError
+        On an empty buffer, unknown method tag, corrupt zlib stream, or
+        a body that inflates past ``max_size``.
+    """
+    if not framed:
+        raise CodecError("empty framed payload")
+    method, body = framed[0], framed[1:]
+    if method == _RAW:
+        return body
+    if method != _ZLIB:
+        raise CodecError(f"unknown compression method 0x{method:02x}")
+    try:
+        out = zlib.decompressobj().decompress(body, max_size)
+    except zlib.error as exc:
+        raise CodecError(f"corrupt compressed payload: {exc}") from exc
+    # If decompress stopped at max_size there is unconsumed input left.
+    if len(out) >= max_size:
+        raise CodecError(f"payload inflates beyond max_size={max_size}")
+    return out

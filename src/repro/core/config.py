@@ -1,0 +1,273 @@
+"""Configuration records for every node type.
+
+The paper repeatedly leans on configuration files: the broker's dedup
+cache size (section 4), the node's list of BDNs (section 3), the
+client's response-collection timeout, maximum response count and target
+set size (section 9), and the weight factors (section 9).  These
+dataclasses are the in-memory form of those files, validated eagerly so
+that a bad experiment setup fails at construction rather than deep
+inside a simulation run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+from repro.core.dedup import DEFAULT_CAPACITY
+from repro.core.errors import ConfigError
+from repro.core.metrics import WeightConfig
+
+__all__ = [
+    "Endpoint",
+    "ResponsePolicyConfig",
+    "BrokerConfig",
+    "BDNConfig",
+    "ClientConfig",
+]
+
+
+class Endpoint(NamedTuple):
+    """A (host, port) pair identifying one transport endpoint.
+
+    Hosts are symbolic names resolved by the network fabric (e.g.
+    ``"complexity.ucs.indiana.edu"``); ports are ordinary integers.
+    """
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.host}:{self.port}"
+
+
+@dataclass(frozen=True, slots=True)
+class ResponsePolicyConfig:
+    """A broker's policy for answering discovery requests.
+
+    Section 5: *"A broker's response policy may predicate responses
+    based on the presentation of appropriate credentials. Furthermore
+    the policy may also dictate that responses be issued only if the
+    request originated from within a set of pre-defined network
+    realms."*
+
+    Attributes
+    ----------
+    respond:
+        Master switch; a broker with ``respond=False`` never answers.
+    required_credentials:
+        Credential identifiers at least one of which must appear in the
+        request.  Empty set = no credential requirement.
+    allowed_realms:
+        Network realms a request may originate from.  ``None`` means
+        any realm is acceptable.
+    """
+
+    respond: bool = True
+    required_credentials: frozenset[str] = frozenset()
+    allowed_realms: frozenset[str] | None = None
+
+    def permits(self, credentials: frozenset[str], realm: str) -> bool:
+        """Decide whether a request with these attributes gets a response."""
+        if not self.respond:
+            return False
+        if self.required_credentials and not (credentials & self.required_credentials):
+            return False
+        if self.allowed_realms is not None and realm not in self.allowed_realms:
+            return False
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class BrokerConfig:
+    """Static configuration of one broker process.
+
+    Attributes
+    ----------
+    dedup_capacity:
+        Size of the UUID duplicate-detection cache (paper default 1000).
+    response_policy:
+        When/whether to answer discovery requests.
+    total_memory:
+        Bytes of memory the simulated broker process owns; feeds the
+        usage metrics in its discovery responses.
+    base_cpu_load:
+        Idle CPU load in ``[0, 1)``; per-connection load is added by the
+        broker at runtime.
+    advertise:
+        Whether this broker registers itself with BDNs at startup.  The
+        paper stresses that *"not all brokers need to register their
+        information with the BDN"*.
+    multicast_groups:
+        Multicast group names the broker listens on for discovery; an
+        empty tuple models the paper's "multicast service is disabled
+        for a particular set of brokers".
+    """
+
+    dedup_capacity: int = DEFAULT_CAPACITY
+    response_policy: ResponsePolicyConfig = field(default_factory=ResponsePolicyConfig)
+    total_memory: int = 512 * 1024 * 1024
+    base_cpu_load: float = 0.02
+    advertise: bool = True
+    multicast_groups: tuple[str, ...] = ("Services/BrokerDiscovery",)
+
+    def __post_init__(self) -> None:
+        if self.dedup_capacity < 1:
+            raise ConfigError("dedup_capacity must be >= 1")
+        if self.total_memory <= 0:
+            raise ConfigError("total_memory must be positive")
+        if not 0.0 <= self.base_cpu_load < 1.0:
+            raise ConfigError("base_cpu_load must be in [0, 1)")
+
+
+@dataclass(frozen=True, slots=True)
+class BDNConfig:
+    """Static configuration of one Broker Discovery Node.
+
+    Attributes
+    ----------
+    injection:
+        How the BDN pushes a discovery request into the broker network
+        (section 4).  ``"closest_farthest"`` is the paper's scheme:
+        inject simultaneously at the closest and farthest brokers,
+        by measured ping distance.  ``"single"`` injects at one
+        arbitrary connected broker; ``"all"`` fans out to every
+        registered broker (the unconnected-topology behaviour, O(N)).
+    interest_regions:
+        If non-empty, the BDN stores only advertisements whose region
+        is listed (section 2.3's "a BDN in the US may be interested
+        only in broker additions in North America").
+    required_credentials:
+        Non-empty for a *private* BDN (section 2.4): requests must carry
+        one of these credentials before the BDN disseminates them.
+    ping_interval:
+        Seconds between the BDN's distance-measurement ping sweeps over
+        its connected brokers.
+    fanout_delay:
+        Per-destination marshalling/dispatch cost when the BDN fans a
+        request out.  The unconnected topology pays it once per
+        registered broker, which is the "O(N) distribution [that]
+        would be inefficient" behind Figure 2; calibrated to a
+        2005-era JVM dispatch path.
+    """
+
+    injection: str = "closest_farthest"
+    interest_regions: frozenset[str] = frozenset()
+    required_credentials: frozenset[str] = frozenset()
+    ping_interval: float = 30.0
+    fanout_delay: float = 0.06
+
+    _INJECTIONS = ("closest_farthest", "single", "all")
+
+    def __post_init__(self) -> None:
+        if self.injection not in self._INJECTIONS:
+            raise ConfigError(
+                f"injection must be one of {self._INJECTIONS}, got {self.injection!r}"
+            )
+        if self.ping_interval <= 0:
+            raise ConfigError("ping_interval must be positive")
+        if self.fanout_delay <= 0:
+            raise ConfigError("fanout_delay must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class ClientConfig:
+    """Static configuration of a discovery client (a joining node).
+
+    Attributes
+    ----------
+    bdn_endpoints:
+        Known BDNs, tried in order (section 3: the node configuration
+        file lists gridservicelocator.org/.com/... plus private BDNs).
+    response_timeout:
+        Seconds the client waits collecting discovery responses before
+        deciding (paper: "typically 4-5 seconds", configurable).
+    max_responses:
+        Stop collecting once this many responses arrive, even if the
+        timeout has not expired (section 9's "first N responses").
+    target_set_size:
+        Size of the shortlisted target set T, ``size(T) <= N``
+        (paper: "typically comprises of around 10 brokers",
+        "between 5 and 20").
+    ping_repeats:
+        UDP pings sent per target-set broker; RTTs are averaged
+        (section 10: "this PING operation may be repeated multiple
+        times to compute the average network Round Trip Time").
+    ping_timeout:
+        Seconds to wait for ping responses before selecting (hard cap).
+    ping_grace:
+        Once every target-set broker has answered at least one ping,
+        wait only this long for straggler repeats before deciding.
+        Keeps a single lost pong from stalling the whole ping phase,
+        while brokers that never answer still run into
+        ``ping_timeout`` (their silence is the paper's "good
+        indicator" that they are far away).
+    retransmit_interval:
+        Seconds of inactivity (no ack, no response) before the request
+        is retransmitted (section 7).
+    max_retransmits:
+        Retransmissions before the client falls back (multicast, cached
+        target set) or gives up.
+    use_multicast_fallback:
+        Whether to multicast the request when no BDN answers
+        (section 7).
+    multicast_group:
+        Group used for the multicast fallback.
+    weights:
+        Factor weights for the target-set scoring formula.
+    ping_tie_relative / ping_tie_absolute:
+        Two measured RTTs within ``best * (1 + relative) + absolute``
+        of the minimum are treated as equally near; the usage-metric
+        score breaks the tie.  This is how the metrics "facilitate
+        selection based on usage and dynamic real time load balancing"
+        (section 5.1) when a cluster's brokers are equidistant.
+    credentials:
+        Credential identifiers presented inside discovery requests.
+    min_responses:
+        If fewer responses than this arrive inside the timeout, the
+        client retransmits rather than deciding on a thin sample.
+    """
+
+    bdn_endpoints: tuple[Endpoint, ...] = ()
+    response_timeout: float = 4.5
+    max_responses: int = 30
+    target_set_size: int = 10
+    ping_repeats: int = 2
+    ping_timeout: float = 1.5
+    ping_grace: float = 0.06
+    retransmit_interval: float = 2.0
+    max_retransmits: int = 2
+    use_multicast_fallback: bool = True
+    multicast_group: str = "Services/BrokerDiscovery"
+    weights: WeightConfig = field(default_factory=WeightConfig)
+    ping_tie_relative: float = 0.15
+    ping_tie_absolute: float = 0.001
+    credentials: frozenset[str] = frozenset()
+    min_responses: int = 1
+
+    def __post_init__(self) -> None:
+        if self.response_timeout <= 0:
+            raise ConfigError("response_timeout must be positive")
+        if self.max_responses < 1:
+            raise ConfigError("max_responses must be >= 1")
+        if self.target_set_size < 1:
+            raise ConfigError("target_set_size must be >= 1")
+        if self.target_set_size > self.max_responses:
+            raise ConfigError(
+                f"target_set_size ({self.target_set_size}) cannot exceed "
+                f"max_responses ({self.max_responses})"
+            )
+        if self.ping_repeats < 1:
+            raise ConfigError("ping_repeats must be >= 1")
+        if self.ping_timeout <= 0:
+            raise ConfigError("ping_timeout must be positive")
+        if self.ping_grace <= 0:
+            raise ConfigError("ping_grace must be positive")
+        if self.retransmit_interval <= 0:
+            raise ConfigError("retransmit_interval must be positive")
+        if self.max_retransmits < 0:
+            raise ConfigError("max_retransmits must be >= 0")
+        if self.min_responses < 1:
+            raise ConfigError("min_responses must be >= 1")
+        if self.ping_tie_relative < 0 or self.ping_tie_absolute < 0:
+            raise ConfigError("ping tie tolerances must be non-negative")

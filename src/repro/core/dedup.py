@@ -1,0 +1,110 @@
+"""Bounded LRU duplicate-detection cache.
+
+Paper, section 4: *"Every broker keeps track of the last 1000 (this
+number can be configured through the broker configuration file) broker
+discovery requests so that additional CPU/network cycles are not
+expended on previously processed requests."*
+
+:class:`DedupCache` is that structure: a set with least-recently-seen
+eviction.  Brokers use it both for discovery-request UUIDs and for event
+UUIDs when flooding, so it lives in :mod:`repro.core` rather than in the
+discovery package.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterator
+
+from repro.core.errors import ConfigError
+
+__all__ = ["DedupCache"]
+
+DEFAULT_CAPACITY = 1000
+
+
+class DedupCache:
+    """Remember the last ``capacity`` distinct keys.
+
+    ``seen()`` is the primary operation: it reports whether the key was
+    already present *and* records it, refreshing its recency either way.
+    This mirrors what a broker does on receipt of a request: check, and
+    remember.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of keys retained.  Defaults to the paper's 1000.
+
+    Examples
+    --------
+    >>> cache = DedupCache(capacity=2)
+    >>> cache.seen("a"), cache.seen("a")
+    (False, True)
+    >>> cache.seen("b"), cache.seen("c")   # "a" evicted here
+    (False, False)
+    >>> cache.seen("a")
+    False
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ConfigError(f"dedup capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._entries: OrderedDict[object, None] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained keys."""
+        return self._capacity
+
+    @property
+    def hits(self) -> int:
+        """Number of ``seen()`` calls that found the key present."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Number of ``seen()`` calls that found the key absent."""
+        return self._misses
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        """Non-mutating membership test (does not refresh recency)."""
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[object]:
+        """Iterate keys from least to most recently seen."""
+        return iter(self._entries)
+
+    def seen(self, key: object) -> bool:
+        """Record ``key``; return True iff it was already present.
+
+        Re-seeing a key refreshes it to most-recently-used, so a key
+        that keeps arriving is never evicted while quieter keys are.
+        """
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return True
+        self._misses += 1
+        self._entries[key] = None
+        if len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+        return False
+
+    def add(self, key: object) -> None:
+        """Record ``key`` without reporting prior presence."""
+        self.seen(key)
+
+    def discard(self, key: object) -> None:
+        """Forget ``key`` if present."""
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss counters are preserved)."""
+        self._entries.clear()

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the reproduction.
+
+Every error raised by library code derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+tests can assert on the precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class CodecError(ReproError):
+    """Raised when a message cannot be encoded to or decoded from bytes.
+
+    Decoding raises this for truncated buffers, unknown message type
+    tags, or field values that fail validation (e.g. negative lengths).
+    """
+
+
+class ConfigError(ReproError):
+    """Raised when a node configuration is internally inconsistent.
+
+    Examples: a client configured with ``max_responses`` smaller than
+    ``target_set_size``, or a broker dedup capacity of zero.
+    """
+
+
+class TransportError(ReproError):
+    """Raised on misuse of a simulated transport.
+
+    Examples: sending on a closed TCP connection, binding two endpoints
+    to the same (host, port) pair, or using a multicast group that was
+    never registered with the network fabric.
+    """
+
+
+class DiscoveryError(ReproError):
+    """Raised when the discovery protocol cannot make progress.
+
+    The flagship case is a discovery attempt that exhausts every
+    fallback (all configured BDNs, multicast, the cached target set)
+    without collecting a single usable broker response.
+    """
+
+
+class SecurityError(ReproError):
+    """Raised on any cryptographic or policy failure.
+
+    Covers bad signatures, expired or untrusted certificates, rejected
+    credentials, and malformed secure envelopes.
+    """

@@ -1,0 +1,288 @@
+"""Wire messages of the substrate and the discovery protocol.
+
+Each message type mirrors a structure the paper describes:
+
+* :class:`Event` -- the pub/sub unit routed by the broker network.
+* :class:`BrokerAdvertisement` -- what a broker registers with a BDN
+  (section 2.2: hostname, transports + ports, logical address, optional
+  geography/institution).
+* :class:`DiscoveryRequest` -- issued by a joining node (section 3:
+  hostname, ports, transports, credentials, and a UUID that uniquely
+  identifies the request).
+* :class:`DiscoveryResponse` -- a broker's answer (section 5.1: NTP
+  timestamp, broker process information, usage metrics).
+* :class:`PingRequest` / :class:`PingResponse` -- the UDP ping pair used
+  to refine delay estimates over the target set (section 6).
+* :class:`Ack` -- BDN's timely acknowledgement of a request (section 3).
+
+All messages are frozen dataclasses: forwarding mutations (hop counts,
+re-timestamping) go through :func:`dataclasses.replace`, which keeps the
+simulator free of aliasing bugs when one message object fans out to many
+recipients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import ClassVar
+
+from repro.core.metrics import UsageMetrics
+
+__all__ = [
+    "Message",
+    "Event",
+    "Ack",
+    "BrokerAdvertisement",
+    "DiscoveryRequest",
+    "DiscoveryResponse",
+    "Subscribe",
+    "Unsubscribe",
+    "PingRequest",
+    "PingResponse",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """Base class for every wire message.
+
+    ``kind`` is a one-byte type tag used by the codec; subclasses set it
+    as a class variable.
+    """
+
+    kind: ClassVar[int] = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Event(Message):
+    """A pub/sub event routed through the broker network.
+
+    Attributes
+    ----------
+    uuid:
+        Unique event identifier; brokers deduplicate floods on it.
+    topic:
+        ``/``-separated topic string, e.g.
+        ``"Services/BrokerDiscoveryNodes/BrokerAdvertisement"``.
+    payload:
+        Opaque application bytes.
+    source:
+        Identifier of the publishing entity.
+    issued_at:
+        Publisher's (NTP-corrected) UTC timestamp in seconds.
+    headers:
+        Small string->string metadata map.
+    """
+
+    kind: ClassVar[int] = 1
+
+    uuid: str
+    topic: str
+    payload: bytes
+    source: str
+    issued_at: float
+    headers: tuple[tuple[str, str], ...] = ()
+
+    def header(self, key: str, default: str | None = None) -> str | None:
+        """Look up a header value by key."""
+        for k, v in self.headers:
+            if k == key:
+                return v
+        return default
+
+
+@dataclass(frozen=True, slots=True)
+class Ack(Message):
+    """Acknowledgement of a request, keyed by the request's UUID."""
+
+    kind: ClassVar[int] = 2
+
+    uuid: str
+    acked_by: str
+
+
+@dataclass(frozen=True, slots=True)
+class BrokerAdvertisement(Message):
+    """A broker's self-registration with a BDN (paper section 2.2).
+
+    Attributes
+    ----------
+    broker_id:
+        Stable identifier of the broker process.
+    hostname:
+        Host the broker runs on.
+    transports:
+        (protocol, port) pairs, e.g. ``(("tcp", 5045), ("udp", 5046))``.
+    logical_address:
+        The broker's NaradaBrokering logical address within the broker
+        network hierarchy.
+    region:
+        Optional geographical region (e.g. ``"north-america"``); BDNs
+        with interest filters match on it.
+    institution:
+        Optional institutional affiliation.
+    issued_at:
+        Broker's UTC timestamp at advertisement time.
+    """
+
+    kind: ClassVar[int] = 3
+
+    broker_id: str
+    hostname: str
+    transports: tuple[tuple[str, int], ...]
+    logical_address: str
+    region: str = ""
+    institution: str = ""
+    issued_at: float = 0.0
+
+    def port_for(self, protocol: str) -> int | None:
+        """Return the advertised port for ``protocol``, if any."""
+        for proto, port in self.transports:
+            if proto == protocol:
+                return port
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class DiscoveryRequest(Message):
+    """A request for the nearest available broker (paper section 3).
+
+    Attributes
+    ----------
+    uuid:
+        Unique request identifier; brokers deduplicate on it and
+        responses echo it.
+    requester_host / requester_port:
+        Where UDP discovery responses should be sent.
+    transports:
+        Transport protocols the requester can speak.
+    credentials:
+        Credential identifiers for authorised access (may be empty).
+    realm:
+        Network realm the request originates from; response policies
+        may filter on it.
+    issued_at:
+        Requester's UTC timestamp when the request was (first) issued.
+    hop_count:
+        Broker-to-broker hops this copy of the request has traversed;
+        incremented on every forward.
+    attempt:
+        Retransmission counter (0 for the first transmission).  Kept
+        out of the dedup key: retransmissions of the same UUID are
+        idempotent at brokers by design.
+    """
+
+    kind: ClassVar[int] = 4
+
+    uuid: str
+    requester_host: str
+    requester_port: int
+    transports: tuple[str, ...] = ("tcp", "udp")
+    credentials: frozenset[str] = frozenset()
+    realm: str = ""
+    issued_at: float = 0.0
+    hop_count: int = 0
+    attempt: int = 0
+
+    def forwarded(self) -> "DiscoveryRequest":
+        """Copy of this request with the hop count incremented."""
+        return replace(self, hop_count=self.hop_count + 1)
+
+    def retransmission(self) -> "DiscoveryRequest":
+        """Copy of this request marked as the next retransmission attempt."""
+        return replace(self, attempt=self.attempt + 1)
+
+
+@dataclass(frozen=True, slots=True)
+class DiscoveryResponse(Message):
+    """A broker's answer to a discovery request (paper section 5.1).
+
+    Attributes
+    ----------
+    request_uuid:
+        UUID of the request being answered.
+    broker_id:
+        Responding broker's identifier.
+    hostname:
+        Responding broker's host.
+    transports:
+        (protocol, port) pairs the broker accepts connections on.
+    issued_at:
+        Broker's NTP-corrected UTC timestamp at response time; the
+        requester subtracts it from its own clock to estimate the
+        one-way network delay.
+    metrics:
+        The broker's usage metrics snapshot.
+    """
+
+    kind: ClassVar[int] = 5
+
+    request_uuid: str
+    broker_id: str
+    hostname: str
+    transports: tuple[tuple[str, int], ...]
+    issued_at: float
+    metrics: UsageMetrics
+
+    def port_for(self, protocol: str) -> int | None:
+        """Return the advertised port for ``protocol``, if any."""
+        for proto, port in self.transports:
+            if proto == protocol:
+                return port
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class Subscribe(Message):
+    """A client's registration of interest in a topic (pub/sub core).
+
+    ``topic`` may contain wildcards: ``*`` matches exactly one ``/``
+    segment, ``**`` (only as the final segment) matches any suffix.
+    """
+
+    kind: ClassVar[int] = 8
+
+    uuid: str
+    topic: str
+    subscriber: str
+
+
+@dataclass(frozen=True, slots=True)
+class Unsubscribe(Message):
+    """Withdraws a prior :class:`Subscribe` with the same topic/subscriber."""
+
+    kind: ClassVar[int] = 9
+
+    uuid: str
+    topic: str
+    subscriber: str
+
+
+@dataclass(frozen=True, slots=True)
+class PingRequest(Message):
+    """UDP ping carrying the sender's timestamp (paper section 6).
+
+    The delay is computed at the requester by subtracting the echoed
+    ``sent_at`` from its clock on response receipt, so the *requester's*
+    clock is the only one involved -- pings measure true RTT without NTP
+    error, which is exactly why the paper uses them for the final
+    selection step.
+    """
+
+    kind: ClassVar[int] = 6
+
+    uuid: str
+    sent_at: float
+    reply_host: str
+    reply_port: int
+
+
+@dataclass(frozen=True, slots=True)
+class PingResponse(Message):
+    """Echo of a :class:`PingRequest` from a broker."""
+
+    kind: ClassVar[int] = 7
+
+    uuid: str
+    sent_at: float
+    broker_id: str

@@ -1,0 +1,151 @@
+"""Broker usage metrics and the weighted selection score.
+
+A discovery response carries *"usage metric information ... the total
+number of active concurrent connections to the broker, the CPU and
+memory utilizations at the broker"* (paper section 5.1).  The client
+turns those metrics into a scalar weight with the formula the paper
+prints in section 9::
+
+    weight  = 0.0
+    weight += (freemem / totalmem) * WEIGHTAGE_FREE_TO_TOTAL_MEMORY
+    weight += (totalmem / (1024 * 1024)) * WEIGHTAGE_TOTAL_MEMORY
+    weight -= numlinks * WEIGHTAGE_NUM_LINKS
+    # OTHER factors may be similarly added
+
+Higher weight = more attractive broker.  :class:`WeightConfig` exposes
+every factor so experiments can sweep them (the paper notes the values
+are configurable and let a client "give preference for a specific
+metric with respect to other factors").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["UsageMetrics", "WeightConfig", "broker_weight"]
+
+_MB = 1024 * 1024
+
+
+@dataclass(frozen=True, slots=True)
+class UsageMetrics:
+    """A snapshot of load at one broker, as shipped in a discovery response.
+
+    Attributes
+    ----------
+    free_memory:
+        Bytes of free JVM-heap-equivalent memory at the broker.
+    total_memory:
+        Bytes of total memory available to the broker process.
+    num_links:
+        Broker-to-broker links the broker currently maintains.
+    num_connections:
+        Active concurrent client connections.
+    cpu_load:
+        Normalised CPU utilisation in ``[0, 1]``.
+    """
+
+    free_memory: int
+    total_memory: int
+    num_links: int
+    num_connections: int
+    cpu_load: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.total_memory <= 0:
+            raise ValueError(f"total_memory must be > 0, got {self.total_memory}")
+        if not 0 <= self.free_memory <= self.total_memory:
+            raise ValueError(
+                f"free_memory must be in [0, total_memory], got "
+                f"{self.free_memory} / {self.total_memory}"
+            )
+        if self.num_links < 0 or self.num_connections < 0:
+            raise ValueError("link/connection counts must be non-negative")
+        if not 0.0 <= self.cpu_load <= 1.0:
+            raise ValueError(f"cpu_load must be in [0, 1], got {self.cpu_load}")
+
+    @property
+    def memory_fraction_free(self) -> float:
+        """``free_memory / total_memory`` in ``[0, 1]``."""
+        return self.free_memory / self.total_memory
+
+
+@dataclass(frozen=True, slots=True)
+class WeightConfig:
+    """Configurable factor weights for :func:`broker_weight`.
+
+    The defaults reproduce a sensible instantiation of the paper's
+    formula: memory headroom dominates, raw memory size contributes a
+    small bonus, and every broker-to-broker link, client connection and
+    point of CPU load subtracts.
+
+    Attributes
+    ----------
+    free_to_total_memory:
+        Multiplier on the free/total memory ratio ("higher the better").
+    total_memory_mb:
+        Multiplier on total memory expressed in MiB ("higher the
+        better" -- a big broker can absorb a new client).
+    num_links:
+        Penalty per broker link ("lower the better").
+    num_connections:
+        Penalty per active client connection (an "OTHER factor" in the
+        paper's comment; connection count is explicitly carried in the
+        response).
+    cpu_load:
+        Penalty on the normalised CPU load, another "OTHER factor".
+    delay_penalty_per_ms:
+        Penalty per millisecond of NTP-estimated one-way delay, applied
+        by the target-set selection (section 6 bases the target set on
+        "the computed delays and usage metrics"; the delay enters the
+        combined score through this factor).
+    """
+
+    free_to_total_memory: float = 100.0
+    total_memory_mb: float = 0.05
+    num_links: float = 1.0
+    num_connections: float = 1.0
+    cpu_load: float = 25.0
+    delay_penalty_per_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "free_to_total_memory",
+            "total_memory_mb",
+            "num_links",
+            "num_connections",
+            "cpu_load",
+            "delay_penalty_per_ms",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"weight factor {name!r} must be non-negative")
+
+
+DEFAULT_WEIGHTS = WeightConfig()
+
+
+def broker_weight(metrics: UsageMetrics, config: WeightConfig = DEFAULT_WEIGHTS) -> float:
+    """Score a broker from its usage metrics; higher is more attractive.
+
+    This is a direct transcription of the paper's section-9 snippet with
+    the two "OTHER factors" (connection count and CPU load) added as
+    penalties, since the response format carries both.
+
+    Examples
+    --------
+    An idle broker outscores a loaded twin:
+
+    >>> idle = UsageMetrics(900 * _MB, 1024 * _MB, num_links=1, num_connections=0)
+    >>> busy = UsageMetrics(100 * _MB, 1024 * _MB, num_links=6, num_connections=40)
+    >>> broker_weight(idle) > broker_weight(busy)
+    True
+    """
+    w = 0.0
+    # Higher the better.
+    w += metrics.memory_fraction_free * config.free_to_total_memory
+    w += (metrics.total_memory / _MB) * config.total_memory_mb
+    # Lower the better.
+    w -= metrics.num_links * config.num_links
+    w -= metrics.num_connections * config.num_connections
+    w -= metrics.cpu_load * config.cpu_load
+    return w

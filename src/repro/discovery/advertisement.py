@@ -1,0 +1,218 @@
+"""Broker advertisements and the BDN-side store.
+
+Sections 2.1-2.3 of the paper: brokers *may* advertise with one or more
+BDNs (registration is optional and non-uniform); an advertisement
+carries hostname, transports+ports, logical address and optional
+geography/institution; dissemination is either **direct** (to the BDNs
+in the broker's configuration file) or **topic-based** (published on a
+public topic such as ``Services/BrokerDiscoveryNodes/BrokerAdvertisement``
+that BDNs subscribe to); and a BDN may *ignore* advertisements outside
+its interest (e.g. "a BDN in the US may be interested only in broker
+additions in North America").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.codec import encode_message
+from repro.core.config import Endpoint
+from repro.core.messages import BrokerAdvertisement, Event
+from repro.substrate.broker import BROKER_TCP_PORT, BROKER_UDP_PORT, Broker
+
+__all__ = [
+    "AD_TOPIC",
+    "BDN_ANNOUNCE_TOPIC",
+    "build_advertisement",
+    "advertise_direct",
+    "advertise_on_topic",
+    "start_periodic_advertisement",
+    "enable_bdn_autoregistration",
+    "StoredAdvertisement",
+    "AdvertisementStore",
+]
+
+#: The public topic every BDN subscribes to (paper section 2.3).
+AD_TOPIC = "Services/BrokerDiscoveryNodes/BrokerAdvertisement"
+
+#: The topic a newly added (private) BDN announces itself on
+#: (paper section 2.4: "the private BDN must advertise its services to
+#: brokers within the broker network").
+BDN_ANNOUNCE_TOPIC = "Services/BrokerDiscoveryNodes/Announce"
+
+
+def build_advertisement(broker: Broker, region: str = "", institution: str = "") -> BrokerAdvertisement:
+    """Construct a broker's advertisement from its live state."""
+    return BrokerAdvertisement(
+        broker_id=broker.name,
+        hostname=broker.host,
+        transports=(("tcp", BROKER_TCP_PORT), ("udp", BROKER_UDP_PORT)),
+        logical_address=f"/{broker.site}/{broker.name}",
+        region=region or _region_hint(broker),
+        institution=institution or broker.site,
+        issued_at=broker.utc(),
+    )
+
+
+def _region_hint(broker: Broker) -> str:
+    # Site naming convention: European paper site is "cardiff".
+    return "europe" if broker.site == "cardiff" else "north-america"
+
+
+def advertise_direct(broker: Broker, bdn_endpoint: Endpoint, region: str = "") -> BrokerAdvertisement:
+    """Send the broker's advertisement straight to one BDN over UDP.
+
+    The first dissemination form of section 2.3 ("sending this
+    advertisement directly to the BDNs that are listed in the broker's
+    configuration file").  Like any datagram it may be lost; section 7
+    notes the scheme tolerates lost advertisements.
+    """
+    ad = build_advertisement(broker, region=region)
+    broker.send_udp(bdn_endpoint, ad)
+    return ad
+
+
+def advertise_on_topic(broker: Broker, region: str = "") -> BrokerAdvertisement:
+    """Publish the broker's advertisement on the public topic.
+
+    The second dissemination form of section 2.3: every BDN attached to
+    the broker network (via :meth:`repro.discovery.bdn.BDN.attach_to_network`)
+    receives it through normal pub/sub routing.
+    """
+    ad = build_advertisement(broker, region=region)
+    event = Event(
+        uuid=broker.ids(),
+        topic=AD_TOPIC,
+        payload=encode_message(ad),
+        source=broker.name,
+        issued_at=broker.utc(),
+    )
+    broker.publish_local(event)
+    return ad
+
+
+def start_periodic_advertisement(
+    broker: Broker,
+    bdn_endpoint: Endpoint,
+    interval: float = 30.0,
+    burst: int = 3,
+    burst_spacing: float = 0.5,
+    region: str = "",
+):
+    """Advertise now (in a small burst) and re-advertise periodically.
+
+    Advertisements ride UDP and "may also be lost in transit to the
+    BDNs" (section 7); a single lost registration would otherwise make
+    a broker permanently invisible to that BDN.  The initial burst
+    makes registration robust at startup and the periodic re-send keeps
+    the registration alive against BDN pruning and restarts.
+
+    Returns the periodic series handle (cancel it to stop).
+    """
+    if interval <= 0 or burst < 1 or burst_spacing < 0:
+        raise ValueError("invalid advertisement schedule")
+
+    def send() -> None:
+        if broker.alive:
+            advertise_direct(broker, bdn_endpoint, region=region)
+
+    send()
+    for i in range(1, burst):
+        broker.sim.schedule(i * burst_spacing, send)
+    return broker.sim.call_every(interval, send)
+
+
+def enable_bdn_autoregistration(broker: Broker, region: str = "") -> None:
+    """React to BDN announcements by (re-)advertising with the new BDN.
+
+    Section 2.4: when a private BDN "advertise[s] its services to
+    brokers within the broker network", "individual brokers may have
+    the option to re-advertise their information at this newly added
+    BDN".  Installing this handler opts the broker in: whenever a BDN
+    announcement event arrives (an :class:`~repro.core.messages.Ack`
+    whose ``acked_by`` encodes ``host:port``), the broker sends its
+    advertisement straight to the announced endpoint.
+    """
+
+    def on_announce(event: Event, from_peer: str | None) -> None:
+        if not broker.alive or not broker.config.advertise:
+            return
+        try:
+            host, port_text = event.payload.decode().rsplit(":", 1)
+            endpoint = Endpoint(host, int(port_text))
+        except (ValueError, UnicodeDecodeError):
+            broker.trace("bdn_announce_malformed", uuid=event.uuid)
+            return
+        advertise_direct(broker, endpoint, region=region)
+        broker.trace("bdn_autoregistered", bdn=str(endpoint))
+
+    broker.add_control_handler(BDN_ANNOUNCE_TOPIC, on_announce)
+
+
+@dataclass(frozen=True, slots=True)
+class StoredAdvertisement:
+    """An advertisement plus BDN-side bookkeeping."""
+
+    advertisement: BrokerAdvertisement
+    received_at: float
+
+    @property
+    def broker_id(self) -> str:
+        return self.advertisement.broker_id
+
+    @property
+    def udp_endpoint(self) -> Endpoint:
+        """Where the advertised broker receives datagrams."""
+        port = self.advertisement.port_for("udp")
+        return Endpoint(self.advertisement.hostname, port if port is not None else BROKER_UDP_PORT)
+
+
+class AdvertisementStore:
+    """A BDN's table of registered brokers.
+
+    Parameters
+    ----------
+    interest_regions:
+        If non-empty, advertisements from other regions are ignored
+        (the section 2.3 interest filter).
+    """
+
+    def __init__(self, interest_regions: frozenset[str] = frozenset()) -> None:
+        self.interest_regions = interest_regions
+        self._ads: dict[str, StoredAdvertisement] = {}
+        self.ignored = 0
+
+    def __len__(self) -> int:
+        return len(self._ads)
+
+    def __contains__(self, broker_id: str) -> bool:
+        return broker_id in self._ads
+
+    def accept(self, ad: BrokerAdvertisement, now: float) -> bool:
+        """Store ``ad`` unless the interest filter rejects it.
+
+        Re-advertisement by the same broker replaces the prior entry
+        (brokers "may have the option to re-advertise", section 2.4).
+        Returns True if stored.
+        """
+        if self.interest_regions and ad.region not in self.interest_regions:
+            self.ignored += 1
+            return False
+        self._ads[ad.broker_id] = StoredAdvertisement(advertisement=ad, received_at=now)
+        return True
+
+    def remove(self, broker_id: str) -> bool:
+        """Drop a broker's registration (e.g. after repeated ping failures)."""
+        return self._ads.pop(broker_id, None) is not None
+
+    def get(self, broker_id: str) -> StoredAdvertisement | None:
+        """Look up one registration."""
+        return self._ads.get(broker_id)
+
+    def all(self) -> list[StoredAdvertisement]:
+        """Every stored advertisement, ordered by broker id."""
+        return [self._ads[k] for k in sorted(self._ads)]
+
+    def broker_ids(self) -> list[str]:
+        """Registered broker ids, sorted."""
+        return sorted(self._ads)

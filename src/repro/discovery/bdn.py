@@ -1,0 +1,294 @@
+"""Broker Discovery Nodes.
+
+Section 2 of the paper: BDNs are "registered nodes that facilitate the
+discovery of brokers within the broker network".  They hold broker
+advertisements, acknowledge discovery requests "in a timely manner"
+(section 3), and propagate requests into the broker network
+(section 4).  Key properties reproduced here:
+
+* **Optional, non-uniform registration** -- not every broker registers;
+  BDNs need not agree; "our scheme will work even if a single broker is
+  registered with a given BDN".
+* **Injection strategies** -- in a connected network the BDN injects
+  the request "simultaneously to the brokers that are closest and
+  farthest from the BDN", with distances learned by pinging.  In the
+  unconnected topology it has no choice but O(N) fan-out to every
+  registered broker, which is exactly the inefficiency Figure 2
+  quantifies.
+* **Private BDNs** (section 2.4) -- configured with required
+  credentials; requests without them are acknowledged but never
+  disseminated.
+* **Idempotence** (section 3) -- duplicate transmissions of a request
+  are re-acknowledged but not re-disseminated; an explicit
+  *retransmission* (attempt+1) is disseminated again.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.codec import decode_message
+from repro.core.config import BDNConfig, Endpoint
+from repro.core.dedup import DedupCache
+from repro.core.errors import CodecError
+from repro.core.messages import (
+    Ack,
+    BrokerAdvertisement,
+    DiscoveryRequest,
+    Event,
+    Message,
+    PingResponse,
+)
+from repro.simnet.network import Network
+from repro.simnet.node import Node
+from repro.simnet.trace import Tracer
+from repro.discovery.advertisement import (
+    AD_TOPIC,
+    BDN_ANNOUNCE_TOPIC,
+    AdvertisementStore,
+    StoredAdvertisement,
+)
+from repro.discovery.ping import Pinger
+from repro.substrate.broker import Broker
+from repro.substrate.client import PubSubClient
+
+__all__ = ["BDN", "BDN_UDP_PORT"]
+
+BDN_UDP_PORT = 7000
+
+# A broker that missed this many consecutive ping sweeps is considered
+# departed and its advertisement is dropped.
+_PRUNE_MISSED_SWEEPS = 3
+
+
+class BDN(Node):
+    """One Broker Discovery Node.
+
+    Parameters
+    ----------
+    name, host, network, rng:
+        Standard node parameters.
+    config:
+        Injection strategy, interest regions, private-BDN credentials,
+        ping sweep interval.
+    site, realm, tracer:
+        Forwarded to :class:`~repro.simnet.node.Node`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        network: Network,
+        rng: np.random.Generator,
+        config: BDNConfig | None = None,
+        site: str | None = None,
+        realm: str | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        super().__init__(name, host, network, rng, site=site, realm=realm, tracer=tracer)
+        self.config = config if config is not None else BDNConfig()
+        self.store = AdvertisementStore(self.config.interest_regions)
+        self.pinger = Pinger(self, self.endpoint(BDN_UDP_PORT))
+        self.dedup = DedupCache()
+        self.alive = False
+        self._registered_at: dict[str, float] = {}
+        self._network_client: PubSubClient | None = None
+        # Counters.
+        self.requests_received = 0
+        self.requests_disseminated = 0
+        self.credential_rejections = 0
+
+    @property
+    def udp_endpoint(self) -> Endpoint:
+        """Where brokers register and clients send discovery requests."""
+        return self.endpoint(BDN_UDP_PORT)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bind the UDP port and begin periodic distance sweeps."""
+        if self.started:
+            return
+        super().start()
+        self.alive = True
+        self.network.bind_udp(self.udp_endpoint, self._on_udp)
+        self.sim.call_every(self.config.ping_interval, self._sweep)
+        self.trace("bdn_start")
+
+    def stop(self) -> None:
+        """Take the BDN offline (fault injection); idempotent."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.network.unbind_udp(self.udp_endpoint)
+        if self._network_client is not None:
+            self._network_client.disconnect()
+        self.trace("bdn_stop")
+
+    def attach_to_network(self, broker: Broker) -> None:
+        """Maintain an active connection into the broker network.
+
+        The BDN connects a pub/sub client to ``broker`` and subscribes
+        to the public advertisement topic, implementing section 2.3's
+        second dissemination form ("the broker might send this
+        advertisement over a public topic ... which all BDNs within the
+        substrate subscribe to").
+        """
+        client = PubSubClient(
+            f"{self.name}-feed", self.host, self.network, self.rng, tracer=self.tracer
+        )
+        # The client shares this BDN's host (already registered).
+        client.start()
+        client.subscribe(AD_TOPIC, self._on_topic_advertisement)
+        client.connect(broker.client_endpoint)
+        self._network_client = client
+
+    def announce_to_network(self, broker: Broker) -> None:
+        """Announce this BDN's endpoint on the broker network.
+
+        Section 2.4: a newly added (private) BDN "must advertise its
+        services to brokers within the broker network" so that brokers
+        opted in via
+        :func:`~repro.discovery.advertisement.enable_bdn_autoregistration`
+        can re-advertise with it.  The announcement is injected at
+        ``broker`` and floods the network like any control event.
+        """
+        event = Event(
+            uuid=self.ids(),
+            topic=BDN_ANNOUNCE_TOPIC,
+            payload=f"{self.udp_endpoint.host}:{self.udp_endpoint.port}".encode(),
+            source=self.name,
+            issued_at=self.utc(),
+        )
+        broker.publish_local(event)
+        self.trace("bdn_announced", via=broker.name)
+
+    def _on_topic_advertisement(self, event: Event) -> None:
+        if not self.alive:
+            return
+        try:
+            message = decode_message(event.payload)
+        except CodecError:
+            return
+        if isinstance(message, BrokerAdvertisement):
+            self._register(message)
+
+    # ------------------------------------------------------------------
+    # UDP dispatch
+    # ------------------------------------------------------------------
+    def _on_udp(self, message: Message, src: Endpoint) -> None:
+        if not self.alive:
+            return
+        if isinstance(message, BrokerAdvertisement):
+            self._register(message)
+        elif isinstance(message, DiscoveryRequest):
+            self._handle_request(message)
+        elif isinstance(message, PingResponse):
+            self.pinger.on_response(message, src)
+
+    def _register(self, ad: BrokerAdvertisement) -> None:
+        if self.store.accept(ad, self.sim.now):
+            self._registered_at.setdefault(ad.broker_id, self.sim.now)
+            self.trace("bdn_registered", broker=ad.broker_id)
+            # Measure the new broker's distance right away so the
+            # closest/farthest injection has data to work with.
+            stored = self.store.get(ad.broker_id)
+            if stored is not None:
+                self.pinger.ping(stored.udp_endpoint, key=ad.broker_id)
+
+    # ------------------------------------------------------------------
+    # Discovery requests
+    # ------------------------------------------------------------------
+    def _handle_request(self, request: DiscoveryRequest) -> None:
+        self.requests_received += 1
+        requester = Endpoint(request.requester_host, request.requester_port)
+        # Timely acknowledgement (section 3), even for duplicates.
+        self.network.send_udp(self.udp_endpoint, requester, Ack(uuid=request.uuid, acked_by=self.name))
+        if self.dedup.seen((request.uuid, request.attempt)):
+            return  # idempotent: duplicate of an already-disseminated copy
+        if self.config.required_credentials and not (
+            request.credentials & self.config.required_credentials
+        ):
+            self.credential_rejections += 1
+            self.trace("bdn_credential_reject", request=request.uuid)
+            return
+        self._disseminate(request)
+
+    def _disseminate(self, request: DiscoveryRequest) -> None:
+        targets = self._injection_targets()
+        if not targets:
+            self.trace("bdn_no_brokers", request=request.uuid)
+            return
+        self.requests_disseminated += 1
+        forwarded = request.forwarded()
+        # Sequential fan-out: each destination costs CPU at the BDN, so
+        # O(N) distribution (unconnected topology) is visibly linear.
+        for i, stored in enumerate(targets):
+            self.sim.schedule(
+                self.config.fanout_delay * (i + 1),
+                self.network.send_udp,
+                self.udp_endpoint,
+                stored.udp_endpoint,
+                forwarded,
+            )
+        self.trace("bdn_disseminate", request=request.uuid, targets=str(len(targets)))
+
+    def _injection_targets(self) -> list[StoredAdvertisement]:
+        """Pick the brokers this BDN injects a request at.
+
+        ``all``: every registered broker (O(N)).
+        ``closest_farthest``: the two extremes of the measured distance
+        table (section 4's scheme to make the request "propagate faster
+        through the broker network"); brokers without RTT data yet fall
+        back to registration order.
+        ``single``: just the closest (or first-registered) broker.
+        """
+        ads = self.store.all()
+        if not ads or self.config.injection == "all":
+            return ads
+        by_distance = sorted(
+            ads,
+            key=lambda s: (
+                self.pinger.average_rtt(s.broker_id)
+                if self.pinger.average_rtt(s.broker_id) is not None
+                else float("inf"),
+                s.broker_id,
+            ),
+        )
+        if self.config.injection == "single" or len(by_distance) == 1:
+            return [by_distance[0]]
+        # closest_farthest
+        return [by_distance[0], by_distance[-1]]
+
+    # ------------------------------------------------------------------
+    # Distance sweeps
+    # ------------------------------------------------------------------
+    def _sweep(self) -> None:
+        """Ping every registered broker; prune long-silent ones."""
+        if not self.alive:
+            return
+        now = self.sim.now
+        horizon = _PRUNE_MISSED_SWEEPS * self.config.ping_interval
+        for stored in self.store.all():
+            broker_id = stored.broker_id
+            last = self.pinger.last_heard(broker_id)
+            registered = self._registered_at.get(broker_id, now)
+            reference = last if last is not None else registered
+            if now - reference > horizon:
+                self.store.remove(broker_id)
+                self._registered_at.pop(broker_id, None)
+                self.pinger.forget(broker_id)
+                self.trace("bdn_pruned", broker=broker_id)
+                continue
+            self.pinger.ping(stored.udp_endpoint, key=broker_id)
+
+    def distance_table(self) -> dict[str, float]:
+        """Measured average RTT per registered broker (seconds)."""
+        table: dict[str, float] = {}
+        for stored in self.store.all():
+            rtt = self.pinger.average_rtt(stored.broker_id)
+            if rtt is not None:
+                table[stored.broker_id] = rtt
+        return table

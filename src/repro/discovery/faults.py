@@ -1,0 +1,96 @@
+"""Fault injection for the section 7 scenarios.
+
+The paper claims the scheme "needs only 1 functioning BDN to work" and
+"could work even if none of the BDNs within the system are functioning"
+(multicast fallback, cached target set), and that it "sustains loss of
+both the discovery requests ... and discovery responses".
+
+:class:`FaultInjector` provides the levers the fault-tolerance tests
+and the ablation benchmarks pull: killing/reviving BDNs and brokers at
+chosen times, and swapping the network's loss model mid-run (loss
+storms).
+"""
+
+from __future__ import annotations
+
+from repro.simnet.loss import LossModel
+from repro.simnet.network import Network
+from repro.discovery.bdn import BDN
+from repro.substrate.broker import Broker
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Schedules failures against a running simulation.
+
+    Parameters
+    ----------
+    network:
+        The fabric whose loss model may be swapped.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.injected: list[tuple[float, str, str]] = []
+
+    def _log(self, kind: str, target: str) -> None:
+        self.injected.append((self.network.sim.now, kind, target))
+
+    # ------------------------------------------------------------------
+    # Node failures
+    # ------------------------------------------------------------------
+    def kill_bdn(self, bdn: BDN, at: float | None = None) -> None:
+        """Stop a BDN now or at virtual time ``at``."""
+
+        def do() -> None:
+            bdn.stop()
+            self._log("kill_bdn", bdn.name)
+
+        self._when(do, at)
+
+    def revive_bdn(self, bdn: BDN, at: float | None = None) -> None:
+        """Bring a stopped BDN back (its advertisement store survives,
+        like a process restart with a warm disk cache)."""
+
+        def do() -> None:
+            bdn._started = False  # noqa: SLF001 - deliberate restart hook
+            bdn.start()
+            self._log("revive_bdn", bdn.name)
+
+        self._when(do, at)
+
+    def kill_broker(self, broker: Broker, at: float | None = None) -> None:
+        """Stop a broker now or at virtual time ``at``."""
+
+        def do() -> None:
+            broker.stop()
+            self._log("kill_broker", broker.name)
+
+        self._when(do, at)
+
+    # ------------------------------------------------------------------
+    # Network degradation
+    # ------------------------------------------------------------------
+    def set_loss(self, model: LossModel, at: float | None = None) -> None:
+        """Swap the fabric's datagram loss model."""
+
+        def do() -> None:
+            self.network.loss = model
+            self._log("set_loss", type(model).__name__)
+
+        self._when(do, at)
+
+    def loss_storm(self, model: LossModel, start: float, duration: float) -> None:
+        """Apply ``model`` for a window, then restore the current model."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        previous = self.network.loss
+        self.set_loss(model, at=start)
+        self.set_loss(previous, at=start + duration)
+
+    def _when(self, fn, at: float | None) -> None:
+        if at is None:
+            fn()
+        else:
+            self.network.sim.schedule_at(at, fn)

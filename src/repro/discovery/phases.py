@@ -1,0 +1,110 @@
+"""Per-phase timing of one discovery run.
+
+Figures 2, 9 and 11 of the paper break the total discovery time into
+sub-activities and show their percentages for each topology (the
+headline result: "maximum time (about 83%) is spent by the client in
+waiting for the initial responses" in the unconnected topology).
+
+:class:`PhaseTimer` records those sub-activities.  The canonical phase
+names (in protocol order) are:
+
+``issue_request``
+    From ``discover()`` until the request is accepted (BDN ack, or the
+    first response if the ack was lost).
+``wait_initial_responses``
+    Until the collection stop condition -- max responses gathered or
+    the timeout expired.  This is the paper's dominant phase.
+``process_responses``
+    Delay estimation, weighting, target-set selection (CPU-bound).
+``ping_target_set``
+    The UDP ping measurement over the target set.
+``final_decision``
+    Ranking ping RTTs and picking the winner (CPU-bound).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+__all__ = ["PHASE_NAMES", "PhaseTimer"]
+
+PHASE_NAMES: tuple[str, ...] = (
+    "issue_request",
+    "wait_initial_responses",
+    "process_responses",
+    "ping_target_set",
+    "final_decision",
+)
+
+
+class PhaseTimer:
+    """Accumulates named, non-overlapping phase durations.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current time (virtual or
+        wall, the timer does not care).
+
+    Examples
+    --------
+    >>> t = [0.0]
+    >>> timer = PhaseTimer(lambda: t[0])
+    >>> timer.begin("a"); t[0] = 2.0; timer.end("a")
+    >>> timer.begin("b"); t[0] = 3.0; timer.end("b")
+    >>> timer.duration("a"), timer.total()
+    (2.0, 3.0)
+    >>> timer.percentages()["a"]
+    66.66666666666667
+    """
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self._durations: dict[str, float] = {}
+        self._open: tuple[str, float] | None = None
+
+    def begin(self, name: str) -> None:
+        """Open phase ``name``; implicitly ends any open phase first."""
+        if self._open is not None:
+            self.end(self._open[0])
+        self._open = (name, self._clock())
+
+    def end(self, name: str) -> None:
+        """Close phase ``name``, accumulating its duration."""
+        if self._open is None or self._open[0] != name:
+            raise ValueError(f"phase {name!r} is not the open phase")
+        started = self._open[1]
+        self._durations[name] = self._durations.get(name, 0.0) + (self._clock() - started)
+        self._open = None
+
+    def close(self) -> None:
+        """End whatever phase is open (no-op if none is)."""
+        if self._open is not None:
+            self.end(self._open[0])
+
+    @property
+    def open_phase(self) -> str | None:
+        """Name of the currently open phase, if any."""
+        return self._open[0] if self._open is not None else None
+
+    def duration(self, name: str) -> float:
+        """Accumulated seconds for ``name`` (0.0 if never opened)."""
+        return self._durations.get(name, 0.0)
+
+    def durations(self) -> dict[str, float]:
+        """All accumulated durations, keyed by phase name."""
+        return dict(self._durations)
+
+    def total(self) -> float:
+        """Sum of all accumulated phase durations."""
+        return sum(self._durations.values())
+
+    def percentages(self) -> dict[str, float]:
+        """Each phase's share of the total, in percent.
+
+        An all-zero timer returns zeros rather than dividing by zero.
+        """
+        total = self.total()
+        if total <= 0:
+            return {name: 0.0 for name in self._durations}
+        return {name: 100.0 * d / total for name, d in self._durations.items()}

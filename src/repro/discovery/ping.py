@@ -1,0 +1,128 @@
+"""UDP ping measurement.
+
+Both ends of the discovery scheme measure distances with UDP pings:
+
+* the **BDN** pings its registered brokers to learn which are closest
+  and farthest, steering request injection (section 4: "this
+  information could easily be constructed by issuing ping request to
+  brokers and computing the delays from the issued responses");
+* the **requesting node** pings its target set to find the broker with
+  the lowest true RTT (section 6), repeating the ping to average out
+  jitter (section 10).
+
+Pings ride UDP for the same reasons responses do: cheap, connectionless
+and usefully lossy.  RTTs are computed entirely on the *sender's* clock
+(the ping response echoes the request's timestamp), so no NTP error is
+involved -- which is exactly why the final selection trusts pings over
+timestamp-derived estimates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.config import Endpoint
+from repro.core.messages import PingRequest, PingResponse
+from repro.simnet.node import Node
+
+__all__ = ["Pinger"]
+
+RttCallback = Callable[[str, float], None]
+
+
+class Pinger:
+    """Issues pings and aggregates RTT samples per target key.
+
+    The owner node routes incoming :class:`PingResponse` messages to
+    :meth:`on_response` (the pinger does not own a port binding, so BDNs
+    and clients can multiplex it on their existing UDP endpoint).
+
+    Parameters
+    ----------
+    node:
+        The owning node; supplies the clock and network.
+    reply_endpoint:
+        Endpoint ping responses should come back to.
+    max_samples:
+        RTT samples retained per key (older ones roll off).
+    """
+
+    def __init__(self, node: Node, reply_endpoint: Endpoint, max_samples: int = 16) -> None:
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        self._node = node
+        self._reply = reply_endpoint
+        self._max_samples = max_samples
+        self._outstanding: dict[str, str] = {}  # ping uuid -> target key
+        self._samples: dict[str, list[float]] = {}
+        self._last_heard: dict[str, float] = {}
+        self.on_rtt: RttCallback | None = None
+        self.pings_sent = 0
+        self.pongs_received = 0
+
+    def ping(self, target: Endpoint, key: str | None = None) -> str:
+        """Send one ping to ``target``; returns the ping UUID.
+
+        ``key`` is the aggregation bucket (defaults to the target's
+        host); pass the broker id when known so RTTs can be looked up
+        by broker.
+        """
+        uuid = self._node.ids()
+        self._outstanding[uuid] = key if key is not None else target.host
+        request = PingRequest(
+            uuid=uuid,
+            sent_at=self._node.clock.raw(),
+            reply_host=self._reply.host,
+            reply_port=self._reply.port,
+        )
+        self._node.network.send_udp(self._reply, target, request)
+        self.pings_sent += 1
+        return uuid
+
+    def on_response(self, response: PingResponse, src: Endpoint) -> None:
+        """Record the RTT carried by one ping response.
+
+        Unknown UUIDs (stale or duplicated responses) are ignored.
+        """
+        key = self._outstanding.pop(response.uuid, None)
+        if key is None:
+            return
+        rtt = self._node.clock.raw() - response.sent_at
+        if rtt < 0:
+            return  # clock was stepped mid-flight; drop the sample
+        samples = self._samples.setdefault(key, [])
+        samples.append(rtt)
+        if len(samples) > self._max_samples:
+            del samples[0]
+        self._last_heard[key] = self._node.sim.now
+        self.pongs_received += 1
+        if self.on_rtt is not None:
+            self.on_rtt(key, rtt)
+
+    def average_rtt(self, key: str) -> float | None:
+        """Mean RTT over retained samples for ``key`` (None if no data)."""
+        samples = self._samples.get(key)
+        if not samples:
+            return None
+        return sum(samples) / len(samples)
+
+    def sample_count(self, key: str) -> int:
+        """Number of retained samples for ``key``."""
+        return len(self._samples.get(key, ()))
+
+    def last_heard(self, key: str) -> float | None:
+        """Sim time the last response for ``key`` arrived (None if never)."""
+        return self._last_heard.get(key)
+
+    def known_keys(self) -> list[str]:
+        """Keys with at least one recorded sample, sorted."""
+        return sorted(self._samples)
+
+    def forget(self, key: str) -> None:
+        """Drop all state for ``key``."""
+        self._samples.pop(key, None)
+        self._last_heard.pop(key, None)
+
+    def clear_samples(self) -> None:
+        """Drop every RTT sample but keep outstanding pings."""
+        self._samples.clear()

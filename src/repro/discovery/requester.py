@@ -1,0 +1,585 @@
+"""The discovery client: issuing requests and selecting a broker.
+
+This is the requesting node of paper sections 3, 6 and 7, implemented
+as an event-driven state machine:
+
+``ISSUING``
+    The request has been sent (to a BDN, over multicast, or to the
+    cached target set) but nothing has come back yet.  A retransmission
+    timer guards this state: after ``retransmit_interval`` of silence
+    the client retransmits, then walks the fallback chain --
+    next configured BDN -> multicast -> cached target set (section 7).
+``COLLECTING``
+    Responses are being gathered, until ``max_responses`` arrive or the
+    ``response_timeout`` window closes (section 9's two knobs).
+``PINGING``
+    The target set has been shortlisted (section 6) and UDP pings are
+    measuring true RTTs, ``ping_repeats`` per broker.
+``DONE`` / ``FAILED``
+    The outcome has been delivered to the caller.
+
+Every state transition is stamped into a
+:class:`~repro.discovery.phases.PhaseTimer`, which is what the
+sub-activity breakdown figures are computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.config import ClientConfig, Endpoint
+from repro.core.errors import DiscoveryError
+from repro.core.messages import Ack, DiscoveryRequest, DiscoveryResponse, Message, PingResponse
+from repro.simnet.network import Network
+from repro.simnet.node import Node
+from repro.simnet.simulator import ScheduledEvent
+from repro.simnet.trace import Tracer
+from repro.discovery.phases import PhaseTimer
+from repro.discovery.ping import Pinger
+from repro.discovery.selection import Candidate, make_candidate, select_target_set
+
+__all__ = ["CLIENT_UDP_PORT", "DiscoveryClient", "DiscoveryOutcome", "CachedTarget"]
+
+CLIENT_UDP_PORT = 7500
+
+# Simulated CPU cost of the selection computation: a base plus a small
+# per-candidate term (sorting/weighting is cheap but not free).
+_SELECT_COST_BASE = 0.0002
+_SELECT_COST_PER_CANDIDATE = 2e-5
+# Simulated CPU cost of the final ranking over ping RTTs.
+_DECIDE_COST = 0.0001
+# Spacing between successive ping repeats to the same broker.
+_PING_REPEAT_SPACING = 0.010
+
+
+@dataclass(frozen=True, slots=True)
+class CachedTarget:
+    """A remembered target-set entry for reconnect-after-disconnect.
+
+    Section 7: "Every node keeps track of [its] last target set of
+    brokers" and, with every BDN down, re-issues the request to them
+    directly.
+    """
+
+    broker_id: str
+    host: str
+    udp_port: int
+
+    @property
+    def udp_endpoint(self) -> Endpoint:
+        return Endpoint(self.host, self.udp_port)
+
+
+@dataclass(slots=True)
+class DiscoveryOutcome:
+    """Everything one discovery run produced.
+
+    Attributes
+    ----------
+    success:
+        Whether a broker was selected.
+    selected:
+        The winning candidate (None on failure).
+    selected_rtt:
+        The winner's measured average ping RTT in seconds (None if it
+        was chosen without ping data).
+    candidates:
+        Every distinct responding broker, as scored candidates.
+    target_set:
+        The shortlist that was pinged.
+    ping_rtts:
+        Average measured RTT per target-set broker that answered pings.
+    phases:
+        The per-phase timer (durations and percentages).
+    total_time:
+        Wall-clock (virtual) seconds from ``discover()`` to completion.
+    via:
+        Which path produced the responses: ``"bdn"``, ``"multicast"``
+        or ``"cached"``.
+    bdn_used:
+        Endpoint of the BDN that acknowledged, if any.
+    transmissions:
+        Total request transmissions (1 = no retransmission needed).
+    request_uuid:
+        UUID of the discovery request.
+    """
+
+    success: bool
+    selected: Candidate | None
+    selected_rtt: float | None
+    candidates: list[Candidate]
+    target_set: list[Candidate]
+    ping_rtts: dict[str, float]
+    phases: PhaseTimer
+    total_time: float
+    via: str
+    bdn_used: Endpoint | None
+    transmissions: int
+    request_uuid: str
+
+
+class _Run:
+    """Mutable state of one discovery attempt."""
+
+    __slots__ = (
+        "uuid",
+        "state",
+        "phases",
+        "started_at",
+        "candidates",
+        "target_set",
+        "expected_pongs",
+        "via",
+        "bdn_index",
+        "bdn_used",
+        "retransmits_here",
+        "transmissions",
+        "on_complete",
+        "ack_timer",
+        "collection_timer",
+        "ping_timer",
+        "extended",
+    )
+
+    def __init__(self, uuid: str, phases: PhaseTimer, now: float, on_complete) -> None:
+        self.uuid = uuid
+        self.state = "ISSUING"
+        self.phases = phases
+        self.started_at = now
+        self.candidates: dict[str, Candidate] = {}
+        self.target_set: list[Candidate] = []
+        self.expected_pongs = 0
+        self.via = "bdn"
+        self.bdn_index = 0
+        self.bdn_used: Endpoint | None = None
+        self.retransmits_here = 0
+        self.transmissions = 0
+        self.on_complete = on_complete
+        self.ack_timer: ScheduledEvent | None = None
+        self.collection_timer: ScheduledEvent | None = None
+        self.ping_timer: ScheduledEvent | None = None
+        self.extended = False
+
+    def cancel_timers(self) -> None:
+        for timer in (self.ack_timer, self.collection_timer, self.ping_timer):
+            if timer is not None:
+                timer.cancel()
+
+
+class DiscoveryClient(Node):
+    """A node that discovers the nearest available broker.
+
+    One discovery runs at a time; sequential runs on the same client
+    reuse its UDP endpoint and its cached target set.
+
+    Parameters
+    ----------
+    name, host, network, rng:
+        Standard node parameters.
+    config:
+        Discovery behaviour (BDN list, timeout, N, |T|, ping repeats,
+        fallbacks...).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        network: Network,
+        rng: np.random.Generator,
+        config: ClientConfig | None = None,
+        site: str | None = None,
+        realm: str | None = None,
+        multicast_enabled: bool = True,
+        tracer: Tracer | None = None,
+    ) -> None:
+        super().__init__(
+            name,
+            host,
+            network,
+            rng,
+            site=site,
+            realm=realm,
+            multicast_enabled=multicast_enabled,
+            tracer=tracer,
+        )
+        self.config = config if config is not None else ClientConfig()
+        self.pinger = Pinger(self, self.endpoint(CLIENT_UDP_PORT))
+        self.pinger.on_rtt = self._on_ping_rtt
+        self.last_target_set: list[CachedTarget] = []
+        self._run: _Run | None = None
+        self.late_responses = 0
+
+    @property
+    def udp_endpoint(self) -> Endpoint:
+        """Where acks, responses and pongs arrive."""
+        return self.endpoint(CLIENT_UDP_PORT)
+
+    def start(self) -> None:
+        """Bind the UDP port and kick off NTP."""
+        if self.started:
+            return
+        super().start()
+        self.network.bind_udp(self.udp_endpoint, self._on_udp)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def discover(self, on_complete: Callable[[DiscoveryOutcome], None]) -> str:
+        """Begin one discovery; ``on_complete`` fires with the outcome.
+
+        Returns the request UUID.  Raises :class:`DiscoveryError` if a
+        discovery is already in flight.
+        """
+        if self._run is not None:
+            raise DiscoveryError(f"client {self.name} already has a discovery in flight")
+        if not self.started:
+            raise DiscoveryError(f"client {self.name} must be started before discovering")
+        phases = PhaseTimer(lambda: self.sim.now)
+        run = _Run(self.ids(), phases, self.sim.now, on_complete)
+        self._run = run
+        phases.begin("issue_request")
+        self.trace("discover_start", request=run.uuid)
+        if self.config.bdn_endpoints:
+            self._send_to_bdn(run)
+        else:
+            # No BDNs configured at all -- straight to multicast
+            # ("our scheme ... can work even if there are no BDNs up
+            # and running", section 3).
+            self._fallback_multicast(run)
+        return run.uuid
+
+    # ------------------------------------------------------------------
+    # Request transmission and the fallback chain
+    # ------------------------------------------------------------------
+    def _request(self, run: _Run) -> DiscoveryRequest:
+        return DiscoveryRequest(
+            uuid=run.uuid,
+            requester_host=self.host,
+            requester_port=CLIENT_UDP_PORT,
+            transports=("tcp", "udp"),
+            credentials=self.config.credentials,
+            realm=self.realm,
+            issued_at=self.utc(),
+            attempt=run.transmissions,  # each transmission is a fresh attempt
+        )
+
+    def _arm_collection_deadline(self, run: _Run) -> None:
+        if run.collection_timer is not None:
+            run.collection_timer.cancel()
+        run.collection_timer = self.sim.schedule(
+            self.config.response_timeout, self._on_collection_deadline, run
+        )
+
+    def _send_to_bdn(self, run: _Run) -> None:
+        bdn = self.config.bdn_endpoints[run.bdn_index]
+        run.via = "bdn"
+        request = self._request(run)
+        run.transmissions += 1
+        self.network.send_udp(self.udp_endpoint, bdn, request)
+        self._arm_collection_deadline(run)
+        if run.ack_timer is not None:
+            run.ack_timer.cancel()
+        run.ack_timer = self.sim.schedule(
+            self.config.retransmit_interval, self._on_silence, run
+        )
+        self.trace("request_sent", request=run.uuid, bdn=str(bdn))
+
+    def _on_silence(self, run: _Run) -> None:
+        """A silence timer fired with no responses collected yet.
+
+        Reached from the ack timer (still ISSUING) or from a collection
+        deadline that expired empty (COLLECTING after an ack whose
+        responses were all lost) -- both walk the same fallback chain.
+        """
+        if run.state not in ("ISSUING", "COLLECTING") or run.candidates:
+            return
+        if run.via == "bdn":
+            if run.retransmits_here < self.config.max_retransmits:
+                run.retransmits_here += 1
+                self.trace("request_retransmit", request=run.uuid)
+                self._send_to_bdn(run)
+            elif run.bdn_index + 1 < len(self.config.bdn_endpoints):
+                run.bdn_index += 1
+                run.retransmits_here = 0
+                self.trace("request_next_bdn", request=run.uuid)
+                self._send_to_bdn(run)
+            else:
+                self._fallback_multicast(run)
+        elif run.via == "multicast":
+            self._fallback_cached(run)
+        else:  # cached
+            self._fail(run)
+
+    def _fallback_multicast(self, run: _Run) -> None:
+        """Multicast the request to in-realm brokers (section 7)."""
+        if not (
+            self.config.use_multicast_fallback
+            and self.network.multicast_enabled(self.host)
+        ):
+            self._fallback_cached(run)
+            return
+        run.via = "multicast"
+        request = self._request(run)
+        run.transmissions += 1
+        reached = self.network.multicast(
+            self.udp_endpoint, self.config.multicast_group, request
+        )
+        self.trace("request_multicast", request=run.uuid, reached=str(reached))
+        if reached == 0:
+            self._fallback_cached(run)
+            return
+        self._arm_collection_deadline(run)
+        if run.ack_timer is not None:
+            run.ack_timer.cancel()
+        run.ack_timer = self.sim.schedule(
+            self.config.retransmit_interval, self._on_silence, run
+        )
+
+    def _fallback_cached(self, run: _Run) -> None:
+        """Re-issue the request to the cached last target set (section 7)."""
+        if not self.last_target_set:
+            self._fail(run)
+            return
+        run.via = "cached"
+        request = self._request(run)
+        run.transmissions += 1
+        for target in self.last_target_set:
+            self.network.send_udp(self.udp_endpoint, target.udp_endpoint, request)
+        self.trace("request_cached_targets", request=run.uuid, targets=str(len(self.last_target_set)))
+        self._arm_collection_deadline(run)
+        if run.ack_timer is not None:
+            run.ack_timer.cancel()
+        run.ack_timer = self.sim.schedule(
+            self.config.retransmit_interval, self._on_silence, run
+        )
+
+    # ------------------------------------------------------------------
+    # Message arrival
+    # ------------------------------------------------------------------
+    def _on_udp(self, message: Message, src: Endpoint) -> None:
+        run = self._run
+        if isinstance(message, PingResponse):
+            self.pinger.on_response(message, src)
+            return
+        if run is None:
+            if isinstance(message, DiscoveryResponse):
+                self.late_responses += 1
+            return
+        if isinstance(message, Ack) and message.uuid == run.uuid:
+            self._on_ack(run, src)
+        elif isinstance(message, DiscoveryResponse) and message.request_uuid == run.uuid:
+            self._on_response(run, message)
+        elif isinstance(message, DiscoveryResponse):
+            self.late_responses += 1
+
+    def _on_ack(self, run: _Run, src: Endpoint) -> None:
+        if run.state != "ISSUING":
+            return
+        run.bdn_used = src
+        self._enter_collecting(run)
+
+    def _enter_collecting(self, run: _Run) -> None:
+        run.state = "COLLECTING"
+        run.phases.begin("wait_initial_responses")
+        if run.ack_timer is not None:
+            run.ack_timer.cancel()
+            run.ack_timer = None
+
+    def _on_response(self, run: _Run, response: DiscoveryResponse) -> None:
+        if run.state == "ISSUING":
+            # The response doubles as an implicit ack (the BDN's ack may
+            # have been lost, or the request went out via multicast).
+            self._enter_collecting(run)
+        if run.state != "COLLECTING":
+            self.late_responses += 1
+            return
+        if response.broker_id in run.candidates:
+            return  # duplicate (e.g. answer to a retransmission)
+        run.candidates[response.broker_id] = make_candidate(
+            response, self.utc(), self.config.weights
+        )
+        self.trace("response_received", request=run.uuid, broker=response.broker_id)
+        if len(run.candidates) >= self.config.max_responses:
+            self._end_collection(run, reason="max_responses")
+
+    def _on_collection_deadline(self, run: _Run) -> None:
+        if run.state not in ("ISSUING", "COLLECTING"):
+            return
+        if not run.candidates:
+            # The whole window elapsed with nothing: walk the fallback
+            # chain from wherever we are.
+            self._on_silence(run)
+            return
+        if (
+            len(run.candidates) < self.config.min_responses
+            and not run.extended
+            and run.retransmits_here < self.config.max_retransmits
+            and run.via == "bdn"
+        ):
+            # Thin sample: retransmit once and extend the window so
+            # brokers whose responses were lost can answer again.
+            run.extended = True
+            run.retransmits_here += 1
+            self.trace("collection_extended", request=run.uuid)
+            self._send_to_bdn(run)
+            return
+        self._end_collection(run, reason="timeout")
+
+    # ------------------------------------------------------------------
+    # Selection and pinging
+    # ------------------------------------------------------------------
+    def _end_collection(self, run: _Run, reason: str) -> None:
+        run.cancel_timers()
+        if run.phases.open_phase == "issue_request":
+            # Degenerate: responses arrived before any ack transition.
+            run.phases.begin("wait_initial_responses")
+        run.phases.begin("process_responses")
+        run.state = "SELECTING"
+        self.trace("collection_done", request=run.uuid, reason=reason, n=str(len(run.candidates)))
+        cost = _SELECT_COST_BASE + _SELECT_COST_PER_CANDIDATE * len(run.candidates)
+        self.sim.schedule(cost, self._select_targets, run)
+
+    def _select_targets(self, run: _Run) -> None:
+        run.target_set = select_target_set(
+            list(run.candidates.values()), self.config.target_set_size
+        )
+        run.phases.begin("ping_target_set")
+        run.state = "PINGING"
+        self.pinger.clear_samples()
+        run.expected_pongs = len(run.target_set) * self.config.ping_repeats
+        for target in run.target_set:
+            for repeat in range(self.config.ping_repeats):
+                self.sim.schedule(
+                    repeat * _PING_REPEAT_SPACING,
+                    self._ping_target,
+                    run,
+                    target,
+                )
+        run.ping_timer = self.sim.schedule(self.config.ping_timeout, self._decide, run)
+
+    def _ping_target(self, run: _Run, target: Candidate) -> None:
+        if run.state != "PINGING":
+            return
+        self.pinger.ping(target.udp_endpoint, key=target.broker_id)
+
+    def _on_ping_rtt(self, key: str, rtt: float) -> None:
+        run = self._run
+        if run is None or run.state != "PINGING":
+            return
+        # Samples were cleared when the ping phase began, so the total
+        # retained sample count is the pong count for this run.
+        received = sum(self.pinger.sample_count(t.broker_id) for t in run.target_set)
+        if received >= run.expected_pongs:
+            self._decide(run)
+            return
+        # Every target has answered at least once: a lost straggler
+        # repeat should not stall the phase until the hard timeout, so
+        # re-arm a short grace deadline instead.
+        if all(self.pinger.sample_count(t.broker_id) > 0 for t in run.target_set):
+            if run.ping_timer is not None:
+                run.ping_timer.cancel()
+            run.ping_timer = self.sim.schedule(self.config.ping_grace, self._decide, run)
+
+    # ------------------------------------------------------------------
+    # Decision
+    # ------------------------------------------------------------------
+    def _decide(self, run: _Run) -> None:
+        if run.state != "PINGING":
+            return
+        run.state = "DECIDING"
+        if run.ping_timer is not None:
+            run.ping_timer.cancel()
+            run.ping_timer = None
+        run.phases.begin("final_decision")
+        self.sim.schedule(_DECIDE_COST, self._complete, run)
+
+    def _complete(self, run: _Run) -> None:
+        ping_rtts: dict[str, float] = {}
+        for target in run.target_set:
+            rtt = self.pinger.average_rtt(target.broker_id)
+            if rtt is not None:
+                ping_rtts[target.broker_id] = rtt
+        selected: Candidate | None = None
+        selected_rtt: float | None = None
+        if ping_rtts:
+            # "The requesting node decides on the target node based on
+            # the lowest delay associated with the ping requests."
+            # RTTs within the tie tolerance of the minimum count as
+            # equally near; the usage-metric score then decides, which
+            # is what steers joiners onto a fresh broker in a cluster
+            # of equidistant peers (paper section 8, advantage 3).
+            best_rtt = min(ping_rtts.values())
+            threshold = (
+                best_rtt * (1.0 + self.config.ping_tie_relative)
+                + self.config.ping_tie_absolute
+            )
+            eligible = [
+                t
+                for t in run.target_set
+                if ping_rtts.get(t.broker_id, float("inf")) <= threshold
+            ]
+            # Tie-break on the pure usage-metric weight: distance is
+            # already settled by the measured RTTs, so re-injecting the
+            # NTP-noisy delay estimate (via the combined score) would
+            # only add error here.
+            selected = max(
+                eligible, key=lambda t: (t.weight, -ping_rtts[t.broker_id], t.broker_id)
+            )
+            selected_rtt = ping_rtts[selected.broker_id]
+        elif run.target_set:
+            # No pongs at all (heavy loss): fall back to the best score.
+            selected = run.target_set[0]
+        run.phases.close()
+        outcome = DiscoveryOutcome(
+            success=selected is not None,
+            selected=selected,
+            selected_rtt=selected_rtt,
+            candidates=sorted(run.candidates.values(), key=lambda c: c.broker_id),
+            target_set=run.target_set,
+            ping_rtts=ping_rtts,
+            phases=run.phases,
+            total_time=self.sim.now - run.started_at,
+            via=run.via,
+            bdn_used=run.bdn_used,
+            transmissions=run.transmissions,
+            request_uuid=run.uuid,
+        )
+        if selected is not None:
+            self.last_target_set = [
+                CachedTarget(
+                    broker_id=t.broker_id,
+                    host=t.udp_endpoint.host,
+                    udp_port=t.udp_endpoint.port,
+                )
+                for t in run.target_set
+            ]
+        run.state = "DONE" if outcome.success else "FAILED"
+        self._run = None
+        self.trace("discover_done", request=run.uuid, success=str(outcome.success))
+        run.on_complete(outcome)
+
+    def _fail(self, run: _Run) -> None:
+        run.cancel_timers()
+        run.phases.close()
+        outcome = DiscoveryOutcome(
+            success=False,
+            selected=None,
+            selected_rtt=None,
+            candidates=[],
+            target_set=[],
+            ping_rtts={},
+            phases=run.phases,
+            total_time=self.sim.now - run.started_at,
+            via=run.via,
+            bdn_used=run.bdn_used,
+            transmissions=run.transmissions,
+            request_uuid=run.uuid,
+        )
+        run.state = "FAILED"
+        self._run = None
+        self.trace("discover_failed", request=run.uuid)
+        run.on_complete(outcome)

@@ -1,0 +1,168 @@
+"""Broker-side discovery: request processing and response generation.
+
+Paper sections 4 and 5.  A :class:`DiscoveryResponder` is attached to a
+broker and does four things when a discovery request arrives (over UDP
+from a BDN or multicast, or inside a control-topic event from a peer
+broker):
+
+1. **Deduplicate** -- the broker "keeps track of the last 1000 broker
+   discovery requests so that additional CPU/network cycles are not
+   expended on previously processed requests".  The key includes the
+   retransmission attempt, so a retransmitted request *is* re-processed
+   (that is how the scheme survives lost responses, section 7).
+2. **Propagate** -- wrap the request in an event on a predefined topic
+   and publish it into the broker network ("the brokers also propagate
+   discovery requests on a predefined topic thus guaranteeing that the
+   request can reach each broker connected in the network",
+   section 10).  Requests that arrived *as* control events are already
+   being forwarded by normal event routing, so only UDP arrivals are
+   wrapped here.
+3. **Apply the response policy** -- credentials and origin realm
+   (section 5).
+4. **Respond over UDP** -- with the NTP timestamp, broker process
+   information, and usage metrics (section 5.1), after a small
+   simulated processing delay.
+"""
+
+from __future__ import annotations
+
+from repro.core.codec import decode_message, encode_message
+from repro.core.config import Endpoint
+from repro.core.dedup import DedupCache
+from repro.core.errors import CodecError
+from repro.core.messages import DiscoveryRequest, DiscoveryResponse, Event
+from repro.substrate.broker import BROKER_TCP_PORT, BROKER_UDP_PORT, Broker
+
+__all__ = ["REQUEST_TOPIC", "DiscoveryResponder"]
+
+#: The predefined control topic discovery requests propagate on.
+REQUEST_TOPIC = "Services/BrokerDiscovery/Request"
+
+# Simulated per-request processing cost at a broker (policy check,
+# metric snapshot, response construction on a 2005-era JVM), drawn
+# uniformly per request.
+_PROCESS_DELAY_RANGE = (0.002, 0.008)
+
+
+class DiscoveryResponder:
+    """Attaches discovery behaviour to one broker.
+
+    Parameters
+    ----------
+    broker:
+        The broker to serve.  The responder installs a UDP handler for
+        :class:`DiscoveryRequest` and a control handler for
+        :data:`REQUEST_TOPIC`.
+
+    Attributes
+    ----------
+    requests_processed:
+        Distinct (uuid, attempt) requests handled.
+    responses_sent:
+        Responses actually issued (policy permitting).
+    policy_rejections:
+        Requests the response policy declined to answer.
+    """
+
+    def __init__(self, broker: Broker) -> None:
+        self.broker = broker
+        self.dedup = DedupCache(broker.config.dedup_capacity)
+        self.requests_processed = 0
+        self.responses_sent = 0
+        self.policy_rejections = 0
+        broker.add_udp_handler(DiscoveryRequest, self._on_udp_request)
+        broker.add_control_handler(REQUEST_TOPIC, self._on_control_event)
+
+    # ------------------------------------------------------------------
+    # Arrival paths
+    # ------------------------------------------------------------------
+    def _on_udp_request(self, request: DiscoveryRequest, src: Endpoint) -> None:
+        """Request arrived over UDP (from a BDN, multicast, or a cached
+        target-set retry) -- process it and inject it into the broker
+        network for propagation."""
+        self._process(request, propagate=True)
+
+    def _on_control_event(self, event: Event, from_peer: str | None) -> None:
+        """Request arrived inside a control event from a peer broker.
+
+        Event routing is already forwarding the event onward, so the
+        responder must not re-publish it (that would double-propagate).
+        """
+        try:
+            message = decode_message(event.payload)
+        except CodecError:
+            self.broker.trace("discovery_bad_payload", topic=event.topic)
+            return
+        if isinstance(message, DiscoveryRequest):
+            self._process(message, propagate=False)
+
+    # ------------------------------------------------------------------
+    # Core processing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def request_key(request: DiscoveryRequest) -> tuple[str, int]:
+        """Dedup key: the UUID plus the retransmission attempt.
+
+        Duplicates of one transmission are suppressed; an explicit
+        retransmission (attempt+1) is deliberately re-processed so that
+        brokers re-respond after response loss.
+        """
+        return (request.uuid, request.attempt)
+
+    def _process(self, request: DiscoveryRequest, propagate: bool) -> None:
+        if not self.broker.alive:
+            return
+        if self.dedup.seen(self.request_key(request)):
+            return
+        self.requests_processed += 1
+        if propagate:
+            self._propagate(request)
+        realm = self._requester_realm(request)
+        if not self.broker.config.response_policy.permits(request.credentials, realm):
+            self.policy_rejections += 1
+            self.broker.trace("discovery_policy_reject", request=request.uuid)
+            return
+        delay = float(self.broker.rng.uniform(*_PROCESS_DELAY_RANGE))
+        self.broker.sim.schedule(delay, self._respond, request)
+
+    def _requester_realm(self, request: DiscoveryRequest) -> str:
+        if request.realm:
+            return request.realm
+        try:
+            return self.broker.network.realm_of(request.requester_host)
+        except Exception:
+            return ""
+
+    def _propagate(self, request: DiscoveryRequest) -> None:
+        """Wrap the request in a control event and flood it onward.
+
+        The event UUID is derived from (request UUID, attempt) so that
+        event-level dedup at peer brokers aligns with request-level
+        dedup here.
+        """
+        forwarded = request.forwarded()
+        event = Event(
+            uuid=f"{request.uuid}#{request.attempt}",
+            topic=REQUEST_TOPIC,
+            payload=encode_message(forwarded),
+            source=self.broker.name,
+            issued_at=self.broker.utc(),
+        )
+        self.broker.publish_local(event)
+
+    def _respond(self, request: DiscoveryRequest) -> None:
+        if not self.broker.alive:
+            return
+        response = DiscoveryResponse(
+            request_uuid=request.uuid,
+            broker_id=self.broker.name,
+            hostname=self.broker.host,
+            transports=(("tcp", BROKER_TCP_PORT), ("udp", BROKER_UDP_PORT)),
+            issued_at=self.broker.utc(),
+            metrics=self.broker.usage_metrics(),
+        )
+        self.broker.send_udp(
+            Endpoint(request.requester_host, request.requester_port), response
+        )
+        self.responses_sent += 1
+        self.broker.trace("discovery_response", request=request.uuid)

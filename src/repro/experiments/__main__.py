@@ -1,0 +1,7 @@
+"""``python -m repro.experiments`` -- regenerate paper tables/figures."""
+
+import sys
+
+from repro.experiments.cli import main
+
+sys.exit(main())

@@ -1,0 +1,61 @@
+"""ASCII rendering of the paper's tables and figures.
+
+The benchmarks print their reproduced results through these helpers so
+that a run of ``pytest benchmarks/ --benchmark-only`` emits, for every
+figure, the same rows the paper reports (Metric / Time tables and
+percentage breakdowns).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.experiments.stats import SummaryStats
+
+__all__ = ["metric_table", "percentage_table", "comparison_table"]
+
+
+def metric_table(stats: SummaryStats, title: str, unit: str = "MilliSec") -> str:
+    """The paper's five-row metric table (Figures 3-7, 12-14)."""
+    lines = [title, f"{'Metric':<12} Time ({unit})"]
+    for label, value in stats.rows():
+        lines.append(f"{label:<12} {value:>12.2f}")
+    lines.append(f"{'(n)':<12} {stats.count:>12d}")
+    return "\n".join(lines)
+
+
+def percentage_table(percentages: Mapping[str, float], title: str) -> str:
+    """Per-phase percentage breakdown (Figures 2, 9, 11)."""
+    lines = [title, f"{'Sub-activity':<28} {'% of total':>10}"]
+    for name, pct in sorted(percentages.items(), key=lambda kv: -kv[1]):
+        lines.append(f"{name:<28} {pct:>9.1f}%")
+    return "\n".join(lines)
+
+
+def comparison_table(
+    rows: Sequence[tuple[str, Mapping[str, float]]],
+    columns: Sequence[str],
+    title: str,
+    fmt: str = "{:>12.2f}",
+) -> str:
+    """A generic labelled-rows / named-columns table for ablations.
+
+    Parameters
+    ----------
+    rows:
+        (row label, {column -> value}) pairs.  Missing columns render
+        as ``-``.
+    columns:
+        Column order.
+    """
+    header = f"{'':<24}" + "".join(f"{c:>14}" for c in columns)
+    lines = [title, header]
+    for label, values in rows:
+        cells = []
+        for column in columns:
+            if column in values:
+                cells.append(fmt.format(values[column]).rjust(14))
+            else:
+                cells.append(f"{'-':>14}")
+        lines.append(f"{label:<24}" + "".join(cells))
+    return "\n".join(lines)

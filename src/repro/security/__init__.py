@@ -1,0 +1,57 @@
+"""PKI security for the discovery protocol (paper section 9.1).
+
+The paper's prototype had no security, but its evaluation *times* the
+building blocks a secured deployment would need: validating an X.509
+certificate (Figure 13) and signing + encrypting + decrypting a
+``BrokerDiscoveryRequest`` (Figure 14), concluding "these costs are
+acceptable in most systems".
+
+We build the whole stack from scratch so those costs are real
+computation, not mocks:
+
+* :mod:`repro.security.numtheory` -- Miller-Rabin primality, modular
+  inverses, prime generation.
+* :mod:`repro.security.rsa` -- RSA keygen, PKCS#1 v1.5-style signing
+  and encryption.
+* :mod:`repro.security.cipher` -- a SHA-256-CTR stream cipher with
+  HMAC integrity for the bulk payload.
+* :mod:`repro.security.certificates` -- X.509-like certificates, a CA,
+  and chain validation.
+* :mod:`repro.security.credentials` -- signed credential tokens that
+  response policies and private BDNs can check.
+* :mod:`repro.security.envelope` -- the sign-then-encrypt envelope the
+  Figure 14 benchmark times end to end.
+"""
+
+from repro.security.numtheory import is_probable_prime, generate_prime, modinv
+from repro.security.rsa import RSAKeyPair, RSAPublicKey, RSAPrivateKey, generate_keypair
+from repro.security.cipher import stream_encrypt, stream_decrypt, hmac_sha256
+from repro.security.certificates import (
+    Certificate,
+    CertificateAuthority,
+    validate_chain,
+)
+from repro.security.credentials import CredentialToken, issue_credential, verify_credential
+from repro.security.envelope import SecureEnvelope, seal, open_envelope
+
+__all__ = [
+    "is_probable_prime",
+    "generate_prime",
+    "modinv",
+    "RSAKeyPair",
+    "RSAPublicKey",
+    "RSAPrivateKey",
+    "generate_keypair",
+    "stream_encrypt",
+    "stream_decrypt",
+    "hmac_sha256",
+    "Certificate",
+    "CertificateAuthority",
+    "validate_chain",
+    "CredentialToken",
+    "issue_credential",
+    "verify_credential",
+    "SecureEnvelope",
+    "seal",
+    "open_envelope",
+]

@@ -1,0 +1,61 @@
+"""Symmetric bulk encryption: SHA-256 in counter mode, plus HMAC.
+
+RSA only ever protects a short session key; the discovery request body
+itself is encrypted with a stream cipher whose keystream is SHA-256
+over (key || nonce || counter) blocks -- the classic hash-CTR
+construction.  Integrity comes from HMAC-SHA-256 (encrypt-then-MAC).
+
+This stands in for the AES/3DES a 2005 JCE deployment would use; the
+computational profile (a hash invocation per 32 bytes) is comparable,
+which is all the Figure 14 timing needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+from repro.core.errors import SecurityError
+
+__all__ = ["stream_encrypt", "stream_decrypt", "hmac_sha256", "KEY_SIZE", "NONCE_SIZE"]
+
+KEY_SIZE = 32
+NONCE_SIZE = 16
+_BLOCK = 32  # SHA-256 digest size
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    blocks = []
+    for counter in range((length + _BLOCK - 1) // _BLOCK):
+        blocks.append(
+            hashlib.sha256(key + nonce + counter.to_bytes(8, "big")).digest()
+        )
+    return b"".join(blocks)[:length]
+
+
+def _check_params(key: bytes, nonce: bytes) -> None:
+    if len(key) != KEY_SIZE:
+        raise SecurityError(f"key must be {KEY_SIZE} bytes, got {len(key)}")
+    if len(nonce) != NONCE_SIZE:
+        raise SecurityError(f"nonce must be {NONCE_SIZE} bytes, got {len(nonce)}")
+
+
+def stream_encrypt(key: bytes, nonce: bytes, plaintext: bytes) -> bytes:
+    """XOR ``plaintext`` with the hash-CTR keystream.
+
+    The same (key, nonce) pair must never encrypt two messages; the
+    envelope layer generates a fresh random nonce per message.
+    """
+    _check_params(key, nonce)
+    stream = _keystream(key, nonce, len(plaintext))
+    return bytes(a ^ b for a, b in zip(plaintext, stream))
+
+
+def stream_decrypt(key: bytes, nonce: bytes, ciphertext: bytes) -> bytes:
+    """Inverse of :func:`stream_encrypt` (XOR is self-inverse)."""
+    return stream_encrypt(key, nonce, ciphertext)
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA-256 tag over ``data``."""
+    return _hmac.new(key, data, hashlib.sha256).digest()

@@ -1,0 +1,102 @@
+"""Signed credential tokens.
+
+Response policies and private BDNs gate on "credentials" (paper
+sections 2.4, 5, 7).  In the protocol messages those are plain strings
+(capability names like ``"grid-user"``); this module supplies their
+verifiable form: a token binding (subject, credential name, expiry)
+under an issuer's RSA signature.
+
+A deployment flow: an authority issues tokens; the requesting node
+lists the credential *names* in its discovery request; a broker or
+private BDN that actually enforces security asks for the full tokens
+out of band (or inside a secure envelope) and verifies them here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import SecurityError
+from repro.security.rsa import RSAPrivateKey, RSAPublicKey
+
+__all__ = ["CredentialToken", "issue_credential", "verify_credential"]
+
+
+@dataclass(frozen=True, slots=True)
+class CredentialToken:
+    """A signed assertion that ``subject`` holds ``credential``.
+
+    Attributes
+    ----------
+    subject:
+        The entity the credential is granted to.
+    credential:
+        The capability name (what response policies match on).
+    issuer:
+        Name of the issuing authority.
+    expires_at:
+        Expiry time (same unit as the verifier's clock).
+    signature:
+        Issuer's RSA signature over the other fields.
+    """
+
+    subject: str
+    credential: str
+    issuer: str
+    expires_at: float
+    signature: bytes
+
+    def tbs_bytes(self) -> bytes:
+        """The signed byte encoding."""
+        return b"\x1f".join(
+            [
+                self.subject.encode(),
+                self.credential.encode(),
+                self.issuer.encode(),
+                repr(self.expires_at).encode(),
+            ]
+        )
+
+
+def issue_credential(
+    subject: str,
+    credential: str,
+    issuer: str,
+    issuer_key: RSAPrivateKey,
+    expires_at: float,
+) -> CredentialToken:
+    """Create a signed credential token."""
+    unsigned = CredentialToken(
+        subject=subject,
+        credential=credential,
+        issuer=issuer,
+        expires_at=expires_at,
+        signature=b"",
+    )
+    return CredentialToken(
+        subject=subject,
+        credential=credential,
+        issuer=issuer,
+        expires_at=expires_at,
+        signature=issuer_key.sign(unsigned.tbs_bytes()),
+    )
+
+
+def verify_credential(
+    token: CredentialToken,
+    issuer_key: RSAPublicKey,
+    now: float,
+    expected_subject: str | None = None,
+) -> None:
+    """Verify a credential token; raises :class:`SecurityError` on failure.
+
+    Checks expiry, optional subject binding, and the issuer signature.
+    """
+    if now > token.expires_at:
+        raise SecurityError(f"credential {token.credential!r} expired")
+    if expected_subject is not None and token.subject != expected_subject:
+        raise SecurityError(
+            f"credential subject {token.subject!r} != expected {expected_subject!r}"
+        )
+    if not issuer_key.verify(token.tbs_bytes(), token.signature):
+        raise SecurityError(f"bad signature on credential {token.credential!r}")

@@ -1,0 +1,135 @@
+"""Sign-then-encrypt envelope for discovery messages.
+
+Figure 14 of the paper times "digitally sign and encrypt and later
+extract the BrokerDiscoveryRequest".  :func:`seal` performs exactly
+that sender-side pipeline and :func:`open_envelope` the receiver side:
+
+1. encode the message to wire bytes (the same codec the plain protocol
+   uses);
+2. **sign** the plaintext with the sender's RSA key;
+3. generate a fresh session key + nonce, **encrypt** plaintext+signature
+   with the stream cipher, and add an HMAC tag;
+4. **wrap** the session key material under the recipient's RSA public
+   key.
+
+Opening reverses the steps: unwrap, check the HMAC, decrypt, verify
+the signature, decode.  Every failure raises
+:class:`~repro.core.errors.SecurityError` -- the envelope either opens
+completely or not at all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.codec import decode_message, encode_message
+from repro.core.errors import SecurityError
+from repro.core.messages import Message
+from repro.security.cipher import (
+    KEY_SIZE,
+    NONCE_SIZE,
+    hmac_sha256,
+    stream_decrypt,
+    stream_encrypt,
+)
+from repro.security.rsa import RSAPrivateKey, RSAPublicKey
+
+__all__ = ["SecureEnvelope", "seal", "open_envelope"]
+
+
+@dataclass(frozen=True, slots=True)
+class SecureEnvelope:
+    """A sealed message.
+
+    Attributes
+    ----------
+    wrapped_key:
+        Session key material (master key || nonce), RSA-encrypted to
+        the recipient; cipher and MAC keys are derived from the master
+        with a KDF so the material fits one RSA block at any supported
+        key size.
+    ciphertext:
+        Stream-encrypted (plaintext || signature).
+    tag:
+        HMAC-SHA-256 over the ciphertext (encrypt-then-MAC).
+    sender:
+        Claimed sender identity (bound by the inner signature, which
+        the receiver checks against this sender's public key).
+    signature_size:
+        Byte length of the inner signature, needed to split the
+        decrypted blob.
+    """
+
+    wrapped_key: bytes
+    ciphertext: bytes
+    tag: bytes
+    sender: str
+    signature_size: int
+
+
+def _derive_keys(master: bytes) -> tuple[bytes, bytes]:
+    """Derive (cipher key, MAC key) from the wrapped master key."""
+    cipher_key = hashlib.sha256(master + b"|cipher").digest()
+    mac_key = hashlib.sha256(master + b"|mac").digest()
+    return cipher_key, mac_key
+
+
+def seal(
+    message: Message,
+    sender: str,
+    sender_key: RSAPrivateKey,
+    recipient_key: RSAPublicKey,
+    rng: np.random.Generator,
+) -> SecureEnvelope:
+    """Sign ``message`` with ``sender_key`` and encrypt it to the recipient."""
+    plaintext = encode_message(message)
+    signature = sender_key.sign(plaintext)
+    master = rng.bytes(KEY_SIZE)
+    cipher_key, mac_key = _derive_keys(master)
+    nonce = rng.bytes(NONCE_SIZE)
+    ciphertext = stream_encrypt(cipher_key, nonce, plaintext + signature)
+    tag = hmac_sha256(mac_key, ciphertext)
+    wrapped = recipient_key.encrypt(master + nonce, rng)
+    return SecureEnvelope(
+        wrapped_key=wrapped,
+        ciphertext=ciphertext,
+        tag=tag,
+        sender=sender,
+        signature_size=sender_key.byte_size,
+    )
+
+
+def open_envelope(
+    envelope: SecureEnvelope,
+    recipient_key: RSAPrivateKey,
+    sender_key: RSAPublicKey,
+) -> Message:
+    """Decrypt, integrity-check, verify, and decode an envelope.
+
+    Raises
+    ------
+    SecurityError
+        On any failure: malformed key material, HMAC mismatch, or a
+        bad inner signature.
+    """
+    material = recipient_key.decrypt(envelope.wrapped_key)
+    if len(material) != KEY_SIZE + NONCE_SIZE:
+        raise SecurityError("malformed session key material")
+    master = material[:KEY_SIZE]
+    nonce = material[KEY_SIZE:]
+    cipher_key, mac_key = _derive_keys(master)
+    expected_tag = hmac_sha256(mac_key, envelope.ciphertext)
+    if not _hmac.compare_digest(expected_tag, envelope.tag):
+        raise SecurityError("envelope integrity check failed")
+    blob = stream_decrypt(cipher_key, nonce, envelope.ciphertext)
+    if len(blob) <= envelope.signature_size:
+        raise SecurityError("envelope too short for its signature")
+    plaintext = blob[: -envelope.signature_size]
+    signature = blob[-envelope.signature_size :]
+    if not sender_key.verify(plaintext, signature):
+        raise SecurityError(f"bad signature from sender {envelope.sender!r}")
+    return decode_message(plaintext)

@@ -1,0 +1,347 @@
+"""The network fabric: hosts, UDP, TCP-like connections, multicast.
+
+The fabric is the single place where simulated packets acquire delay
+(via a :class:`~repro.simnet.latency.LatencyModel`) and may be dropped
+(via a :class:`~repro.simnet.loss.LossModel`).  Three services:
+
+* **UDP** (:meth:`Network.send_udp`) -- connectionless, unordered,
+  lossy.  Exactly what the paper uses for discovery responses and pings
+  so that "the network resources utilized by the requesting node remain
+  low and invariant irrespective of the number of responding brokers".
+* **TCP** (:meth:`Network.connect_tcp`) -- reliable, FIFO per
+  connection, with a one-RTT connection-setup cost and explicit teardown
+  -- the cost profile the paper cites when justifying UDP for responses.
+* **Multicast** (:meth:`Network.multicast`) -- delivery restricted to
+  group members *within the sender's realm*, reproducing the paper's
+  observation that "multicast was disabled for network traffic outside
+  the lab".
+
+Hosts are registered with a *site* (keys the latency matrix) and a
+*realm* (scopes multicast and response policies).  Binding is by
+``(host, port)`` endpoint; handlers receive decoded message objects plus
+the source endpoint.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.codec import wire_size
+from repro.core.config import Endpoint
+from repro.core.errors import TransportError
+from repro.core.messages import Message
+from repro.simnet.latency import LatencyModel, UniformLatencyModel
+from repro.simnet.loss import LossModel, NoLoss
+from repro.simnet.simulator import Simulator
+from repro.simnet.trace import Tracer
+
+__all__ = ["Network", "Datagram", "Connection"]
+
+Handler = Callable[[Message, Endpoint], None]
+
+# TCP handshake costs one RTT before data can flow; teardown/garbage-
+# collection cost is charged to the *local* node when a short-lived
+# connection closes (the paper's argument against TCP responses).
+_TCP_SETUP_RTTS = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class Datagram:
+    """A UDP datagram in flight (exposed mainly to the tracer)."""
+
+    message: Message
+    src: Endpoint
+    dst: Endpoint
+    size: int
+
+
+@dataclass(frozen=True, slots=True)
+class _HostInfo:
+    site: str
+    realm: str
+    multicast_enabled: bool
+
+
+class Connection:
+    """One side of an established TCP-like connection.
+
+    Messages sent on a side arrive, in order and without loss, at the
+    peer's receive handler.  ``close()`` closes both sides.
+    """
+
+    def __init__(self, network: "Network", local: Endpoint, remote: Endpoint) -> None:
+        self._network = network
+        self.local = local
+        self.remote = remote
+        self.peer: "Connection | None" = None  # wired by the fabric
+        self.on_receive: Handler | None = None
+        self.on_close: Callable[[], None] | None = None
+        self.open = False
+        self._last_arrival = 0.0
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    def send(self, message: Message) -> None:
+        """Reliably deliver ``message`` to the peer, preserving order."""
+        if not self.open or self.peer is None:
+            raise TransportError(f"send on closed connection {self.local}->{self.remote}")
+        self._network._tcp_transfer(self, message)
+
+    def close(self) -> None:
+        """Tear down both sides (idempotent)."""
+        if not self.open:
+            return
+        self.open = False
+        peer = self.peer
+        if self.on_close is not None:
+            self.on_close()
+        if peer is not None and peer.open:
+            peer.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.open else "closed"
+        return f"<Connection {self.local}->{self.remote} {state}>"
+
+
+class Network:
+    """The simulated internet connecting every node.
+
+    Parameters
+    ----------
+    sim:
+        The event loop.
+    latency:
+        One-way delay model (defaults to a uniform 10 ms WAN).
+    loss:
+        Datagram loss model (defaults to lossless; experiments install
+        :class:`~repro.simnet.loss.PerHopLoss`).
+    rng:
+        Randomness source for jitter and loss draws.
+    tracer:
+        Optional structured tracer.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel | None = None,
+        loss: LossModel | None = None,
+        rng: np.random.Generator | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency if latency is not None else UniformLatencyModel()
+        self.loss = loss if loss is not None else NoLoss()
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.tracer = tracer
+        self._hosts: dict[str, _HostInfo] = {}
+        self._udp_bindings: dict[Endpoint, Handler] = {}
+        self._tcp_listeners: dict[Endpoint, Callable[[Connection], None]] = {}
+        self._multicast_groups: dict[str, set[Endpoint]] = {}
+        # Counters.
+        self.datagrams_sent = 0
+        self.datagrams_delivered = 0
+        self.datagrams_dropped = 0
+        self.bytes_sent = 0
+        self.connections_opened = 0
+
+    # ------------------------------------------------------------------
+    # Host registry
+    # ------------------------------------------------------------------
+    def register_host(
+        self,
+        host: str,
+        site: str,
+        realm: str | None = None,
+        multicast_enabled: bool = True,
+    ) -> None:
+        """Attach ``host`` to ``site`` (latency) and ``realm`` (multicast scope).
+
+        ``realm`` defaults to the site name, which models one multicast
+        domain per institution.
+        """
+        if host in self._hosts:
+            raise TransportError(f"host {host!r} already registered")
+        self._hosts[host] = _HostInfo(
+            site=site, realm=realm if realm is not None else site, multicast_enabled=multicast_enabled
+        )
+
+    def site_of(self, host: str) -> str:
+        """Site a host belongs to (raises for unknown hosts)."""
+        return self._info(host).site
+
+    def realm_of(self, host: str) -> str:
+        """Multicast/security realm a host belongs to."""
+        return self._info(host).realm
+
+    def multicast_enabled(self, host: str) -> bool:
+        """Whether ``host`` may use multicast at all."""
+        return self._info(host).multicast_enabled
+
+    def _info(self, host: str) -> _HostInfo:
+        info = self._hosts.get(host)
+        if info is None:
+            raise TransportError(f"unknown host {host!r}")
+        return info
+
+    # ------------------------------------------------------------------
+    # UDP
+    # ------------------------------------------------------------------
+    def bind_udp(self, endpoint: Endpoint, handler: Handler) -> None:
+        """Attach ``handler`` to datagrams arriving at ``endpoint``."""
+        self._info(endpoint.host)
+        if endpoint in self._udp_bindings:
+            raise TransportError(f"UDP endpoint {endpoint} already bound")
+        self._udp_bindings[endpoint] = handler
+
+    def unbind_udp(self, endpoint: Endpoint) -> None:
+        """Detach the handler at ``endpoint`` (idempotent)."""
+        self._udp_bindings.pop(endpoint, None)
+
+    def send_udp(self, src: Endpoint, dst: Endpoint, message: Message) -> None:
+        """Fire-and-forget datagram; may be silently lost in transit.
+
+        A datagram to an unbound destination is charged and counted but
+        vanishes -- just like the real network.
+        """
+        size = wire_size(message)
+        self.datagrams_sent += 1
+        self.bytes_sent += size
+        src_site = self.site_of(src.host)
+        dst_site = self.site_of(dst.host)
+        hops = self.latency.hops(src_site, dst_site)
+        if self.loss.lost(hops, self.rng):
+            self.datagrams_dropped += 1
+            if self.tracer is not None:
+                self.tracer.record("udp_drop", src.host, dst=str(dst), kind=type(message).__name__)
+            return
+        delay = self.latency.delay(src_site, dst_site, size, self.rng)
+        self.sim.schedule(delay, self._deliver_udp, Datagram(message, src, dst, size))
+
+    def _deliver_udp(self, dgram: Datagram) -> None:
+        handler = self._udp_bindings.get(dgram.dst)
+        if handler is None:
+            self.datagrams_dropped += 1
+            return
+        self.datagrams_delivered += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                "udp_deliver", dgram.dst.host, src=str(dgram.src), kind=type(dgram.message).__name__
+            )
+        handler(dgram.message, dgram.src)
+
+    # ------------------------------------------------------------------
+    # Multicast
+    # ------------------------------------------------------------------
+    def join_multicast(self, group: str, endpoint: Endpoint) -> None:
+        """Subscribe ``endpoint`` to ``group`` (requires UDP binding).
+
+        Hosts registered with ``multicast_enabled=False`` are refused,
+        modelling the paper's "multicast service is disabled for a
+        particular set of brokers".
+        """
+        if endpoint not in self._udp_bindings:
+            raise TransportError(f"{endpoint} must be UDP-bound before joining multicast")
+        if not self._info(endpoint.host).multicast_enabled:
+            raise TransportError(f"multicast disabled on host {endpoint.host!r}")
+        self._multicast_groups.setdefault(group, set()).add(endpoint)
+
+    def leave_multicast(self, group: str, endpoint: Endpoint) -> None:
+        """Unsubscribe ``endpoint`` from ``group`` (idempotent)."""
+        members = self._multicast_groups.get(group)
+        if members is not None:
+            members.discard(endpoint)
+
+    def multicast_members(self, group: str) -> frozenset[Endpoint]:
+        """Current members of ``group`` (all realms)."""
+        return frozenset(self._multicast_groups.get(group, ()))
+
+    def multicast(self, src: Endpoint, group: str, message: Message) -> int:
+        """Send ``message`` to every group member in the sender's realm.
+
+        Returns the number of members the datagram was addressed to
+        (delivery is still subject to loss).  Members outside the
+        sender's realm never see it: WAN multicast is administratively
+        disabled, as in the paper's testbed.
+        """
+        if not self._info(src.host).multicast_enabled:
+            raise TransportError(f"multicast disabled on host {src.host!r}")
+        realm = self.realm_of(src.host)
+        reached = 0
+        for member in sorted(self._multicast_groups.get(group, ())):
+            if member == src:
+                continue
+            if self.realm_of(member.host) != realm:
+                continue
+            self.send_udp(src, member, message)
+            reached += 1
+        return reached
+
+    # ------------------------------------------------------------------
+    # TCP
+    # ------------------------------------------------------------------
+    def listen_tcp(self, endpoint: Endpoint, on_accept: Callable[[Connection], None]) -> None:
+        """Accept incoming connections at ``endpoint``."""
+        self._info(endpoint.host)
+        if endpoint in self._tcp_listeners:
+            raise TransportError(f"TCP endpoint {endpoint} already listening")
+        self._tcp_listeners[endpoint] = on_accept
+
+    def stop_listening(self, endpoint: Endpoint) -> None:
+        """Stop accepting connections at ``endpoint`` (idempotent)."""
+        self._tcp_listeners.pop(endpoint, None)
+
+    def connect_tcp(
+        self,
+        src: Endpoint,
+        dst: Endpoint,
+        on_connected: Callable[[Connection], None],
+    ) -> None:
+        """Open a connection; ``on_connected`` fires after the handshake.
+
+        Raises immediately if nobody listens at ``dst`` (a real SYN
+        would time out; failing fast surfaces configuration errors).
+        """
+        if dst not in self._tcp_listeners:
+            raise TransportError(f"no TCP listener at {dst}")
+        src_site = self.site_of(src.host)
+        dst_site = self.site_of(dst.host)
+        one_way = self.latency.delay(src_site, dst_site, 64, self.rng)
+        setup = 2.0 * one_way * _TCP_SETUP_RTTS
+
+        def establish() -> None:
+            acceptor = self._tcp_listeners.get(dst)
+            if acceptor is None:
+                return  # listener went away during the handshake
+            local = Connection(self, src, dst)
+            remote = Connection(self, dst, src)
+            local.peer, remote.peer = remote, local
+            local.open = remote.open = True
+            self.connections_opened += 1
+            acceptor(remote)
+            on_connected(local)
+
+        self.sim.schedule(setup, establish)
+
+    def _tcp_transfer(self, side: Connection, message: Message) -> None:
+        size = wire_size(message)
+        side.bytes_sent += size
+        side.messages_sent += 1
+        self.bytes_sent += size
+        src_site = self.site_of(side.local.host)
+        dst_site = self.site_of(side.remote.host)
+        delay = self.latency.delay(src_site, dst_site, size, self.rng)
+        # FIFO: never deliver before the previous message on this side.
+        arrival = max(self.sim.now + delay, side._last_arrival)
+        side._last_arrival = arrival
+        self.sim.schedule_at(arrival, self._deliver_tcp, side, message)
+
+    def _deliver_tcp(self, side: Connection, message: Message) -> None:
+        peer = side.peer
+        if peer is None or not peer.open:
+            return  # connection torn down while the message was in flight
+        if peer.on_receive is not None:
+            peer.on_receive(message, side.local)

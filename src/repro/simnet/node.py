@@ -1,0 +1,122 @@
+"""Base class for simulated processes.
+
+Brokers, BDNs and discovery clients all extend :class:`Node`.  A node
+owns a host (registered with the network fabric), a drifting clock, an
+NTP service, and a deterministic UUID generator.  Construction follows
+the paper's node-initialisation story: the NTP service is started at
+node start and takes 3-5 simulated seconds to compute offsets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import Endpoint
+from repro.core.ids import IdGenerator
+from repro.simnet.clock import Clock, NTPService
+from repro.simnet.network import Network
+from repro.simnet.simulator import Simulator
+from repro.simnet.trace import Tracer
+
+__all__ = ["Node"]
+
+
+class Node:
+    """A simulated process bound to one host.
+
+    Parameters
+    ----------
+    name:
+        Unique human-readable node name (broker id, client id, ...).
+    host:
+        Hostname, already registered (or registered here) with the
+        network.
+    network:
+        The fabric this node communicates through.
+    rng:
+        Node-private randomness; derive one per node from the master
+        seed so nodes are statistically independent but reproducible.
+    site / realm:
+        If ``host`` is not yet registered with the network, it is
+        registered with these values (``site`` required in that case).
+    multicast_enabled:
+        Forwarded to host registration.
+    tracer:
+        Optional tracer for node-level events.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        network: Network,
+        rng: np.random.Generator,
+        site: str | None = None,
+        realm: str | None = None,
+        multicast_enabled: bool = True,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.name = name
+        self.host = host
+        self.network = network
+        self.rng = rng
+        self.tracer = tracer
+        try:
+            network.site_of(host)
+        except Exception:
+            if site is None:
+                raise ValueError(
+                    f"host {host!r} is not registered and no site was given"
+                ) from None
+            network.register_host(host, site, realm=realm, multicast_enabled=multicast_enabled)
+        self.clock = Clock.random(self.sim, rng)
+        self.ntp = NTPService(self.sim, self.clock, rng)
+        self.ids = IdGenerator(np.random.default_rng(rng.integers(0, 2**63)))
+        self._started = False
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulator driving this node's network."""
+        return self.network.sim
+
+    @property
+    def site(self) -> str:
+        """The site this node's host belongs to."""
+        return self.network.site_of(self.host)
+
+    @property
+    def realm(self) -> str:
+        """The realm this node's host belongs to."""
+        return self.network.realm_of(self.host)
+
+    def endpoint(self, port: int) -> Endpoint:
+        """An endpoint on this node's host."""
+        return Endpoint(self.host, port)
+
+    def utc(self) -> float:
+        """NTP-corrected UTC timestamp from this node's clock."""
+        return self.ntp.utc()
+
+    def start(self) -> None:
+        """Start the node: kicks off NTP synchronisation.
+
+        Subclasses override to bind ports / open links, and must call
+        ``super().start()``.  Idempotent.
+        """
+        if self._started:
+            return
+        self._started = True
+        self.ntp.start()
+
+    @property
+    def started(self) -> bool:
+        """Whether :meth:`start` has run."""
+        return self._started
+
+    def trace(self, event: str, **detail: str) -> None:
+        """Emit a trace record if tracing is enabled."""
+        if self.tracer is not None:
+            self.tracer.record(event, self.name, **detail)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} @ {self.host}>"

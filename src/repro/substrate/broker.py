@@ -1,0 +1,428 @@
+"""The broker: the unit process of the messaging infrastructure.
+
+A broker:
+
+* accepts **client connections** (TCP) carrying subscribe/unsubscribe
+  and published events;
+* maintains **links** to other brokers (TCP) over which events are
+  disseminated according to a pluggable routing strategy;
+* answers **UDP datagrams** -- pings natively, discovery requests via
+  handlers installed by :mod:`repro.discovery`;
+* keeps the paper's **duplicate-detection cache** of recently routed
+  UUIDs (section 4, default 1000 entries) so that "additional
+  CPU/network cycles are not expended on previously processed requests";
+* reports **usage metrics** (connections, links, memory, CPU) that end
+  up inside its discovery responses (section 5.1).
+
+Ports follow a NaradaBrokering-ish convention: one TCP port for
+clients, one for broker links, one UDP port for datagrams.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.config import BrokerConfig, Endpoint
+from repro.core.dedup import DedupCache
+from repro.core.messages import (
+    Ack,
+    Event,
+    Message,
+    PingRequest,
+    PingResponse,
+    Subscribe,
+    Unsubscribe,
+)
+from repro.core.metrics import UsageMetrics
+from repro.simnet.network import Connection, Network
+from repro.simnet.node import Node
+from repro.simnet.trace import Tracer
+from repro.substrate.routing import FloodRouting, RoutingStrategy
+from repro.substrate.subscriptions import SubscriptionManager
+from repro.substrate.topics import topic_matches, validate_pattern
+
+__all__ = ["Broker", "BROKER_TCP_PORT", "BROKER_UDP_PORT", "BROKER_LINK_PORT"]
+
+BROKER_TCP_PORT = 5045  # client connections
+BROKER_UDP_PORT = 5046  # pings, discovery datagrams, multicast
+BROKER_LINK_PORT = 5047  # broker-to-broker links
+
+# Memory/CPU cost constants for the simulated usage metrics.
+_MEM_BASE = 40 * 1024 * 1024
+_MEM_PER_CLIENT = 2 * 1024 * 1024
+_MEM_PER_LINK = 4 * 1024 * 1024
+_CPU_PER_CLIENT = 0.004
+_CPU_PER_LINK = 0.002
+
+ControlHandler = Callable[[Event, "str | None"], None]
+UdpHandler = Callable[[Message, Endpoint], None]
+
+
+class Broker(Node):
+    """One broker process.
+
+    Parameters
+    ----------
+    name:
+        Unique broker identifier (also its routing address).
+    host:
+        Hostname; registered with the network if new.
+    network, rng:
+        Fabric and node-private randomness.
+    config:
+        Static broker configuration.
+    site, realm, multicast_enabled, tracer:
+        Forwarded to :class:`~repro.simnet.node.Node`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        network: Network,
+        rng: np.random.Generator,
+        config: BrokerConfig | None = None,
+        site: str | None = None,
+        realm: str | None = None,
+        multicast_enabled: bool = True,
+        tracer: Tracer | None = None,
+    ) -> None:
+        super().__init__(
+            name,
+            host,
+            network,
+            rng,
+            site=site,
+            realm=realm,
+            multicast_enabled=multicast_enabled,
+            tracer=tracer,
+        )
+        self.config = config if config is not None else BrokerConfig()
+        self.subscriptions = SubscriptionManager()
+        self.local_interests: set[str] = set()
+        self.dedup = DedupCache(self.config.dedup_capacity)
+        self.routing: RoutingStrategy = FloodRouting()
+        self._links: dict[str, Connection] = {}
+        self._clients: dict[str, Connection] = {}
+        self._control_handlers: list[tuple[str, ControlHandler]] = []
+        self._udp_handlers: dict[type, UdpHandler] = {}
+        self.alive = False
+        # Counters.
+        self.events_routed = 0
+        self.events_delivered = 0
+        self.events_forwarded = 0
+        self.duplicates_suppressed = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def udp_endpoint(self) -> Endpoint:
+        """Where this broker receives datagrams."""
+        return self.endpoint(BROKER_UDP_PORT)
+
+    @property
+    def client_endpoint(self) -> Endpoint:
+        """Where clients connect."""
+        return self.endpoint(BROKER_TCP_PORT)
+
+    @property
+    def link_endpoint(self) -> Endpoint:
+        """Where peer brokers connect links."""
+        return self.endpoint(BROKER_LINK_PORT)
+
+    def start(self) -> None:
+        """Bind ports, start listening, join multicast, kick off NTP."""
+        if self.started:
+            return
+        super().start()
+        self.alive = True
+        self.network.bind_udp(self.udp_endpoint, self._on_udp)
+        self.network.listen_tcp(self.client_endpoint, self._accept_client)
+        self.network.listen_tcp(self.link_endpoint, self._accept_link)
+        if self.network.multicast_enabled(self.host):
+            for group in self.config.multicast_groups:
+                self.network.join_multicast(group, self.udp_endpoint)
+        self.trace("broker_start")
+
+    def stop(self) -> None:
+        """Crash/shutdown: drop every connection and unbind (idempotent).
+
+        Used by churn experiments; a stopped broker neither routes nor
+        responds, and its peers see their links close.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.network.unbind_udp(self.udp_endpoint)
+        self.network.stop_listening(self.client_endpoint)
+        self.network.stop_listening(self.link_endpoint)
+        if self.network.multicast_enabled(self.host):
+            for group in self.config.multicast_groups:
+                self.network.leave_multicast(group, self.udp_endpoint)
+        for conn in list(self._links.values()):
+            conn.close()
+        for conn in list(self._clients.values()):
+            conn.close()
+        self._links.clear()
+        self._clients.clear()
+        self.trace("broker_stop")
+
+    # ------------------------------------------------------------------
+    # UDP
+    # ------------------------------------------------------------------
+    def add_udp_handler(self, message_type: type, handler: UdpHandler) -> None:
+        """Route incoming datagrams of ``message_type`` to ``handler``.
+
+        The discovery responder installs its request handler this way.
+        """
+        if message_type in self._udp_handlers:
+            raise ValueError(f"UDP handler for {message_type.__name__} already installed")
+        self._udp_handlers[message_type] = handler
+
+    def send_udp(self, dst: Endpoint, message: Message) -> None:
+        """Send one datagram from this broker's UDP endpoint."""
+        self.network.send_udp(self.udp_endpoint, dst, message)
+
+    def _on_udp(self, message: Message, src: Endpoint) -> None:
+        if not self.alive:
+            return
+        handler = self._udp_handlers.get(type(message))
+        if handler is not None:
+            handler(message, src)
+            return
+        if isinstance(message, PingRequest):
+            # Built-in ping echo: reply to the address inside the ping so
+            # NATed requesters still work, echoing the sender timestamp.
+            reply = PingResponse(uuid=message.uuid, sent_at=message.sent_at, broker_id=self.name)
+            self.send_udp(Endpoint(message.reply_host, message.reply_port), reply)
+
+    # ------------------------------------------------------------------
+    # Broker links
+    # ------------------------------------------------------------------
+    @property
+    def peers(self) -> frozenset[str]:
+        """Ids of brokers this broker holds live links to."""
+        return frozenset(self._links)
+
+    @property
+    def link_count(self) -> int:
+        """Number of live broker links."""
+        return len(self._links)
+
+    def link_to(self, other: "Broker", on_ready: Callable[[], None] | None = None) -> None:
+        """Open a link to ``other`` (async; completes after the TCP handshake).
+
+        The initiator introduces itself with a hello message so the
+        acceptor can index the link by broker id.
+        """
+        if other.name == self.name:
+            raise ValueError("a broker cannot link to itself")
+        if other.name in self._links:
+            return
+
+        def connected(conn: Connection) -> None:
+            conn.on_receive = lambda msg, src: self._on_link_message(other.name, msg)
+            conn.on_close = lambda: self._on_link_closed(other.name)
+            self._links[other.name] = conn
+            conn.send(Ack(uuid=self.ids(), acked_by=self.name))
+            self.trace("link_up", peer=other.name)
+            if on_ready is not None:
+                on_ready()
+
+        self.network.connect_tcp(self.link_endpoint, other.link_endpoint, connected)
+
+    def _accept_link(self, conn: Connection) -> None:
+        # The peer's first message is its hello; register the link then.
+        def first_message(msg: Message, src: Endpoint) -> None:
+            if not isinstance(msg, Ack):
+                conn.close()
+                return
+            peer_id = msg.acked_by
+            conn.on_receive = lambda m, s: self._on_link_message(peer_id, m)
+            conn.on_close = lambda: self._on_link_closed(peer_id)
+            self._links[peer_id] = conn
+            self.trace("link_accepted", peer=peer_id)
+
+        conn.on_receive = first_message
+
+    def _on_link_closed(self, peer_id: str) -> None:
+        self._links.pop(peer_id, None)
+        self.trace("link_down", peer=peer_id)
+
+    def _on_link_message(self, peer_id: str, message: Message) -> None:
+        if not self.alive:
+            return
+        if isinstance(message, Event):
+            self._route(message, from_peer=peer_id)
+        elif isinstance(message, (Subscribe, Unsubscribe)):
+            # Link-level interest propagation: a content-aware routing
+            # strategy (if installed) digests and forwards it.
+            on_link_interest = getattr(self.routing, "on_link_interest", None)
+            if on_link_interest is not None:
+                on_link_interest(self, peer_id, message)
+
+    def send_to_peer(self, peer_id: str, message: Message) -> bool:
+        """Send an arbitrary message over one broker link.
+
+        Used by routing strategies for link-level control traffic
+        (interest propagation).  Returns False if no live link exists.
+        """
+        conn = self._links.get(peer_id)
+        if conn is None or not conn.open:
+            return False
+        conn.send(message)
+        return True
+
+    # ------------------------------------------------------------------
+    # Client connections
+    # ------------------------------------------------------------------
+    @property
+    def client_count(self) -> int:
+        """Active concurrent client connections."""
+        return len(self._clients)
+
+    def _accept_client(self, conn: Connection) -> None:
+        state = {"client_id": None}
+
+        def on_message(msg: Message, src: Endpoint) -> None:
+            if not self.alive:
+                return
+            if isinstance(msg, Subscribe):
+                self._register_client(state, msg.subscriber, conn)
+                had = self.subscriptions.has_pattern(msg.topic)
+                if self.subscriptions.subscribe(msg.topic, msg.subscriber) and not had:
+                    self._notify_local_interest(msg.topic, added=True)
+            elif isinstance(msg, Unsubscribe):
+                self._register_client(state, msg.subscriber, conn)
+                if self.subscriptions.unsubscribe(msg.topic, msg.subscriber):
+                    if not self.subscriptions.has_pattern(msg.topic):
+                        self._notify_local_interest(msg.topic, added=False)
+            elif isinstance(msg, Event):
+                self._register_client(state, msg.source, conn)
+                self._route(msg, from_peer=None)
+            elif isinstance(msg, Ack):
+                # A bare hello registers the client without subscribing.
+                self._register_client(state, msg.acked_by, conn)
+
+        def on_close() -> None:
+            client_id = state["client_id"]
+            if client_id is not None:
+                self._clients.pop(client_id, None)
+                removed = self.subscriptions.drop_subscriber(client_id)
+                for pattern in removed:
+                    if not self.subscriptions.has_pattern(pattern):
+                        self._notify_local_interest(pattern, added=False)
+                self.trace("client_gone", client=client_id)
+
+        conn.on_receive = on_message
+        conn.on_close = on_close
+
+    def _register_client(self, state: dict, client_id: str, conn: Connection) -> None:
+        if state["client_id"] is None:
+            state["client_id"] = client_id
+            self._clients[client_id] = conn
+            self.trace("client_registered", client=client_id)
+
+    def _notify_local_interest(self, pattern: str, added: bool) -> None:
+        """Tell a content-aware routing strategy about a local
+        subscription appearing (first holder) or vanishing (last).
+
+        A withdrawal is suppressed while the broker itself still needs
+        the pattern (a service interest registered via
+        :meth:`add_local_interest`)."""
+        if not added and pattern in self.local_interests:
+            return
+        hook = getattr(self.routing, "on_local_interest", None)
+        if hook is not None:
+            hook(self, pattern, added)
+
+    def add_local_interest(self, pattern: str) -> None:
+        """Declare that this broker itself needs events on ``pattern``.
+
+        Broker-co-located services (e.g. the reliable-delivery archive)
+        consume events via control handlers rather than subscriptions;
+        under subscription-aware routing they must declare interest or
+        the network will prune the events before they arrive.  The
+        interest persists for the broker's lifetime.
+        """
+        validate_pattern(pattern)
+        if pattern in self.local_interests:
+            return
+        already_visible = self.subscriptions.has_pattern(pattern)
+        self.local_interests.add(pattern)
+        if not already_visible:
+            self._notify_local_interest(pattern, added=True)
+
+    def interest_patterns(self) -> frozenset[str]:
+        """Patterns this broker needs: subscriptions plus service interests."""
+        return self.subscriptions.local_patterns() | frozenset(self.local_interests)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def add_control_handler(self, pattern: str, handler: ControlHandler) -> None:
+        """Invoke ``handler(event, from_peer)`` for events matching ``pattern``.
+
+        Control handlers fire *after* dedup, exactly once per event, on
+        every broker the event reaches -- the mechanism the discovery
+        scheme uses to process requests propagated "on a predefined
+        topic".
+        """
+        self._control_handlers.append((pattern, handler))
+
+    def publish_local(self, event: Event) -> None:
+        """Inject an event as if published at this broker."""
+        self._route(event, from_peer=None)
+
+    def _route(self, event: Event, from_peer: str | None) -> None:
+        if self.dedup.seen(event.uuid):
+            self.duplicates_suppressed += 1
+            return
+        self.events_routed += 1
+        # Local delivery to matching client subscribers.
+        for subscriber in sorted(self.subscriptions.subscribers_for(event.topic)):
+            conn = self._clients.get(subscriber)
+            if conn is not None and conn.open:
+                conn.send(event)
+                self.events_delivered += 1
+        # Control-plane handlers (discovery, advertisements, ...).
+        for pattern, handler in self._control_handlers:
+            if topic_matches(pattern, event.topic):
+                handler(event, from_peer)
+        # Forward into the broker network.  Content-aware strategies
+        # narrow the target set by the event's topic.
+        targets_for_topic = getattr(self.routing, "targets_for_topic", None)
+        if targets_for_topic is not None:
+            targets = targets_for_topic(self.name, self.peers, from_peer, event.topic)
+        else:
+            targets = self.routing.targets(self.name, self.peers, from_peer)
+        for peer in sorted(targets):
+            conn = self._links.get(peer)
+            if conn is not None and conn.open:
+                conn.send(event)
+                self.events_forwarded += 1
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def usage_metrics(self) -> UsageMetrics:
+        """Snapshot of this broker's load for discovery responses."""
+        total = self.config.total_memory
+        used = _MEM_BASE + _MEM_PER_CLIENT * self.client_count + _MEM_PER_LINK * self.link_count
+        free = max(0, total - used)
+        cpu = min(
+            0.99,
+            self.config.base_cpu_load
+            + _CPU_PER_CLIENT * self.client_count
+            + _CPU_PER_LINK * self.link_count,
+        )
+        return UsageMetrics(
+            free_memory=free,
+            total_memory=total,
+            num_links=self.link_count,
+            num_connections=self.client_count,
+            cpu_load=cpu,
+        )

@@ -1,0 +1,169 @@
+"""Fragmentation and coalescing of large payloads.
+
+The paper's introduction lists "fragmentation and coalescing of large
+datasets" among the substrate services [ref 6].  The substrate routes
+events whole, so an application-level payload larger than the desired
+event size must be cut into fragments, shipped as ordinary events, and
+reassembled at each receiver:
+
+* :func:`fragment` -- split a payload into fragment events sharing a
+  dataset id, each carrying ``(index, count, digest)`` headers;
+* :class:`Coalescer` -- receiver-side reassembly with out-of-order
+  tolerance, duplicate suppression, per-dataset integrity checking
+  (SHA-256 of the whole payload), and abandonment of stale partial
+  datasets.
+
+Fragments are ordinary :class:`~repro.core.messages.Event` objects, so
+they traverse brokers, links, and subscriptions like any other event --
+no substrate changes needed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.core.errors import CodecError
+from repro.core.ids import IdGenerator
+from repro.core.messages import Event
+
+__all__ = ["fragment", "Coalescer", "FRAGMENT_HEADER"]
+
+#: Header key marking an event as a fragment; value = dataset id.
+FRAGMENT_HEADER = "x-fragment-of"
+_INDEX_HEADER = "x-fragment-index"
+_COUNT_HEADER = "x-fragment-count"
+_DIGEST_HEADER = "x-fragment-digest"
+
+DEFAULT_MTU = 8 * 1024
+
+
+def fragment(
+    topic: str,
+    payload: bytes,
+    source: str,
+    issued_at: float,
+    ids: IdGenerator,
+    mtu: int = DEFAULT_MTU,
+) -> list[Event]:
+    """Split ``payload`` into fragment events of at most ``mtu`` bytes.
+
+    A payload that already fits returns a single *unmarked* event, so
+    callers can use this unconditionally.
+    """
+    if mtu < 1:
+        raise ValueError("mtu must be >= 1")
+    if len(payload) <= mtu:
+        return [
+            Event(uuid=ids(), topic=topic, payload=payload, source=source, issued_at=issued_at)
+        ]
+    dataset_id = ids()
+    digest = hashlib.sha256(payload).hexdigest()
+    chunks = [payload[i : i + mtu] for i in range(0, len(payload), mtu)]
+    return [
+        Event(
+            uuid=ids(),
+            topic=topic,
+            payload=chunk,
+            source=source,
+            issued_at=issued_at,
+            headers=(
+                (FRAGMENT_HEADER, dataset_id),
+                (_INDEX_HEADER, str(index)),
+                (_COUNT_HEADER, str(len(chunks))),
+                (_DIGEST_HEADER, digest),
+            ),
+        )
+        for index, chunk in enumerate(chunks)
+    ]
+
+
+@dataclass
+class _Partial:
+    count: int
+    digest: str
+    chunks: dict[int, bytes] = field(default_factory=dict)
+    first_seen: float = 0.0
+
+
+class Coalescer:
+    """Reassembles fragmented payloads at a receiver.
+
+    Feed every received event to :meth:`offer`; it returns the complete
+    payload when the final missing fragment arrives, and ``None``
+    otherwise.  Non-fragment events pass straight through as their own
+    payload.
+
+    Parameters
+    ----------
+    max_partial:
+        Maximum simultaneously incomplete datasets; the stalest is
+        evicted beyond this (a sender crash must not leak memory
+        forever).
+    """
+
+    def __init__(self, max_partial: int = 64) -> None:
+        if max_partial < 1:
+            raise ValueError("max_partial must be >= 1")
+        self._max_partial = max_partial
+        self._partials: dict[str, _Partial] = {}
+        self.completed = 0
+        self.duplicates = 0
+        self.evicted = 0
+
+    @property
+    def pending(self) -> int:
+        """Number of incomplete datasets currently buffered."""
+        return len(self._partials)
+
+    def offer(self, event: Event) -> bytes | None:
+        """Absorb one event; return the full payload if it completes one.
+
+        Raises
+        ------
+        CodecError
+            On malformed fragment headers, inconsistent fragment counts
+            for one dataset, or a reassembled payload whose SHA-256
+            digest does not match the sender's.
+        """
+        dataset_id = event.header(FRAGMENT_HEADER)
+        if dataset_id is None:
+            return event.payload
+        try:
+            index = int(event.header(_INDEX_HEADER, ""))
+            count = int(event.header(_COUNT_HEADER, ""))
+        except ValueError as exc:
+            raise CodecError(f"malformed fragment headers on {event.uuid}") from exc
+        digest = event.header(_DIGEST_HEADER, "")
+        if count < 1 or not 0 <= index < count:
+            raise CodecError(f"fragment index {index}/{count} out of range")
+        partial = self._partials.get(dataset_id)
+        if partial is None:
+            self._evict_if_needed()
+            partial = _Partial(count=count, digest=digest, first_seen=event.issued_at)
+            self._partials[dataset_id] = partial
+        elif partial.count != count or partial.digest != digest:
+            raise CodecError(f"inconsistent fragment metadata for dataset {dataset_id}")
+        if index in partial.chunks:
+            self.duplicates += 1
+            return None
+        partial.chunks[index] = event.payload
+        if len(partial.chunks) < partial.count:
+            return None
+        del self._partials[dataset_id]
+        payload = b"".join(partial.chunks[i] for i in range(partial.count))
+        if hashlib.sha256(payload).hexdigest() != partial.digest:
+            raise CodecError(f"digest mismatch reassembling dataset {dataset_id}")
+        self.completed += 1
+        return payload
+
+    def _evict_if_needed(self) -> None:
+        if len(self._partials) < self._max_partial:
+            return
+        stalest = min(self._partials, key=lambda d: self._partials[d].first_seen)
+        del self._partials[stalest]
+        self.evicted += 1
+
+    def abandon(self, dataset_id: str) -> bool:
+        """Drop a partial dataset explicitly; True if it existed."""
+        return self._partials.pop(dataset_id, None) is not None

@@ -1,0 +1,252 @@
+"""Hierarchical topics and wildcard matching.
+
+Topics are ``/``-separated strings ("these have sometimes also been
+referred to as subjects" -- paper section 1).  Subscriptions may use:
+
+* ``*``  -- matches exactly one segment, anywhere in the pattern;
+* ``**`` -- matches any (possibly empty) suffix; only legal as the
+  final segment.
+
+Matching is implemented with a segment trie so that dispatching an event
+costs O(pattern depth), independent of the number of subscriptions --
+the property a broker needs to stay fast as subscription tables grow.
+
+Grammar
+-------
+``topic    := segment ("/" segment)*`` with non-empty segments that
+contain neither ``/`` nor wildcard characters.
+``pattern  := psegment ("/" psegment)*`` where a psegment is a plain
+segment, ``*``, or (finally) ``**``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+__all__ = [
+    "validate_topic",
+    "validate_pattern",
+    "topic_matches",
+    "TopicTrie",
+]
+
+WILDCARD_ONE = "*"
+WILDCARD_MANY = "**"
+
+
+def _split(topic: str) -> list[str]:
+    return topic.split("/")
+
+
+def validate_topic(topic: str) -> list[str]:
+    """Validate a concrete (publishable) topic; return its segments.
+
+    Raises
+    ------
+    ValueError
+        For empty topics, empty segments (leading/trailing/double
+        slashes), or wildcard characters in a concrete topic.
+    """
+    if not topic:
+        raise ValueError("topic must be non-empty")
+    segments = _split(topic)
+    for seg in segments:
+        if not seg:
+            raise ValueError(f"topic {topic!r} contains an empty segment")
+        if WILDCARD_ONE in seg:
+            raise ValueError(f"concrete topic {topic!r} may not contain wildcards")
+    return segments
+
+
+def validate_pattern(pattern: str) -> list[str]:
+    """Validate a subscription pattern; return its segments.
+
+    Raises
+    ------
+    ValueError
+        For empty patterns, empty segments, ``**`` anywhere except the
+        final segment, or partial wildcards like ``foo*``.
+    """
+    if not pattern:
+        raise ValueError("pattern must be non-empty")
+    segments = _split(pattern)
+    for i, seg in enumerate(segments):
+        if not seg:
+            raise ValueError(f"pattern {pattern!r} contains an empty segment")
+        if seg == WILDCARD_MANY:
+            if i != len(segments) - 1:
+                raise ValueError(f"'**' must be the final segment in {pattern!r}")
+        elif WILDCARD_ONE in seg and seg != WILDCARD_ONE:
+            raise ValueError(f"partial wildcard segment {seg!r} in {pattern!r}")
+    return segments
+
+
+def topic_matches(pattern: str, topic: str) -> bool:
+    """Does ``pattern`` match concrete ``topic``?
+
+    Reference implementation used by property tests to cross-check the
+    trie; O(len(pattern) + len(topic)).
+
+    Examples
+    --------
+    >>> topic_matches("a/*/c", "a/b/c")
+    True
+    >>> topic_matches("a/**", "a")
+    True
+    >>> topic_matches("a/*", "a/b/c")
+    False
+    """
+    psegs = validate_pattern(pattern)
+    tsegs = validate_topic(topic)
+    i = 0
+    for i, pseg in enumerate(psegs):
+        if pseg == WILDCARD_MANY:
+            return True  # '**' swallows the rest, including nothing
+        if i >= len(tsegs):
+            return False
+        if pseg != WILDCARD_ONE and pseg != tsegs[i]:
+            return False
+    return len(psegs) == len(tsegs)
+
+
+class _TrieNode:
+    __slots__ = ("children", "one", "many", "subscribers")
+
+    def __init__(self) -> None:
+        self.children: dict[str, _TrieNode] = {}
+        self.one: _TrieNode | None = None  # '*' branch
+        self.many: set[str] = set()  # subscribers via '**' terminating here
+        self.subscribers: set[str] = set()  # exact-depth subscribers
+
+    def is_empty(self) -> bool:
+        return not (self.children or self.one or self.many or self.subscribers)
+
+
+class TopicTrie:
+    """Maps subscription patterns to subscriber identifiers.
+
+    Examples
+    --------
+    >>> trie = TopicTrie()
+    >>> trie.add("sports/*/scores", "alice")
+    >>> trie.add("sports/**", "bob")
+    >>> sorted(trie.match("sports/tennis/scores"))
+    ['alice', 'bob']
+    >>> sorted(trie.match("sports/tennis"))
+    ['bob']
+    """
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._pattern_count = 0
+
+    def __len__(self) -> int:
+        """Number of (pattern, subscriber) pairs stored."""
+        return self._pattern_count
+
+    def add(self, pattern: str, subscriber: str) -> bool:
+        """Register ``subscriber`` under ``pattern``.
+
+        Returns True if the pair was new, False if it already existed.
+        """
+        segments = validate_pattern(pattern)
+        node = self._root
+        for seg in segments:
+            if seg == WILDCARD_MANY:
+                if subscriber in node.many:
+                    return False
+                node.many.add(subscriber)
+                self._pattern_count += 1
+                return True
+            if seg == WILDCARD_ONE:
+                if node.one is None:
+                    node.one = _TrieNode()
+                node = node.one
+            else:
+                node = node.children.setdefault(seg, _TrieNode())
+        if subscriber in node.subscribers:
+            return False
+        node.subscribers.add(subscriber)
+        self._pattern_count += 1
+        return True
+
+    def remove(self, pattern: str, subscriber: str) -> bool:
+        """Withdraw a registration.  Returns True if it existed.
+
+        Emptied trie branches are pruned so the structure does not leak
+        memory across subscribe/unsubscribe churn.
+        """
+        segments = validate_pattern(pattern)
+        path: list[tuple[_TrieNode, str]] = []
+        node = self._root
+        for seg in segments:
+            if seg == WILDCARD_MANY:
+                if subscriber not in node.many:
+                    return False
+                node.many.discard(subscriber)
+                self._pattern_count -= 1
+                self._prune(path)
+                return True
+            path.append((node, seg))
+            if seg == WILDCARD_ONE:
+                if node.one is None:
+                    return False
+                node = node.one
+            else:
+                nxt = node.children.get(seg)
+                if nxt is None:
+                    return False
+                node = nxt
+        if subscriber not in node.subscribers:
+            return False
+        node.subscribers.discard(subscriber)
+        self._pattern_count -= 1
+        self._prune(path)
+        return True
+
+    def _prune(self, path: list[tuple[_TrieNode, str]]) -> None:
+        for parent, seg in reversed(path):
+            child = parent.one if seg == WILDCARD_ONE else parent.children.get(seg)
+            if child is None or not child.is_empty():
+                break
+            if seg == WILDCARD_ONE:
+                parent.one = None
+            else:
+                del parent.children[seg]
+
+    def match(self, topic: str) -> set[str]:
+        """All subscribers whose pattern matches concrete ``topic``."""
+        segments = validate_topic(topic)
+        found: set[str] = set()
+        self._collect(self._root, segments, 0, found)
+        return found
+
+    def _collect(
+        self, node: _TrieNode, segments: list[str], depth: int, found: set[str]
+    ) -> None:
+        found |= node.many  # '**' at this level matches any suffix incl. empty
+        if depth == len(segments):
+            found |= node.subscribers
+            return
+        seg = segments[depth]
+        child = node.children.get(seg)
+        if child is not None:
+            self._collect(child, segments, depth + 1, found)
+        if node.one is not None:
+            self._collect(node.one, segments, depth + 1, found)
+
+    def patterns(self) -> Iterator[tuple[str, str]]:
+        """Yield every stored (pattern, subscriber) pair."""
+        yield from self._walk(self._root, [])
+
+    def _walk(
+        self, node: _TrieNode, prefix: list[str]
+    ) -> Iterator[tuple[str, str]]:
+        for sub in sorted(node.many):
+            yield "/".join(prefix + [WILDCARD_MANY]), sub
+        for sub in sorted(node.subscribers):
+            yield "/".join(prefix), sub
+        for seg in sorted(node.children):
+            yield from self._walk(node.children[seg], prefix + [seg])
+        if node.one is not None:
+            yield from self._walk(node.one, prefix + [WILDCARD_ONE])

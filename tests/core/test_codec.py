@@ -1,0 +1,163 @@
+"""Round-trip and robustness tests for the binary codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.codec import decode_message, encode_message, wire_size
+from repro.core.errors import CodecError
+from repro.core.messages import (
+    Ack,
+    BrokerAdvertisement,
+    DiscoveryRequest,
+    DiscoveryResponse,
+    Event,
+    Message,
+    PingRequest,
+    PingResponse,
+    Subscribe,
+    Unsubscribe,
+)
+from repro.core.metrics import UsageMetrics
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies for each message type
+# ---------------------------------------------------------------------------
+
+_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=40
+)
+_port = st.integers(min_value=0, max_value=65535)
+_f = st.floats(allow_nan=False, allow_infinity=False, width=64)
+_transports = st.lists(st.tuples(_text, _port), max_size=3).map(tuple)
+_strset = st.frozensets(_text, max_size=3)
+
+_metrics = st.builds(
+    lambda total, free_frac, links, conns, cpu: UsageMetrics(
+        free_memory=int(total * free_frac),
+        total_memory=total,
+        num_links=links,
+        num_connections=conns,
+        cpu_load=cpu,
+    ),
+    total=st.integers(min_value=1, max_value=2**40),
+    free_frac=st.floats(min_value=0.0, max_value=1.0),
+    links=st.integers(min_value=0, max_value=2**20),
+    conns=st.integers(min_value=0, max_value=2**20),
+    cpu=st.floats(min_value=0.0, max_value=1.0),
+)
+
+_event = st.builds(
+    Event,
+    uuid=_text,
+    topic=_text,
+    payload=st.binary(max_size=200),
+    source=_text,
+    issued_at=_f,
+    headers=st.lists(st.tuples(_text, _text), max_size=3).map(tuple),
+)
+_ack = st.builds(Ack, uuid=_text, acked_by=_text)
+_ad = st.builds(
+    BrokerAdvertisement,
+    broker_id=_text,
+    hostname=_text,
+    transports=_transports,
+    logical_address=_text,
+    region=_text,
+    institution=_text,
+    issued_at=_f,
+)
+_request = st.builds(
+    DiscoveryRequest,
+    uuid=_text,
+    requester_host=_text,
+    requester_port=_port,
+    transports=st.lists(_text, max_size=3).map(tuple),
+    credentials=_strset,
+    realm=_text,
+    issued_at=_f,
+    hop_count=st.integers(min_value=0, max_value=65535),
+    attempt=st.integers(min_value=0, max_value=255),
+)
+_response = st.builds(
+    DiscoveryResponse,
+    request_uuid=_text,
+    broker_id=_text,
+    hostname=_text,
+    transports=_transports,
+    issued_at=_f,
+    metrics=_metrics,
+)
+_ping_req = st.builds(
+    PingRequest, uuid=_text, sent_at=_f, reply_host=_text, reply_port=_port
+)
+_ping_resp = st.builds(PingResponse, uuid=_text, sent_at=_f, broker_id=_text)
+_subscribe = st.builds(Subscribe, uuid=_text, topic=_text, subscriber=_text)
+_unsubscribe = st.builds(Unsubscribe, uuid=_text, topic=_text, subscriber=_text)
+
+_any_message = st.one_of(
+    _event, _ack, _ad, _request, _response, _ping_req, _ping_resp, _subscribe, _unsubscribe
+)
+
+
+@given(message=_any_message)
+def test_property_roundtrip_every_message_type(message):
+    """decode(encode(m)) == m for arbitrary field values."""
+    assert decode_message(encode_message(message)) == message
+
+
+@given(message=_any_message)
+def test_property_wire_size_matches_encoding(message):
+    assert wire_size(message) == len(encode_message(message))
+
+
+class TestErrors:
+    def test_bad_magic_rejected(self):
+        buf = encode_message(Ack(uuid="u", acked_by="x"))
+        with pytest.raises(CodecError, match="magic"):
+            decode_message(b"\x00\x00" + buf[2:])
+
+    def test_unknown_tag_rejected(self):
+        buf = bytearray(encode_message(Ack(uuid="u", acked_by="x")))
+        buf[2] = 0xEE
+        with pytest.raises(CodecError, match="unknown message type"):
+            decode_message(bytes(buf))
+
+    def test_truncation_rejected(self):
+        buf = encode_message(
+            DiscoveryRequest(uuid="u" * 30, requester_host="h", requester_port=1)
+        )
+        for cut in (3, 5, len(buf) // 2, len(buf) - 1):
+            with pytest.raises(CodecError):
+                decode_message(buf[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        buf = encode_message(Ack(uuid="u", acked_by="x"))
+        with pytest.raises(CodecError, match="trailing"):
+            decode_message(buf + b"\x00")
+
+    def test_base_message_not_encodable(self):
+        with pytest.raises(CodecError):
+            encode_message(Message())
+
+    def test_empty_buffer_rejected(self):
+        with pytest.raises(CodecError):
+            decode_message(b"")
+
+
+class TestSizes:
+    def test_discovery_response_is_compact(self):
+        """Responses must fit comfortably in one UDP datagram."""
+        from tests.conftest import make_response
+
+        assert wire_size(make_response()) < 576  # conservative MTU floor
+
+    def test_ping_is_tiny(self):
+        ping = PingRequest(uuid="u" * 36, sent_at=1.0, reply_host="host.example", reply_port=7500)
+        assert wire_size(ping) < 128
+
+    def test_size_grows_with_payload(self):
+        small = Event(uuid="u", topic="t", payload=b"", source="s", issued_at=0.0)
+        big = Event(uuid="u", topic="t", payload=b"x" * 1000, source="s", issued_at=0.0)
+        assert wire_size(big) == wire_size(small) + 1000

@@ -1,0 +1,66 @@
+"""Fuzz tests: the codec must never fail with anything but CodecError.
+
+A broker parses datagrams from the network; malformed input must
+surface as a typed protocol error, never as an uncontrolled exception
+(IndexError, UnicodeDecodeError, struct.error, MemoryError...).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.codec import decode_message, encode_message
+from repro.core.errors import CodecError
+from repro.core.messages import Ack, DiscoveryRequest
+
+
+@given(buf=st.binary(max_size=600))
+def test_property_random_bytes_decode_cleanly_or_codec_error(buf):
+    try:
+        decode_message(buf)
+    except CodecError:
+        pass  # the only acceptable failure
+
+
+@given(data=st.data())
+def test_property_bitflipped_valid_messages_never_crash(data):
+    """Corrupting any single byte of a valid encoding either still
+    decodes (the flip hit a don't-care bit) or raises CodecError."""
+    message = DiscoveryRequest(
+        uuid="fuzz-uuid",
+        requester_host="client.example",
+        requester_port=7500,
+        credentials=frozenset({"a", "bb"}),
+        realm="lab",
+        issued_at=1.5,
+        hop_count=3,
+        attempt=1,
+    )
+    buf = bytearray(encode_message(message))
+    position = data.draw(st.integers(min_value=0, max_value=len(buf) - 1))
+    flip = data.draw(st.integers(min_value=1, max_value=255))
+    buf[position] ^= flip
+    try:
+        decode_message(bytes(buf))
+    except CodecError:
+        pass
+
+
+@given(data=st.data())
+def test_property_truncations_never_crash(data):
+    message = Ack(uuid="u" * 36, acked_by="some-bdn-name")
+    buf = encode_message(message)
+    cut = data.draw(st.integers(min_value=0, max_value=len(buf)))
+    try:
+        decoded = decode_message(buf[:cut])
+        assert cut == len(buf) and decoded == message
+    except CodecError:
+        assert cut < len(buf)
+
+
+@given(extra=st.binary(min_size=1, max_size=50))
+def test_property_appended_garbage_always_rejected(extra):
+    buf = encode_message(Ack(uuid="u", acked_by="x"))
+    with pytest.raises(CodecError):
+        decode_message(buf + extra)

@@ -1,0 +1,81 @@
+"""Tests for payload (de)compression."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.compression import (
+    COMPRESSION_THRESHOLD,
+    compress_payload,
+    decompress_payload,
+    is_compressed,
+)
+from repro.core.errors import CodecError
+
+
+class TestCompression:
+    def test_roundtrip_compressible(self):
+        data = b"abcabcabc" * 1000
+        framed = compress_payload(data)
+        assert is_compressed(framed)
+        assert len(framed) < len(data)
+        assert decompress_payload(framed) == data
+
+    def test_small_payload_stays_raw(self):
+        data = b"short"
+        framed = compress_payload(data)
+        assert not is_compressed(framed)
+        assert decompress_payload(framed) == data
+
+    def test_incompressible_payload_stays_raw(self):
+        import numpy as np
+
+        data = np.random.default_rng(0).bytes(4096)  # random = incompressible
+        framed = compress_payload(data)
+        assert not is_compressed(framed)
+        assert decompress_payload(framed) == data
+
+    def test_empty_payload(self):
+        framed = compress_payload(b"")
+        assert decompress_payload(framed) == b""
+
+    def test_threshold_respected(self):
+        data = b"a" * (COMPRESSION_THRESHOLD - 1)
+        assert not is_compressed(compress_payload(data))
+        data = b"a" * COMPRESSION_THRESHOLD
+        assert is_compressed(compress_payload(data))
+
+    def test_custom_threshold(self):
+        framed = compress_payload(b"a" * 64, threshold=32)
+        assert is_compressed(framed)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compress_payload(b"x", threshold=-1)
+
+    def test_empty_framed_rejected(self):
+        with pytest.raises(CodecError):
+            decompress_payload(b"")
+        with pytest.raises(CodecError):
+            is_compressed(b"")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(CodecError, match="unknown"):
+            decompress_payload(b"\xee" + b"data")
+
+    def test_corrupt_stream_rejected(self):
+        framed = bytearray(compress_payload(b"abc" * 1000))
+        framed[10] ^= 0xFF
+        with pytest.raises(CodecError, match="corrupt|beyond"):
+            decompress_payload(bytes(framed))
+
+    def test_decompression_bomb_guard(self):
+        bomb = compress_payload(b"\x00" * 1_000_000)
+        with pytest.raises(CodecError, match="inflates"):
+            decompress_payload(bomb, max_size=1024)
+
+
+@given(data=st.binary(max_size=5000))
+def test_property_roundtrip(data):
+    assert decompress_payload(compress_payload(data)) == data

@@ -1,0 +1,143 @@
+"""Unit and property tests for the LRU dedup cache (paper section 4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.dedup import DEFAULT_CAPACITY, DedupCache
+from repro.core.errors import ConfigError
+
+
+class TestBasics:
+    def test_default_capacity_matches_paper(self):
+        assert DEFAULT_CAPACITY == 1000
+        assert DedupCache().capacity == 1000
+
+    def test_first_sighting_is_new(self):
+        cache = DedupCache()
+        assert cache.seen("u1") is False
+
+    def test_second_sighting_is_duplicate(self):
+        cache = DedupCache()
+        cache.seen("u1")
+        assert cache.seen("u1") is True
+
+    def test_distinct_keys_are_independent(self):
+        cache = DedupCache()
+        assert cache.seen("a") is False
+        assert cache.seen("b") is False
+        assert cache.seen("a") is True
+
+    def test_len_counts_distinct_keys(self):
+        cache = DedupCache()
+        for key in ("a", "b", "a", "c"):
+            cache.seen(key)
+        assert len(cache) == 3
+
+    def test_contains_does_not_mutate(self):
+        cache = DedupCache(capacity=2)
+        cache.seen("a")
+        cache.seen("b")
+        assert "a" in cache
+        # "a" was NOT refreshed by __contains__, so adding "c" evicts it.
+        cache.seen("c")
+        assert "a" not in cache
+
+    def test_tuple_keys_supported(self):
+        cache = DedupCache()
+        assert cache.seen(("uuid", 0)) is False
+        assert cache.seen(("uuid", 0)) is True
+        assert cache.seen(("uuid", 1)) is False  # retransmission = new key
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            DedupCache(capacity=0)
+
+    def test_add_and_discard(self):
+        cache = DedupCache()
+        cache.add("x")
+        assert "x" in cache
+        cache.discard("x")
+        assert "x" not in cache
+        cache.discard("x")  # idempotent
+
+    def test_clear_keeps_counters(self):
+        cache = DedupCache()
+        cache.seen("a")
+        cache.seen("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+
+class TestEviction:
+    def test_oldest_evicted_first(self):
+        cache = DedupCache(capacity=3)
+        for key in ("a", "b", "c", "d"):
+            cache.seen(key)
+        assert "a" not in cache
+        assert all(k in cache for k in ("b", "c", "d"))
+
+    def test_reseeing_refreshes_recency(self):
+        cache = DedupCache(capacity=3)
+        cache.seen("a")
+        cache.seen("b")
+        cache.seen("c")
+        cache.seen("a")  # refresh: "b" is now the oldest
+        cache.seen("d")
+        assert "b" not in cache
+        assert "a" in cache
+
+    def test_size_never_exceeds_capacity(self):
+        cache = DedupCache(capacity=5)
+        for i in range(100):
+            cache.seen(i)
+        assert len(cache) == 5
+
+    def test_evicted_key_reports_as_new_again(self):
+        cache = DedupCache(capacity=1)
+        cache.seen("a")
+        cache.seen("b")
+        assert cache.seen("a") is False
+
+    def test_iteration_order_is_lru_to_mru(self):
+        cache = DedupCache(capacity=4)
+        for key in ("a", "b", "c"):
+            cache.seen(key)
+        cache.seen("a")
+        assert list(cache) == ["b", "c", "a"]
+
+
+class TestCounters:
+    def test_hit_miss_accounting(self):
+        cache = DedupCache()
+        cache.seen("a")
+        cache.seen("a")
+        cache.seen("b")
+        assert cache.hits == 1
+        assert cache.misses == 2
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=50), max_size=300),
+    capacity=st.integers(min_value=1, max_value=20),
+)
+def test_property_size_bounded_and_membership_consistent(keys, capacity):
+    """The cache never exceeds capacity, and seen() agrees with a model."""
+    cache = DedupCache(capacity=capacity)
+    from collections import OrderedDict
+
+    model: OrderedDict[int, None] = OrderedDict()
+    for key in keys:
+        expected = key in model
+        if expected:
+            model.move_to_end(key)
+        else:
+            model[key] = None
+            if len(model) > capacity:
+                model.popitem(last=False)
+        assert cache.seen(key) is expected
+        assert len(cache) == len(model) <= capacity
+        assert list(cache) == list(model)

@@ -1,0 +1,78 @@
+"""Tests for wire message dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import (
+    BrokerAdvertisement,
+    DiscoveryRequest,
+    Event,
+)
+from tests.conftest import make_response
+
+
+class TestEvent:
+    def test_header_lookup(self):
+        event = Event(
+            uuid="u",
+            topic="a/b",
+            payload=b"x",
+            source="s",
+            issued_at=1.0,
+            headers=(("k1", "v1"), ("k2", "v2")),
+        )
+        assert event.header("k1") == "v1"
+        assert event.header("k2") == "v2"
+        assert event.header("missing") is None
+        assert event.header("missing", "dflt") == "dflt"
+
+    def test_frozen(self):
+        event = Event(uuid="u", topic="t", payload=b"", source="s", issued_at=0.0)
+        with pytest.raises(AttributeError):
+            event.topic = "other"  # type: ignore[misc]
+
+
+class TestAdvertisement:
+    def test_port_for(self):
+        ad = BrokerAdvertisement(
+            broker_id="b",
+            hostname="h",
+            transports=(("tcp", 5045), ("udp", 5046)),
+            logical_address="/x/b",
+        )
+        assert ad.port_for("tcp") == 5045
+        assert ad.port_for("udp") == 5046
+        assert ad.port_for("sctp") is None
+
+
+class TestDiscoveryRequest:
+    def test_forwarded_increments_hops_only(self):
+        req = DiscoveryRequest(uuid="u", requester_host="h", requester_port=7500)
+        fwd = req.forwarded()
+        assert fwd.hop_count == 1
+        assert fwd.attempt == 0
+        assert fwd.uuid == req.uuid
+        assert req.hop_count == 0  # original untouched
+
+    def test_retransmission_increments_attempt_only(self):
+        req = DiscoveryRequest(uuid="u", requester_host="h", requester_port=7500)
+        rt = req.retransmission()
+        assert rt.attempt == 1
+        assert rt.hop_count == 0
+        assert rt.uuid == req.uuid
+
+    def test_chained_forwarding(self):
+        req = DiscoveryRequest(uuid="u", requester_host="h", requester_port=7500)
+        assert req.forwarded().forwarded().forwarded().hop_count == 3
+
+
+class TestDiscoveryResponse:
+    def test_port_for(self):
+        resp = make_response()
+        assert resp.port_for("tcp") == 5045
+        assert resp.port_for("udp") == 5046
+        assert resp.port_for("nope") is None
+
+    def test_equality_by_value(self):
+        assert make_response() == make_response()

@@ -1,0 +1,121 @@
+"""Tests for usage metrics and the paper's weight formula."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import UsageMetrics, WeightConfig, broker_weight
+
+MB = 1024 * 1024
+
+
+def metrics(free=400, total=512, links=1, conns=0, cpu=0.05) -> UsageMetrics:
+    return UsageMetrics(
+        free_memory=free * MB,
+        total_memory=total * MB,
+        num_links=links,
+        num_connections=conns,
+        cpu_load=cpu,
+    )
+
+
+class TestUsageMetricsValidation:
+    def test_valid_metrics_accepted(self):
+        m = metrics()
+        assert m.memory_fraction_free == pytest.approx(400 / 512)
+
+    def test_zero_total_memory_rejected(self):
+        with pytest.raises(ValueError):
+            UsageMetrics(0, 0, 0, 0)
+
+    def test_free_above_total_rejected(self):
+        with pytest.raises(ValueError):
+            UsageMetrics(2 * MB, MB, 0, 0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            UsageMetrics(MB, MB, -1, 0)
+        with pytest.raises(ValueError):
+            UsageMetrics(MB, MB, 0, -1)
+
+    def test_cpu_load_bounds(self):
+        with pytest.raises(ValueError):
+            UsageMetrics(MB, MB, 0, 0, cpu_load=1.5)
+        with pytest.raises(ValueError):
+            UsageMetrics(MB, MB, 0, 0, cpu_load=-0.1)
+
+    def test_fully_free_memory_allowed(self):
+        m = UsageMetrics(MB, MB, 0, 0)
+        assert m.memory_fraction_free == 1.0
+
+
+class TestWeightConfigValidation:
+    def test_defaults_valid(self):
+        WeightConfig()
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError):
+            WeightConfig(num_links=-1.0)
+        with pytest.raises(ValueError):
+            WeightConfig(delay_penalty_per_ms=-0.5)
+
+
+class TestBrokerWeightFormula:
+    """Direct transcriptions of the paper's section 9 snippet semantics."""
+
+    def test_more_free_memory_scores_higher(self):
+        assert broker_weight(metrics(free=500)) > broker_weight(metrics(free=100))
+
+    def test_more_total_memory_scores_higher(self):
+        # Same fraction free, bigger heap.
+        small = UsageMetrics(256 * MB, 512 * MB, 1, 0)
+        large = UsageMetrics(512 * MB, 1024 * MB, 1, 0)
+        assert broker_weight(large) > broker_weight(small)
+
+    def test_more_links_scores_lower(self):
+        assert broker_weight(metrics(links=0)) > broker_weight(metrics(links=8))
+
+    def test_more_connections_scores_lower(self):
+        assert broker_weight(metrics(conns=0)) > broker_weight(metrics(conns=50))
+
+    def test_higher_cpu_scores_lower(self):
+        assert broker_weight(metrics(cpu=0.0)) > broker_weight(metrics(cpu=0.9))
+
+    def test_exact_formula_value(self):
+        cfg = WeightConfig(
+            free_to_total_memory=10.0,
+            total_memory_mb=0.01,
+            num_links=2.0,
+            num_connections=0.5,
+            cpu_load=5.0,
+        )
+        m = metrics(free=256, total=512, links=3, conns=4, cpu=0.2)
+        expected = (256 / 512) * 10.0 + 512 * 0.01 - 3 * 2.0 - 4 * 0.5 - 0.2 * 5.0
+        assert broker_weight(m, cfg) == pytest.approx(expected)
+
+    def test_zero_config_gives_zero_weight(self):
+        cfg = WeightConfig(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        assert broker_weight(metrics(), cfg) == 0.0
+
+    def test_fresh_broker_beats_loaded_cluster_peer(self):
+        """Paper advantage 3: 'a newly added broker within a cluster
+        would be preferentially utilized'."""
+        fresh = metrics(free=480, links=1, conns=0, cpu=0.02)
+        loaded = metrics(free=200, links=6, conns=80, cpu=0.6)
+        assert broker_weight(fresh) > broker_weight(loaded)
+
+
+@given(
+    free_frac=st.floats(min_value=0.0, max_value=1.0),
+    links=st.integers(min_value=0, max_value=100),
+    conns=st.integers(min_value=0, max_value=1000),
+    cpu=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_property_weight_monotone_in_each_penalty(free_frac, links, conns, cpu):
+    total = 512 * MB
+    m = UsageMetrics(int(free_frac * total), total, links, conns, cpu)
+    worse_links = UsageMetrics(int(free_frac * total), total, links + 1, conns, cpu)
+    worse_conns = UsageMetrics(int(free_frac * total), total, links, conns + 1, cpu)
+    assert broker_weight(worse_links) < broker_weight(m)
+    assert broker_weight(worse_conns) < broker_weight(m)

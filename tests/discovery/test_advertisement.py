@@ -1,0 +1,181 @@
+"""Tests for broker advertisements and the BDN-side store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import Endpoint
+from repro.core.messages import BrokerAdvertisement
+from repro.discovery.advertisement import (
+    AD_TOPIC,
+    AdvertisementStore,
+    StoredAdvertisement,
+    build_advertisement,
+)
+from repro.substrate.builder import BrokerNetwork
+
+
+def make_ad(broker_id="b1", region="north-america", host="h1.x") -> BrokerAdvertisement:
+    return BrokerAdvertisement(
+        broker_id=broker_id,
+        hostname=host,
+        transports=(("tcp", 5045), ("udp", 5046)),
+        logical_address=f"/site/{broker_id}",
+        region=region,
+        issued_at=1.0,
+    )
+
+
+class TestBuildAdvertisement:
+    def test_fields_from_broker(self):
+        net = BrokerNetwork()
+        broker = net.add_broker("bk", site="urbana")
+        ad = build_advertisement(broker)
+        assert ad.broker_id == "bk"
+        assert ad.hostname == broker.host
+        assert ad.port_for("tcp") == 5045
+        assert ad.port_for("udp") == 5046
+        assert ad.logical_address == "/urbana/bk"
+        assert ad.region == "north-america"
+
+    def test_region_hint_for_cardiff(self):
+        net = BrokerNetwork()
+        broker = net.add_broker("bk", site="cardiff")
+        assert build_advertisement(broker).region == "europe"
+
+    def test_explicit_region_wins(self):
+        net = BrokerNetwork()
+        broker = net.add_broker("bk", site="urbana")
+        assert build_advertisement(broker, region="asia").region == "asia"
+
+
+class TestStoredAdvertisement:
+    def test_udp_endpoint(self):
+        stored = StoredAdvertisement(advertisement=make_ad(host="hh.x"), received_at=0.0)
+        assert stored.udp_endpoint == Endpoint("hh.x", 5046)
+
+    def test_udp_endpoint_default_port(self):
+        ad = BrokerAdvertisement(
+            broker_id="b", hostname="h.x", transports=(("tcp", 5045),), logical_address="/x"
+        )
+        stored = StoredAdvertisement(advertisement=ad, received_at=0.0)
+        assert stored.udp_endpoint.port == 5046  # falls back to convention
+
+
+class TestAdvertisementStore:
+    def test_accept_and_lookup(self):
+        store = AdvertisementStore()
+        assert store.accept(make_ad("b1"), now=1.0) is True
+        assert "b1" in store
+        assert store.get("b1").received_at == 1.0
+        assert len(store) == 1
+
+    def test_readvertisement_replaces(self):
+        """Section 2.4: brokers may re-advertise at a (new) BDN."""
+        store = AdvertisementStore()
+        store.accept(make_ad("b1", host="old.x"), now=1.0)
+        store.accept(make_ad("b1", host="new.x"), now=2.0)
+        assert len(store) == 1
+        assert store.get("b1").advertisement.hostname == "new.x"
+        assert store.get("b1").received_at == 2.0
+
+    def test_interest_filter_ignores_other_regions(self):
+        """Section 2.3: 'a BDN in the US may be interested only in broker
+        additions in North America'."""
+        store = AdvertisementStore(interest_regions=frozenset({"north-america"}))
+        assert store.accept(make_ad("us", region="north-america"), now=0.0) is True
+        assert store.accept(make_ad("uk", region="europe"), now=0.0) is False
+        assert "uk" not in store
+        assert store.ignored == 1
+
+    def test_empty_filter_accepts_all(self):
+        store = AdvertisementStore()
+        assert store.accept(make_ad("uk", region="europe"), now=0.0) is True
+
+    def test_remove(self):
+        store = AdvertisementStore()
+        store.accept(make_ad("b1"), now=0.0)
+        assert store.remove("b1") is True
+        assert store.remove("b1") is False
+        assert len(store) == 0
+
+    def test_all_sorted_by_id(self):
+        store = AdvertisementStore()
+        for name in ("zz", "aa", "mm"):
+            store.accept(make_ad(name), now=0.0)
+        assert [s.broker_id for s in store.all()] == ["aa", "mm", "zz"]
+        assert store.broker_ids() == ["aa", "mm", "zz"]
+
+
+class TestTopicConstant:
+    def test_matches_paper(self):
+        assert AD_TOPIC == "Services/BrokerDiscoveryNodes/BrokerAdvertisement"
+
+
+class TestBdnAnnouncement:
+    """Section 2.4: a private BDN announces itself; opted-in brokers
+    re-advertise with it."""
+
+    def _world(self):
+        import numpy as np
+
+        from repro.core.config import BDNConfig
+        from repro.discovery.advertisement import enable_bdn_autoregistration
+        from repro.discovery.bdn import BDN
+        from repro.discovery.responder import DiscoveryResponder
+        from repro.substrate.builder import BrokerNetwork, Topology
+
+        net = BrokerNetwork(seed=17)
+        for i in range(3):
+            broker = net.add_broker(f"b{i}", site=f"s{i}")
+            DiscoveryResponder(broker)
+            enable_bdn_autoregistration(broker)
+        net.apply_topology(Topology.LINEAR)
+        net.settle()
+        bdn = BDN(
+            "private-bdn", "private.example", net.network,
+            np.random.default_rng(1), config=BDNConfig(), site="priv-site",
+        )
+        bdn.start()
+        return net, bdn
+
+    def test_announcement_triggers_registration_everywhere(self):
+        net, bdn = self._world()
+        assert len(bdn.store) == 0
+        bdn.announce_to_network(net.brokers["b0"])
+        net.sim.run_for(3.0)
+        assert bdn.store.broker_ids() == ["b0", "b1", "b2"]
+
+    def test_non_advertising_brokers_stay_silent(self):
+        import numpy as np
+
+        from repro.core.config import BDNConfig, BrokerConfig
+        from repro.discovery.advertisement import enable_bdn_autoregistration
+        from repro.discovery.bdn import BDN
+        from repro.substrate.builder import BrokerNetwork
+
+        net = BrokerNetwork(seed=18)
+        shy = net.add_broker("shy", site="s0", config=BrokerConfig(advertise=False))
+        enable_bdn_autoregistration(shy)
+        net.settle()
+        bdn = BDN(
+            "bdn", "bdn.example", net.network, np.random.default_rng(2),
+            config=BDNConfig(), site="bs",
+        )
+        bdn.start()
+        bdn.announce_to_network(shy)
+        net.sim.run_for(3.0)
+        assert len(bdn.store) == 0
+
+    def test_malformed_announcement_ignored(self):
+        from repro.core.messages import Event
+        from repro.discovery.advertisement import BDN_ANNOUNCE_TOPIC
+
+        net, bdn = self._world()
+        broker = net.brokers["b0"]
+        broker.publish_local(
+            Event(uuid="bad-1", topic=BDN_ANNOUNCE_TOPIC, payload=b"not-an-endpoint",
+                  source="x", issued_at=0.0)
+        )
+        net.sim.run_for(2.0)  # must not raise
+        assert len(bdn.store) == 0

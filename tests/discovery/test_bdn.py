@@ -1,0 +1,213 @@
+"""Tests for Broker Discovery Nodes (paper sections 2-4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import BDNConfig, ClientConfig
+from repro.core.messages import Ack, DiscoveryRequest, DiscoveryResponse
+from repro.discovery.advertisement import advertise_direct, advertise_on_topic
+from repro.discovery.bdn import BDN
+from repro.substrate.builder import Topology
+from tests.discovery.conftest import World
+
+
+def send_request(world: World, uuid="req-1", attempt=0, credentials=frozenset()):
+    req = DiscoveryRequest(
+        uuid=uuid,
+        requester_host=world.client.host,
+        requester_port=7500,
+        credentials=credentials,
+        issued_at=world.client.utc(),
+        attempt=attempt,
+    )
+    world.net.network.send_udp(world.client.udp_endpoint, world.bdn.udp_endpoint, req)
+
+
+def inbox_of(world: World) -> list:
+    box = []
+    world.net.network.unbind_udp(world.client.udp_endpoint)
+    world.net.network.bind_udp(world.client.udp_endpoint, lambda m, s: box.append(m))
+    return box
+
+
+class TestRegistration:
+    def test_direct_advertisement_registers(self):
+        world = World(n_brokers=3)
+        assert world.bdn.store.broker_ids() == ["b0", "b1", "b2"]
+
+    def test_optional_registration(self):
+        """'It is not necessary for every broker to be registered'."""
+        world = World(n_brokers=3, register=False)
+        assert len(world.bdn.store) == 0
+        advertise_direct(world.brokers[1], world.bdn.udp_endpoint)
+        world.sim.run_for(1.0)
+        assert world.bdn.store.broker_ids() == ["b1"]
+
+    def test_registration_triggers_distance_ping(self):
+        world = World(n_brokers=2)
+        # settle() gave the initial pings time to come back.
+        table = world.bdn.distance_table()
+        assert set(table) == {"b0", "b1"}
+        assert all(rtt > 0 for rtt in table.values())
+
+    def test_topic_advertisement_reaches_attached_bdn(self):
+        """Section 2.3's second dissemination form."""
+        world = World(n_brokers=3, topology=Topology.LINEAR, register=False)
+        world.bdn.attach_to_network(world.brokers[0])
+        world.sim.run_for(2.0)
+        advertise_on_topic(world.brokers[2])  # far end of the chain
+        world.sim.run_for(2.0)
+        assert "b2" in world.bdn.store
+
+    def test_interest_region_filter(self):
+        world = World(
+            n_brokers=2,
+            register=False,
+            bdn_config=BDNConfig(interest_regions=frozenset({"europe"})),
+        )
+        advertise_direct(world.brokers[0], world.bdn.udp_endpoint, region="europe")
+        advertise_direct(world.brokers[1], world.bdn.udp_endpoint, region="north-america")
+        world.sim.run_for(1.0)
+        assert world.bdn.store.broker_ids() == ["b0"]
+
+
+class TestRequestHandling:
+    def test_ack_sent_promptly(self):
+        world = World(n_brokers=1)
+        box = inbox_of(world)
+        send_request(world)
+        world.sim.run_for(0.5)
+        acks = [m for m in box if isinstance(m, Ack)]
+        assert len(acks) == 1
+        assert acks[0].uuid == "req-1"
+        assert acks[0].acked_by == "bdn0"
+
+    def test_duplicate_request_acked_not_redisseminated(self):
+        """Section 3: 'multiple requests forwarded to the same BDN would
+        be idempotent'."""
+        world = World(n_brokers=2)
+        box = inbox_of(world)
+        send_request(world)
+        send_request(world)
+        world.sim.run_for(1.0)
+        assert len([m for m in box if isinstance(m, Ack)]) == 2
+        assert world.bdn.requests_disseminated == 1
+
+    def test_retransmission_redisseminated(self):
+        world = World(n_brokers=2)
+        send_request(world, attempt=0)
+        send_request(world, attempt=1)
+        world.sim.run_for(1.0)
+        assert world.bdn.requests_disseminated == 2
+
+    def test_no_brokers_registered_no_dissemination(self):
+        world = World(n_brokers=1, register=False)
+        box = inbox_of(world)
+        send_request(world)
+        world.sim.run_for(1.0)
+        assert world.bdn.requests_disseminated == 0
+        assert len([m for m in box if isinstance(m, Ack)]) == 1  # still acked
+
+
+class TestInjectionStrategies:
+    def test_all_reaches_every_registered_broker(self):
+        world = World(n_brokers=4, injection="all")
+        box = inbox_of(world)
+        send_request(world)
+        world.sim.run_for(2.0)
+        ids = {m.broker_id for m in box if isinstance(m, DiscoveryResponse)}
+        assert ids == {"b0", "b1", "b2", "b3"}
+
+    def test_single_reaches_one_broker_only(self):
+        world = World(n_brokers=4, injection="single")
+        box = inbox_of(world)
+        send_request(world)
+        world.sim.run_for(2.0)
+        ids = {m.broker_id for m in box if isinstance(m, DiscoveryResponse)}
+        assert len(ids) == 1  # unconnected: nothing propagates further
+
+    def test_closest_farthest_injects_two(self):
+        world = World(n_brokers=4, injection="closest_farthest")
+        box = inbox_of(world)
+        send_request(world)
+        world.sim.run_for(2.0)
+        ids = {m.broker_id for m in box if isinstance(m, DiscoveryResponse)}
+        assert len(ids) == 2
+
+    def test_closest_farthest_picks_extremes_of_distance_table(self):
+        world = World(n_brokers=3, injection="closest_farthest")
+        table = world.bdn.distance_table()
+        expected = {
+            min(table, key=lambda b: (table[b], b)),
+            max(table, key=lambda b: (table[b], b)),
+        }
+        targets = [s.broker_id for s in world.bdn._injection_targets()]
+        assert set(targets) == expected
+
+    def test_closest_farthest_with_single_broker(self):
+        world = World(n_brokers=1, injection="closest_farthest")
+        assert len(world.bdn._injection_targets()) == 1
+
+    def test_connected_network_all_respond_via_propagation(self):
+        world = World(n_brokers=4, topology=Topology.STAR, injection="closest_farthest")
+        box = inbox_of(world)
+        send_request(world)
+        world.sim.run_for(3.0)
+        ids = {m.broker_id for m in box if isinstance(m, DiscoveryResponse)}
+        assert ids == {"b0", "b1", "b2", "b3"}
+
+
+class TestPrivateBDN:
+    def test_credentials_required_for_dissemination(self):
+        """Section 2.4: a private BDN requires credentials before it
+        disseminates."""
+        world = World(
+            n_brokers=2,
+            bdn_config=BDNConfig(
+                injection="all", required_credentials=frozenset({"member"})
+            ),
+        )
+        box = inbox_of(world)
+        send_request(world, uuid="anon")
+        send_request(world, uuid="auth", credentials=frozenset({"member"}))
+        world.sim.run_for(2.0)
+        responses = {m.request_uuid for m in box if isinstance(m, DiscoveryResponse)}
+        assert responses == {"auth"}
+        assert world.bdn.credential_rejections == 1
+        # Both were acked (receipt), only one disseminated.
+        assert len([m for m in box if isinstance(m, Ack)]) == 2
+
+
+class TestSweepsAndPruning:
+    def test_sweep_measures_distances(self):
+        world = World(n_brokers=2, bdn_config=BDNConfig(injection="all", ping_interval=5.0))
+        world.sim.run_for(12.0)
+        assert set(world.bdn.distance_table()) == {"b0", "b1"}
+
+    def test_dead_broker_pruned_after_silence(self):
+        world = World(n_brokers=2, bdn_config=BDNConfig(injection="all", ping_interval=2.0))
+        world.brokers[1].stop()
+        world.sim.run_for(30.0)  # > 3 missed sweeps
+        assert world.bdn.store.broker_ids() == ["b0"]
+
+    def test_live_brokers_never_pruned(self):
+        world = World(n_brokers=2, bdn_config=BDNConfig(injection="all", ping_interval=2.0))
+        world.sim.run_for(60.0)
+        assert world.bdn.store.broker_ids() == ["b0", "b1"]
+
+
+class TestLifecycle:
+    def test_stopped_bdn_ignores_requests(self):
+        world = World(n_brokers=1)
+        box = inbox_of(world)
+        world.bdn.stop()
+        send_request(world)
+        world.sim.run_for(1.0)
+        assert box == []
+
+    def test_stop_is_idempotent(self):
+        world = World(n_brokers=1)
+        world.bdn.stop()
+        world.bdn.stop()

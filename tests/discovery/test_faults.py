@@ -1,0 +1,125 @@
+"""Tests for fault injection and the section 7 tolerance claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.discovery.faults import FaultInjector
+from repro.simnet.loss import NoLoss, UniformLoss
+from tests.discovery.conftest import World
+
+
+class TestFaultInjector:
+    def test_kill_bdn_immediately(self):
+        world = World(n_brokers=1)
+        injector = FaultInjector(world.net.network)
+        injector.kill_bdn(world.bdn)
+        assert not world.bdn.alive
+        assert injector.injected[0][1] == "kill_bdn"
+
+    def test_kill_bdn_scheduled(self):
+        world = World(n_brokers=1)
+        injector = FaultInjector(world.net.network)
+        at = world.sim.now + 5.0
+        injector.kill_bdn(world.bdn, at=at)
+        assert world.bdn.alive
+        world.sim.run_for(5.5)
+        assert not world.bdn.alive
+
+    def test_revive_bdn_restores_service(self):
+        world = World(n_brokers=2)
+        injector = FaultInjector(world.net.network)
+        injector.kill_bdn(world.bdn)
+        injector.revive_bdn(world.bdn)
+        world.sim.run_for(6.0)
+        outcome = world.discover()
+        assert outcome.success
+        assert outcome.via == "bdn"
+
+    def test_kill_broker(self):
+        world = World(n_brokers=2)
+        injector = FaultInjector(world.net.network)
+        injector.kill_broker(world.brokers[0])
+        assert not world.brokers[0].alive
+
+    def test_set_loss_swaps_model(self):
+        world = World(n_brokers=1)
+        injector = FaultInjector(world.net.network)
+        model = UniformLoss(0.5)
+        injector.set_loss(model)
+        assert world.net.network.loss is model
+
+    def test_loss_storm_restores_previous(self):
+        world = World(n_brokers=1)
+        injector = FaultInjector(world.net.network)
+        original = world.net.network.loss
+        storm = UniformLoss(0.9)
+        start = world.sim.now + 1.0
+        injector.loss_storm(storm, start=start, duration=2.0)
+        world.sim.run_for(1.5)
+        assert world.net.network.loss is storm
+        world.sim.run_for(2.0)
+        assert world.net.network.loss is original
+
+    def test_loss_storm_duration_validated(self):
+        world = World(n_brokers=1)
+        injector = FaultInjector(world.net.network)
+        with pytest.raises(ValueError):
+            injector.loss_storm(UniformLoss(0.5), start=0.0, duration=0.0)
+
+
+class TestSectionSevenClaims:
+    def test_only_one_functioning_bdn_needed(self):
+        """'The approach we have described needs only 1 functioning BDN
+        to work.'  Kill every BDN but one; discovery still succeeds."""
+        import numpy as np
+
+        from repro.core.config import BDNConfig, ClientConfig
+        from repro.discovery.advertisement import advertise_direct
+        from repro.discovery.bdn import BDN
+        from repro.discovery.requester import DiscoveryClient
+        from repro.experiments.harness import run_discovery_once
+
+        world = World(n_brokers=2)
+        bdn2 = BDN(
+            "bdn1", "bdn1.host", world.net.network, np.random.default_rng(77),
+            config=BDNConfig(injection="all"), site="bdn2-site",
+        )
+        bdn2.start()
+        for broker in world.brokers:
+            advertise_direct(broker, bdn2.udp_endpoint)
+        world.sim.run_for(6.0)
+        world.bdn.stop()  # first BDN goes down
+        cfg = ClientConfig(
+            bdn_endpoints=(world.bdn.udp_endpoint, bdn2.udp_endpoint),
+            max_responses=2,
+            target_set_size=2,
+            response_timeout=2.0,
+            retransmit_interval=0.5,
+            max_retransmits=1,
+        )
+        client = DiscoveryClient(
+            "c-two-bdns", "c2b.host", world.net.network, np.random.default_rng(8),
+            config=cfg, site="cs-x",
+        )
+        client.start()
+        world.sim.run_for(6.0)
+        outcome = run_discovery_once(client)
+        assert outcome.success
+        assert outcome.bdn_used == bdn2.udp_endpoint
+
+    def test_discovery_during_loss_storm_eventually_succeeds(self):
+        world = World(n_brokers=3, seed=13)
+        injector = FaultInjector(world.net.network)
+        injector.set_loss(UniformLoss(0.3))
+        successes = sum(world.discover().success for _ in range(5))
+        assert successes >= 4
+
+    def test_zero_bdns_with_multicast(self):
+        """'The approach could work even if none of the BDNs within the
+        system are functioning' via multicast."""
+        world = World(n_brokers=2, shared_realm="lab")
+        FaultInjector(world.net.network).kill_bdn(world.bdn)
+        outcome = world.discover()
+        assert outcome.success
+        assert outcome.via == "multicast"

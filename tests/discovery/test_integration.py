@@ -1,0 +1,176 @@
+"""End-to-end integration: discovery + connection + pub/sub + churn.
+
+These tests exercise the full story of the paper: a new entity arrives,
+discovers the nearest available broker, connects to it, and uses the
+messaging substrate -- while brokers churn underneath.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ClientConfig
+from repro.discovery.requester import DiscoveryClient
+from repro.experiments.harness import repeat_discovery, run_discovery_once
+from repro.experiments.scenarios import DiscoveryScenario, ScenarioSpec
+from repro.substrate.builder import Topology
+from repro.substrate.client import PubSubClient
+from repro.topology.churn import ChurnProcess
+from tests.discovery.conftest import World
+
+
+class TestDiscoverThenConnect:
+    def test_full_join_flow(self):
+        """Discover, then attach a pub/sub client to the chosen broker
+        and exchange an event through the substrate."""
+        world = World(n_brokers=3, topology=Topology.STAR, injection="closest_farthest")
+        outcome = world.discover()
+        assert outcome.success
+        chosen = outcome.selected
+
+        subscriber = PubSubClient(
+            "sub", "sub.host", world.net.network, np.random.default_rng(21), site="cs-sub"
+        )
+        subscriber.start()
+        subscriber.connect(chosen.tcp_endpoint)
+        world.sim.run_for(1.0)
+        assert subscriber.connected
+
+        # Publish from a client on a *different* broker; routing must
+        # carry it across the star to the discovered broker's client.
+        other_broker = next(b for b in world.brokers if b.name != chosen.broker_id)
+        publisher = PubSubClient(
+            "pub", "pub.host", world.net.network, np.random.default_rng(22), site="cs-pub"
+        )
+        publisher.start()
+        publisher.connect(other_broker.client_endpoint)
+        world.sim.run_for(1.0)
+        got = []
+        subscriber.subscribe("jobs/**", got.append)
+        world.sim.run_for(0.5)
+        publisher.publish("jobs/started", b"job-42")
+        world.sim.run_for(2.0)
+        assert len(got) == 1
+        assert got[0].payload == b"job-42"
+
+    def test_chosen_broker_is_nearest_in_expectation(self):
+        """Over repeated runs the modal choice is the true nearest."""
+        from collections import Counter
+
+        spec = ScenarioSpec.unconnected(client_site="bloomington", seed=5)
+        scenario = DiscoveryScenario(spec)
+        outcomes = scenario.run(runs=15)
+        chosen = Counter(o.selected.broker_id for o in outcomes if o.success)
+        # Indianapolis is 2 ms from Bloomington; everything else 6+ ms.
+        assert chosen.most_common(1)[0][0] == "broker-indianapolis"
+
+
+class TestChurnIntegration:
+    def test_discovery_keeps_working_under_churn(self):
+        world = World(n_brokers=5, topology=Topology.MESH, injection="closest_farthest", seed=3)
+        churn = ChurnProcess(
+            world.net,
+            np.random.default_rng(31),
+            mean_interval=4.0,
+            min_alive=2,
+        )
+        churn.start()
+        successes = 0
+        for _ in range(8):
+            outcome = run_discovery_once(world.client)
+            if outcome.success:
+                # The chosen broker must be alive at selection time.
+                assert world.net.brokers[outcome.selected.broker_id].alive
+                successes += 1
+            world.sim.run_for(2.0)
+        churn.stop()
+        assert successes >= 6
+        assert churn.stops + churn.restarts > 0
+
+    def test_new_broker_discovered_after_join(self):
+        """Advantage 3: newly added brokers are assimilated, and the
+        usage metric prefers the fresh broker in a loaded cluster."""
+        from repro.discovery.advertisement import advertise_direct
+        from repro.discovery.responder import DiscoveryResponder
+
+        world = World(
+            n_brokers=2,
+            seed=9,
+            client_config=None,
+        )
+        # Leave headroom in max_responses so a later joiner's response
+        # is still collected (a real client does not know the broker
+        # count in advance).
+        world.client.config = ClientConfig(
+            bdn_endpoints=(world.bdn.udp_endpoint,),
+            max_responses=10,
+            target_set_size=3,
+            response_timeout=2.0,
+        )
+        # Load down both existing brokers with client connections.
+        for i, broker in enumerate(world.brokers):
+            for j in range(20):
+                c = PubSubClient(
+                    f"load-{i}-{j}", f"load{i}x{j}.host", world.net.network,
+                    np.random.default_rng(100 + i * 50 + j), site=f"ld-{i}-{j}",
+                )
+                c.start()
+                c.connect(broker.client_endpoint)
+        world.sim.run_for(2.0)
+        # A fresh broker joins at the client's own site and registers.
+        fresh = world.net.add_broker("fresh", site="client-site")
+        DiscoveryResponder(fresh)
+        advertise_direct(fresh, world.bdn.udp_endpoint)
+        world.sim.run_for(6.0)
+        outcome = run_discovery_once(world.client)
+        assert outcome.success
+        assert outcome.selected.broker_id == "fresh"
+
+
+class TestRepeatHarness:
+    def test_repeat_discovery_collects_all_runs(self, small_world):
+        outcomes = repeat_discovery(small_world.client, runs=5, gap=0.2)
+        assert len(outcomes) == 5
+        assert all(o.success for o in outcomes)
+        assert len({o.request_uuid for o in outcomes}) == 5
+
+    def test_repeat_validates_args(self, small_world):
+        with pytest.raises(ValueError):
+            repeat_discovery(small_world.client, runs=0)
+        with pytest.raises(ValueError):
+            repeat_discovery(small_world.client, runs=1, gap=-1.0)
+
+
+class TestConcurrentClients:
+    def test_two_clients_discover_simultaneously(self):
+        """Distinct requests in flight at once: responses are keyed by
+        UUID, so each client sees only its own candidates."""
+        world = World(n_brokers=3)
+        second = DiscoveryClient(
+            "client1", "client1.host", world.net.network, np.random.default_rng(99),
+            config=ClientConfig(
+                bdn_endpoints=(world.bdn.udp_endpoint,),
+                response_timeout=2.0,
+                max_responses=3,
+                target_set_size=2,
+            ),
+            site="client1-site",
+        )
+        second.start()
+        world.sim.run_for(6.0)
+        outcomes_a, outcomes_b = [], []
+        uuid_a = world.client.discover(outcomes_a.append)
+        uuid_b = second.discover(outcomes_b.append)
+        assert uuid_a != uuid_b
+        deadline = world.sim.now + 60
+        while (not outcomes_a or not outcomes_b) and world.sim.now < deadline:
+            if not world.sim.step():
+                break
+        assert outcomes_a and outcomes_b
+        assert outcomes_a[0].success and outcomes_b[0].success
+        assert outcomes_a[0].request_uuid == uuid_a
+        assert outcomes_b[0].request_uuid == uuid_b
+        # Every broker answered both requests (separate dedup keys).
+        for responder in world.responders.values():
+            assert responder.requests_processed == 2

@@ -1,0 +1,99 @@
+"""Tests for per-phase timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.discovery.phases import PHASE_NAMES, PhaseTimer
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestPhaseTimer:
+    def test_single_phase_duration(self):
+        clock = FakeClock()
+        timer = PhaseTimer(clock)
+        timer.begin("a")
+        clock.t = 2.5
+        timer.end("a")
+        assert timer.duration("a") == 2.5
+        assert timer.total() == 2.5
+
+    def test_begin_implicitly_ends_previous(self):
+        clock = FakeClock()
+        timer = PhaseTimer(clock)
+        timer.begin("a")
+        clock.t = 1.0
+        timer.begin("b")  # closes "a" at t=1
+        clock.t = 4.0
+        timer.end("b")
+        assert timer.duration("a") == 1.0
+        assert timer.duration("b") == 3.0
+
+    def test_end_wrong_phase_raises(self):
+        timer = PhaseTimer(FakeClock())
+        timer.begin("a")
+        with pytest.raises(ValueError):
+            timer.end("b")
+
+    def test_end_without_begin_raises(self):
+        timer = PhaseTimer(FakeClock())
+        with pytest.raises(ValueError):
+            timer.end("a")
+
+    def test_reopened_phase_accumulates(self):
+        clock = FakeClock()
+        timer = PhaseTimer(clock)
+        timer.begin("a")
+        clock.t = 1.0
+        timer.end("a")
+        timer.begin("a")
+        clock.t = 3.0
+        timer.end("a")
+        assert timer.duration("a") == 3.0
+
+    def test_close_is_safe(self):
+        clock = FakeClock()
+        timer = PhaseTimer(clock)
+        timer.close()  # nothing open: no-op
+        timer.begin("a")
+        clock.t = 2.0
+        timer.close()
+        assert timer.duration("a") == 2.0
+        assert timer.open_phase is None
+
+    def test_percentages_sum_to_100(self):
+        clock = FakeClock()
+        timer = PhaseTimer(clock)
+        for name, dt in [("a", 1.0), ("b", 3.0), ("c", 1.0)]:
+            timer.begin(name)
+            clock.t += dt
+            timer.end(name)
+        pcts = timer.percentages()
+        assert sum(pcts.values()) == pytest.approx(100.0)
+        assert pcts["b"] == pytest.approx(60.0)
+
+    def test_percentages_of_empty_timer(self):
+        timer = PhaseTimer(FakeClock())
+        assert timer.percentages() == {}
+
+    def test_zero_duration_phases(self):
+        timer = PhaseTimer(FakeClock())
+        timer.begin("a")
+        timer.end("a")
+        assert timer.percentages() == {"a": 0.0}
+
+    def test_unopened_phase_has_zero_duration(self):
+        timer = PhaseTimer(FakeClock())
+        assert timer.duration("never") == 0.0
+
+    def test_canonical_phase_names(self):
+        assert PHASE_NAMES[0] == "issue_request"
+        assert "wait_initial_responses" in PHASE_NAMES
+        assert len(PHASE_NAMES) == 5

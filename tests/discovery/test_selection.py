@@ -1,0 +1,140 @@
+"""Tests for delay estimation, weighting and target-set selection."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.config import Endpoint
+from repro.core.metrics import WeightConfig
+from repro.discovery.selection import make_candidate, select_target_set
+from tests.conftest import make_metrics, make_response
+
+
+class TestMakeCandidate:
+    def test_delay_estimate_from_ntp_timestamps(self):
+        response = make_response(issued_at=10.000)
+        cand = make_candidate(response, received_at_utc=10.050, weights=WeightConfig())
+        assert cand.estimated_delay == pytest.approx(0.050)
+
+    def test_negative_delay_clamped(self):
+        """NTP residuals can make a nearby broker's timestamp 'later'
+        than the arrival reading; the estimate clamps at zero."""
+        response = make_response(issued_at=10.010)
+        cand = make_candidate(response, received_at_utc=10.002, weights=WeightConfig())
+        assert cand.estimated_delay == 0.0
+
+    def test_score_decreases_with_delay(self):
+        w = WeightConfig()
+        near = make_candidate(make_response(issued_at=10.0), 10.005, w)
+        far = make_candidate(make_response(issued_at=10.0), 10.100, w)
+        assert near.score > far.score
+        assert near.weight == far.weight  # same metrics
+
+    def test_score_includes_metric_weight(self):
+        w = WeightConfig()
+        light = make_candidate(
+            make_response(metrics=make_metrics(connections=0)), 10.0, w
+        )
+        heavy = make_candidate(
+            make_response(metrics=make_metrics(connections=100)), 10.0, w
+        )
+        assert light.score > heavy.score
+
+    def test_endpoints_from_transports(self):
+        cand = make_candidate(make_response(hostname="h.x"), 10.0, WeightConfig())
+        assert cand.udp_endpoint == Endpoint("h.x", 5046)
+        assert cand.tcp_endpoint == Endpoint("h.x", 5045)
+
+    def test_broker_id_passthrough(self):
+        cand = make_candidate(make_response(broker_id="bX"), 10.0, WeightConfig())
+        assert cand.broker_id == "bX"
+
+
+class TestSelectTargetSet:
+    def _candidates(self, n, delays=None):
+        w = WeightConfig()
+        delays = delays or [0.01 * (i + 1) for i in range(n)]
+        return [
+            make_candidate(
+                make_response(broker_id=f"b{i}", issued_at=10.0),
+                10.0 + delays[i],
+                w,
+            )
+            for i in range(n)
+        ]
+
+    def test_returns_top_by_score(self):
+        cands = self._candidates(5)
+        target = select_target_set(cands, 3)
+        assert [c.broker_id for c in target] == ["b0", "b1", "b2"]
+
+    def test_size_capped_at_available(self):
+        cands = self._candidates(2)
+        assert len(select_target_set(cands, 10)) == 2
+
+    def test_size_one(self):
+        cands = self._candidates(5)
+        assert [c.broker_id for c in select_target_set(cands, 1)] == ["b0"]
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            select_target_set([], 0)
+
+    def test_empty_candidates(self):
+        assert select_target_set([], 3) == []
+
+    def test_duplicate_broker_collapsed_to_earliest(self):
+        w = WeightConfig()
+        first = make_candidate(make_response(broker_id="b", issued_at=10.0), 10.01, w)
+        second = make_candidate(make_response(broker_id="b", issued_at=12.0), 12.05, w)
+        target = select_target_set([second, first], 5)
+        assert len(target) == 1
+        assert target[0].received_at == first.received_at
+
+    def test_loaded_broker_ranked_below_fresh(self):
+        """Paper advantage 3: the fresh broker in a cluster wins the
+        shortlist over its loaded twin at equal distance."""
+        w = WeightConfig()
+        fresh = make_candidate(
+            make_response(broker_id="fresh", metrics=make_metrics(connections=0)),
+            10.01,
+            w,
+        )
+        loaded = make_candidate(
+            make_response(broker_id="loaded", metrics=make_metrics(connections=200)),
+            10.01,
+            w,
+        )
+        target = select_target_set([loaded, fresh], 1)
+        assert target[0].broker_id == "fresh"
+
+    def test_deterministic_tie_break(self):
+        w = WeightConfig()
+        a = make_candidate(make_response(broker_id="a", issued_at=10.0), 10.01, w)
+        b = make_candidate(make_response(broker_id="b", issued_at=10.0), 10.01, w)
+        assert [c.broker_id for c in select_target_set([b, a], 2)] == ["a", "b"]
+
+
+@given(
+    n=st.integers(min_value=1, max_value=20),
+    size=st.integers(min_value=1, max_value=25),
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=0.5), min_size=20, max_size=20
+    ),
+)
+def test_property_target_set_is_sorted_prefix(n, size, delays):
+    """size(T) <= min(size, N) and scores are nonincreasing."""
+    w = WeightConfig()
+    cands = [
+        make_candidate(
+            make_response(broker_id=f"b{i:02d}", issued_at=10.0), 10.0 + delays[i], w
+        )
+        for i in range(n)
+    ]
+    target = select_target_set(cands, size)
+    assert len(target) == min(size, n)
+    scores = [c.score for c in target]
+    assert scores == sorted(scores, reverse=True)
+    # T is a subset of the candidates.
+    assert {c.broker_id for c in target} <= {c.broker_id for c in cands}

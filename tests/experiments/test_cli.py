@@ -1,0 +1,52 @@
+"""Tests for the figure-regeneration CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import TARGETS, main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "bouscat.cs.cf.ac.uk" in out
+        assert "One-way latency matrix" in out
+
+    def test_fig2_breakdown(self, capsys):
+        assert main(["fig2", "--runs", "8", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "wait_initial_responses" in out
+
+    def test_fig12_multicast(self, capsys):
+        assert main(["fig12", "--runs", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "ONLY multicast" in out
+        assert "Mean" in out
+
+    def test_fig9_and_fig11(self, capsys):
+        assert main(["fig9", "--runs", "6"]) == 0
+        assert main(["fig11", "--runs", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "star" in out and "linear" in out
+
+    def test_per_site_figures(self, capsys):
+        assert main(["fig3-7", "--runs", "6"]) == 0
+        out = capsys.readouterr().out
+        for site in ("tallahassee", "cardiff", "minneapolis", "urbana", "bloomington"):
+            assert site in out
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_invalid_runs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig2", "--runs", "0"])
+
+    def test_target_list_is_complete(self):
+        assert "all" in TARGETS
+        assert len(TARGETS) == 9

@@ -1,0 +1,64 @@
+"""Tests for CSV export of experiment data."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.experiments.export import (
+    export_outcomes_csv,
+    export_percentages_csv,
+    export_summary_csv,
+)
+from repro.experiments.scenarios import DiscoveryScenario, ScenarioSpec
+from repro.experiments.stats import summarize
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    scenario = DiscoveryScenario(ScenarioSpec.unconnected(seed=6))
+    return scenario, scenario.run(runs=4)
+
+
+class TestOutcomeExport:
+    def test_one_row_per_run(self, outcomes, tmp_path):
+        scenario, outs = outcomes
+        path = export_outcomes_csv(outs, tmp_path / "runs.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 4
+        assert all(row["success"] == "1" for row in rows)
+        assert all(float(row["total_time_ms"]) > 0 for row in rows)
+        assert rows[0]["via"] == "bdn"
+
+    def test_phase_columns_populated(self, outcomes, tmp_path):
+        _, outs = outcomes
+        path = export_outcomes_csv(outs, tmp_path / "runs.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert all(float(row["wait_ms"]) > 0 for row in rows)
+        assert all(float(row["ping_ms"]) > 0 for row in rows)
+
+
+class TestSummaryExport:
+    def test_metric_rows(self, tmp_path):
+        stats = summarize([10.0, 20.0, 30.0])
+        path = export_summary_csv(stats, tmp_path / "s.csv", label="fig3")
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["label", "metric", "value"]
+        metrics = {row[1]: row[2] for row in rows[1:]}
+        assert float(metrics["Mean"]) == 20.0
+        assert metrics["n"] == "3"
+        assert all(row[0] == "fig3" for row in rows[1:])
+
+
+class TestPercentagesExport:
+    def test_sorted_by_share(self, tmp_path):
+        path = export_percentages_csv(
+            {"wait": 80.0, "ping": 15.0, "other": 5.0}, tmp_path / "p.csv", label="fig2"
+        )
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert [row[1] for row in rows[1:]] == ["wait", "ping", "other"]

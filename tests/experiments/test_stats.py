@@ -1,0 +1,105 @@
+"""Tests for the paper's statistics pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.experiments.stats import (
+    paper_sample,
+    remove_outliers_iqr,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_five_numbers(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.mean == 3.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 5.0
+        assert stats.deviation == pytest.approx(np.std([1, 2, 3, 4, 5], ddof=1))
+        assert stats.error == pytest.approx(stats.deviation / np.sqrt(5))
+        assert stats.count == 5
+
+    def test_single_value(self):
+        stats = summarize([7.0])
+        assert stats.mean == 7.0
+        assert stats.deviation == 0.0
+        assert stats.error == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_rows_order_matches_paper(self):
+        stats = summarize([1.0, 2.0])
+        labels = [label for label, _ in stats.rows()]
+        assert labels == ["Mean", "deviation", "Maximum", "Minimum", "Error"]
+
+
+class TestOutlierRemoval:
+    def test_obvious_outlier_removed(self):
+        values = np.array([100.0] * 20 + [10000.0])
+        cleaned = remove_outliers_iqr(values)
+        assert 10000.0 not in cleaned
+        assert len(cleaned) == 20
+
+    def test_clean_sample_untouched(self):
+        values = np.linspace(90, 110, 50)
+        assert len(remove_outliers_iqr(values)) == 50
+
+    def test_order_preserved(self):
+        values = np.array([5.0, 1.0, 3.0, 2.0, 4.0])
+        cleaned = remove_outliers_iqr(values)
+        assert list(cleaned) == [5.0, 1.0, 3.0, 2.0, 4.0]
+
+    def test_tiny_samples_returned_as_is(self):
+        values = np.array([1.0, 1000.0])
+        assert len(remove_outliers_iqr(values)) == 2
+
+    def test_both_tails_trimmed(self):
+        values = np.array([-5000.0] + [100.0] * 20 + [5000.0])
+        cleaned = remove_outliers_iqr(values)
+        assert set(cleaned) == {100.0}
+
+
+class TestPaperSample:
+    def test_first_100_of_120_kept(self):
+        """The section 9 methodology: 120 runs -> outliers removed ->
+        first 100 kept."""
+        rng = np.random.default_rng(0)
+        values = rng.normal(500, 20, size=120)
+        kept = paper_sample(values, keep=100)
+        assert len(kept) == 100
+
+    def test_timeout_spikes_removed(self):
+        rng = np.random.default_rng(1)
+        values = list(rng.normal(300, 15, size=110)) + [4500.0] * 10
+        kept = paper_sample(values, keep=100)
+        assert kept.max() < 1000
+
+    def test_keep_validated(self):
+        with pytest.raises(ValueError):
+            paper_sample([1.0], keep=0)
+
+    def test_fewer_survivors_than_keep(self):
+        kept = paper_sample([1.0, 2.0, 3.0], keep=100)
+        assert len(kept) == 3
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=1.0, max_value=1e6), min_size=4, max_size=200
+    )
+)
+def test_property_outlier_removal_is_subset_and_idempotentish(values):
+    arr = np.asarray(values)
+    cleaned = remove_outliers_iqr(arr)
+    # Every survivor came from the input.
+    assert set(cleaned).issubset(set(arr))
+    # Bounds shrink or stay.
+    if cleaned.size:
+        assert cleaned.max() <= arr.max()
+        assert cleaned.min() >= arr.min()

@@ -1,0 +1,51 @@
+"""Tests for signed credential tokens."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SecurityError
+from repro.security.credentials import issue_credential, verify_credential
+
+
+@pytest.fixture
+def token(keypair_a):
+    return issue_credential(
+        subject="client-7",
+        credential="grid-user",
+        issuer="authority",
+        issuer_key=keypair_a.private,
+        expires_at=100.0,
+    )
+
+
+class TestCredentials:
+    def test_valid_token_verifies(self, token, keypair_a):
+        verify_credential(token, keypair_a.public, now=50.0)
+
+    def test_subject_binding(self, token, keypair_a):
+        verify_credential(token, keypair_a.public, now=50.0, expected_subject="client-7")
+        with pytest.raises(SecurityError, match="subject"):
+            verify_credential(token, keypair_a.public, now=50.0, expected_subject="impostor")
+
+    def test_expired_rejected(self, token, keypair_a):
+        with pytest.raises(SecurityError, match="expired"):
+            verify_credential(token, keypair_a.public, now=101.0)
+
+    def test_wrong_issuer_key_rejected(self, token, keypair_b):
+        with pytest.raises(SecurityError, match="signature"):
+            verify_credential(token, keypair_b.public, now=50.0)
+
+    def test_tampered_credential_rejected(self, token, keypair_a):
+        import dataclasses
+
+        forged = dataclasses.replace(token, credential="admin")
+        with pytest.raises(SecurityError, match="signature"):
+            verify_credential(forged, keypair_a.public, now=50.0)
+
+    def test_tampered_expiry_rejected(self, token, keypair_a):
+        import dataclasses
+
+        forged = dataclasses.replace(token, expires_at=1e9)
+        with pytest.raises(SecurityError, match="signature"):
+            verify_credential(forged, keypair_a.public, now=50.0)

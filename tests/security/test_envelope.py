@@ -1,0 +1,81 @@
+"""Tests for the sign-then-encrypt envelope (Figure 14)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.errors import SecurityError
+from repro.core.messages import DiscoveryRequest
+from repro.security.envelope import open_envelope, seal
+
+
+@pytest.fixture
+def request_message() -> DiscoveryRequest:
+    return DiscoveryRequest(
+        uuid="req-uuid-0001",
+        requester_host="client.example",
+        requester_port=7500,
+        credentials=frozenset({"grid-user"}),
+        realm="lab",
+        issued_at=123.456,
+    )
+
+
+class TestEnvelope:
+    def test_roundtrip(self, request_message, keypair_a, keypair_b, rng):
+        env = seal(request_message, "client", keypair_a.private, keypair_b.public, rng)
+        opened = open_envelope(env, keypair_b.private, keypair_a.public)
+        assert opened == request_message
+
+    def test_payload_not_visible_in_ciphertext(self, request_message, keypair_a, keypair_b, rng):
+        env = seal(request_message, "client", keypair_a.private, keypair_b.public, rng)
+        assert b"client.example" not in env.ciphertext
+        assert b"grid-user" not in env.ciphertext
+
+    def test_wrong_recipient_cannot_open(self, request_message, keypair_a, keypair_b, rng):
+        env = seal(request_message, "client", keypair_a.private, keypair_b.public, rng)
+        with pytest.raises(SecurityError):
+            open_envelope(env, keypair_a.private, keypair_a.public)
+
+    def test_wrong_sender_key_rejected(self, request_message, keypair_a, keypair_b, rng):
+        env = seal(request_message, "client", keypair_a.private, keypair_b.public, rng)
+        with pytest.raises(SecurityError, match="signature"):
+            open_envelope(env, keypair_b.private, keypair_b.public)
+
+    def test_tampered_ciphertext_rejected(self, request_message, keypair_a, keypair_b, rng):
+        env = seal(request_message, "client", keypair_a.private, keypair_b.public, rng)
+        ct = bytearray(env.ciphertext)
+        ct[3] ^= 0x01
+        forged = dataclasses.replace(env, ciphertext=bytes(ct))
+        with pytest.raises(SecurityError, match="integrity"):
+            open_envelope(forged, keypair_b.private, keypair_a.public)
+
+    def test_tampered_tag_rejected(self, request_message, keypair_a, keypair_b, rng):
+        env = seal(request_message, "client", keypair_a.private, keypair_b.public, rng)
+        tag = bytearray(env.tag)
+        tag[0] ^= 0xFF
+        forged = dataclasses.replace(env, tag=bytes(tag))
+        with pytest.raises(SecurityError, match="integrity"):
+            open_envelope(forged, keypair_b.private, keypair_a.public)
+
+    def test_swapped_wrapped_key_rejected(self, request_message, keypair_a, keypair_b, rng):
+        env1 = seal(request_message, "client", keypair_a.private, keypair_b.public, rng)
+        env2 = seal(request_message, "client", keypair_a.private, keypair_b.public, rng)
+        forged = dataclasses.replace(env1, wrapped_key=env2.wrapped_key)
+        with pytest.raises(SecurityError):
+            open_envelope(forged, keypair_b.private, keypair_a.public)
+
+    def test_fresh_session_key_per_message(self, request_message, keypair_a, keypair_b, rng):
+        env1 = seal(request_message, "client", keypair_a.private, keypair_b.public, rng)
+        env2 = seal(request_message, "client", keypair_a.private, keypair_b.public, rng)
+        assert env1.ciphertext != env2.ciphertext
+        assert env1.wrapped_key != env2.wrapped_key
+
+    def test_any_message_type_sealable(self, keypair_a, keypair_b, rng):
+        from repro.core.messages import Ack
+
+        message = Ack(uuid="u1", acked_by="bdn")
+        env = seal(message, "bdn", keypair_a.private, keypair_b.public, rng)
+        assert open_envelope(env, keypair_b.private, keypair_a.public) == message

@@ -1,0 +1,80 @@
+"""Tests for number-theory primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.security.numtheory import egcd, generate_prime, is_probable_prime, modinv
+
+KNOWN_PRIMES = [2, 3, 5, 7, 101, 104729, 2**31 - 1, 2**61 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 100, 104730, 2**31, 561, 41041, 825265]  # incl. Carmichael
+
+
+class TestMillerRabin:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_primes_accepted(self, p):
+        assert is_probable_prime(p, np.random.default_rng(0))
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_composites_rejected(self, n):
+        assert not is_probable_prime(n, np.random.default_rng(0))
+
+    def test_agrees_with_sieve_below_10k(self):
+        limit = 10_000
+        sieve = np.ones(limit, dtype=bool)
+        sieve[:2] = False
+        for i in range(2, int(limit**0.5) + 1):
+            if sieve[i]:
+                sieve[i * i :: i] = False
+        rng = np.random.default_rng(0)
+        for n in range(limit):
+            assert is_probable_prime(n, rng) == bool(sieve[n]), n
+
+    def test_works_without_rng(self):
+        assert is_probable_prime(104729)
+        assert not is_probable_prime(104731 * 104729)
+
+
+class TestGeneratePrime:
+    @pytest.mark.parametrize("bits", [8, 16, 32, 64, 128])
+    def test_exact_bit_length(self, bits):
+        rng = np.random.default_rng(0)
+        p = generate_prime(bits, rng)
+        assert p.bit_length() == bits
+        assert is_probable_prime(p, rng)
+
+    def test_top_two_bits_set(self):
+        rng = np.random.default_rng(1)
+        p = generate_prime(32, rng)
+        assert p >> 30 == 0b11
+
+    def test_deterministic(self):
+        assert generate_prime(32, np.random.default_rng(5)) == generate_prime(
+            32, np.random.default_rng(5)
+        )
+
+    def test_minimum_bits(self):
+        with pytest.raises(ValueError):
+            generate_prime(4, np.random.default_rng(0))
+
+
+class TestEgcdModinv:
+    @given(a=st.integers(min_value=1, max_value=10**12), b=st.integers(min_value=1, max_value=10**12))
+    def test_property_egcd_bezout(self, a, b):
+        g, x, y = egcd(a, b)
+        assert a * x + b * y == g
+        assert a % g == 0 and b % g == 0
+
+    @given(a=st.integers(min_value=1, max_value=10**9))
+    @settings(max_examples=50)
+    def test_property_modinv_roundtrip(self, a):
+        m = 2**61 - 1  # prime modulus: every a has an inverse
+        inv = modinv(a, m)
+        assert (a * inv) % m == 1
+        assert 0 <= inv < m
+
+    def test_non_coprime_rejected(self):
+        with pytest.raises(ValueError):
+            modinv(6, 9)

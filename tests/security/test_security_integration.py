@@ -1,0 +1,128 @@
+"""Integration: the section 9.1 secured-discovery pipeline end to end.
+
+The paper: "a discovery request and response may be secured by sending
+credentials verifying the authenticity of the clients and also
+encrypting the discovery request and response."  This test assembles
+the full chain our modules provide for that deployment:
+
+1. a CA hierarchy issues the client a certificate and a credential;
+2. the client seals its discovery request (sign + encrypt) to the
+   broker;
+3. the broker validates the certificate chain, verifies the credential
+   token, opens the envelope, checks the inner request's credential
+   names against its response policy, and seals the response back;
+4. the client opens the response and proceeds with selection inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ResponsePolicyConfig
+from repro.core.errors import SecurityError
+from repro.core.messages import DiscoveryRequest, DiscoveryResponse
+from repro.security.certificates import CertificateAuthority, validate_chain
+from repro.security.credentials import issue_credential, verify_credential
+from repro.security.envelope import open_envelope, seal
+from repro.security.rsa import generate_keypair
+from tests.conftest import make_metrics
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    rng = np.random.default_rng(4242)
+    root = CertificateAuthority("grid-root", bits=512, rng=rng)
+    ops = CertificateAuthority("grid-ops", bits=512, rng=rng, parent=root)
+    client_keys = generate_keypair(512, rng)
+    broker_keys = generate_keypair(512, rng)
+    client_cert = ops.issue("requesting-node", client_keys.public, 0.0, 1e9)
+    credential = issue_credential(
+        subject="requesting-node",
+        credential="grid-member",
+        issuer="grid-ops",
+        issuer_key=ops.keypair.private,
+        expires_at=1e9,
+    )
+    return rng, root, ops, client_keys, broker_keys, client_cert, credential
+
+
+class TestSecuredDiscoveryPipeline:
+    def test_full_round_trip(self, deployment):
+        rng, root, ops, client_keys, broker_keys, client_cert, credential = deployment
+        policy = ResponsePolicyConfig(required_credentials=frozenset({"grid-member"}))
+        request = DiscoveryRequest(
+            uuid="sec-req-1",
+            requester_host="client.example",
+            requester_port=7500,
+            credentials=frozenset({credential.credential}),
+            realm="lab",
+            issued_at=100.0,
+        )
+
+        # Client side: seal the request.
+        sealed = seal(request, "requesting-node", client_keys.private, broker_keys.public, rng)
+
+        # Broker side: authenticate, then authorize, then open.
+        validate_chain(
+            client_cert, [ops.certificate],
+            {root.certificate.subject: root.certificate}, now=100.0,
+        )
+        verify_credential(
+            credential, ops.keypair.public, now=100.0, expected_subject="requesting-node"
+        )
+        opened = open_envelope(sealed, broker_keys.private, client_keys.public)
+        assert opened == request
+        assert policy.permits(opened.credentials, opened.realm)
+
+        # Broker seals a response back to the client.
+        response = DiscoveryResponse(
+            request_uuid=opened.uuid,
+            broker_id="secure-broker",
+            hostname="sb.example",
+            transports=(("tcp", 5045), ("udp", 5046)),
+            issued_at=100.1,
+            metrics=make_metrics(),
+        )
+        sealed_resp = seal(response, "secure-broker", broker_keys.private, client_keys.public, rng)
+        received = open_envelope(sealed_resp, client_keys.private, broker_keys.public)
+        assert received == response
+
+    def test_impostor_without_credential_denied(self, deployment):
+        rng, root, ops, client_keys, broker_keys, client_cert, credential = deployment
+        policy = ResponsePolicyConfig(required_credentials=frozenset({"grid-member"}))
+        request = DiscoveryRequest(
+            uuid="sec-req-2",
+            requester_host="impostor.example",
+            requester_port=7500,
+            credentials=frozenset(),  # nothing presented
+            realm="lab",
+        )
+        sealed = seal(request, "impostor", client_keys.private, broker_keys.public, rng)
+        opened = open_envelope(sealed, broker_keys.private, client_keys.public)
+        assert not policy.permits(opened.credentials, opened.realm)
+
+    def test_stolen_credential_fails_subject_binding(self, deployment):
+        rng, root, ops, client_keys, broker_keys, client_cert, credential = deployment
+        # "mallory" replays the token issued to "requesting-node".
+        with pytest.raises(SecurityError, match="subject"):
+            verify_credential(
+                credential, ops.keypair.public, now=100.0, expected_subject="mallory"
+            )
+
+    def test_request_tampered_in_transit_rejected(self, deployment):
+        import dataclasses
+
+        rng, root, ops, client_keys, broker_keys, client_cert, credential = deployment
+        request = DiscoveryRequest(
+            uuid="sec-req-3", requester_host="client.example", requester_port=7500
+        )
+        sealed = seal(request, "requesting-node", client_keys.private, broker_keys.public, rng)
+        ct = bytearray(sealed.ciphertext)
+        ct[-1] ^= 0x01
+        with pytest.raises(SecurityError):
+            open_envelope(
+                dataclasses.replace(sealed, ciphertext=bytes(ct)),
+                broker_keys.private,
+                client_keys.public,
+            )

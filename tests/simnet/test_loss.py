@@ -1,0 +1,73 @@
+"""Tests for packet loss models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simnet.loss import NoLoss, PerHopLoss, UniformLoss
+
+
+class TestNoLoss:
+    def test_never_drops(self):
+        model = NoLoss()
+        rng = np.random.default_rng(0)
+        assert not any(model.lost(30, rng) for _ in range(1000))
+
+
+class TestUniformLoss:
+    def test_zero_probability_never_drops(self):
+        model = UniformLoss(0.0)
+        rng = np.random.default_rng(0)
+        assert not any(model.lost(5, rng) for _ in range(100))
+
+    def test_rate_approximately_matches(self):
+        model = UniformLoss(0.3)
+        rng = np.random.default_rng(0)
+        drops = sum(model.lost(1, rng) for _ in range(20000))
+        assert drops == pytest.approx(6000, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformLoss(1.0)
+        with pytest.raises(ValueError):
+            UniformLoss(-0.1)
+
+
+class TestPerHopLoss:
+    def test_delivery_probability_formula(self):
+        model = PerHopLoss(per_hop=0.01)
+        assert model.delivery_probability(0) == 1.0
+        assert model.delivery_probability(1) == pytest.approx(0.99)
+        assert model.delivery_probability(10) == pytest.approx(0.99**10)
+
+    def test_more_hops_lose_more(self):
+        """The paper's premise: 'if the responses were to traverse over
+        multiple router hops the chances that the packets would be lost
+        would be higher'."""
+        model = PerHopLoss(per_hop=0.02)
+        rng = np.random.default_rng(0)
+        near = sum(model.lost(2, rng) for _ in range(20000))
+        far = sum(model.lost(30, rng) for _ in range(20000))
+        assert far > near * 3
+
+    def test_empirical_rate_matches_formula(self):
+        model = PerHopLoss(per_hop=0.01)
+        rng = np.random.default_rng(1)
+        n = 30000
+        drops = sum(model.lost(15, rng) for _ in range(n))
+        expected = (1 - model.delivery_probability(15)) * n
+        assert drops == pytest.approx(expected, rel=0.1)
+
+    def test_zero_per_hop_never_drops(self):
+        model = PerHopLoss(per_hop=0.0)
+        rng = np.random.default_rng(0)
+        assert not any(model.lost(100, rng) for _ in range(100))
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            PerHopLoss().delivery_probability(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerHopLoss(per_hop=1.0)

@@ -1,0 +1,88 @@
+"""Tests for the simulated-process base class."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import Endpoint
+from repro.simnet.network import Network
+from repro.simnet.node import Node
+from repro.simnet.simulator import Simulator
+from repro.simnet.trace import Tracer
+
+
+def make_world():
+    sim = Simulator()
+    net = Network(sim, rng=np.random.default_rng(0))
+    return sim, net
+
+
+class TestNodeConstruction:
+    def test_registers_new_host(self):
+        sim, net = make_world()
+        node = Node("n1", "n1.example", net, np.random.default_rng(1), site="s1")
+        assert net.site_of("n1.example") == "s1"
+        assert node.site == "s1"
+
+    def test_reuses_existing_host(self):
+        sim, net = make_world()
+        net.register_host("shared.example", "s1", realm="lab")
+        node = Node("n1", "shared.example", net, np.random.default_rng(1))
+        assert node.realm == "lab"
+
+    def test_unregistered_host_without_site_fails(self):
+        sim, net = make_world()
+        with pytest.raises(ValueError, match="site"):
+            Node("n1", "ghost.example", net, np.random.default_rng(1))
+
+    def test_endpoint_helper(self):
+        sim, net = make_world()
+        node = Node("n1", "n1.example", net, np.random.default_rng(1), site="s1")
+        assert node.endpoint(42) == Endpoint("n1.example", 42)
+
+
+class TestNodeLifecycle:
+    def test_start_kicks_off_ntp(self):
+        sim, net = make_world()
+        node = Node("n1", "n1.example", net, np.random.default_rng(1), site="s1")
+        assert not node.started
+        node.start()
+        assert node.started
+        assert not node.ntp.synchronized
+        sim.run_for(5.5)
+        assert node.ntp.synchronized
+
+    def test_start_is_idempotent(self):
+        sim, net = make_world()
+        node = Node("n1", "n1.example", net, np.random.default_rng(1), site="s1")
+        node.start()
+        pending = sim.pending
+        node.start()
+        assert sim.pending == pending
+
+    def test_utc_tracks_true_time_after_sync(self):
+        sim, net = make_world()
+        node = Node("n1", "n1.example", net, np.random.default_rng(1), site="s1")
+        node.start()
+        sim.run_for(10.0)
+        assert abs(node.utc() - sim.now) < 0.021
+
+    def test_nodes_have_independent_ids(self):
+        sim, net = make_world()
+        a = Node("a", "a.example", net, np.random.default_rng(1), site="s")
+        b = Node("b", "b.example", net, np.random.default_rng(2), site="s")
+        assert {a.ids() for _ in range(5)}.isdisjoint({b.ids() for _ in range(5)})
+
+    def test_trace_goes_to_tracer(self):
+        sim, net = make_world()
+        tracer = Tracer(lambda: sim.now)
+        node = Node("a", "a.example", net, np.random.default_rng(1), site="s", tracer=tracer)
+        node.trace("custom_event", detail="x")
+        assert tracer.count("custom_event") == 1
+        assert tracer.events("custom_event")[0].node == "a"
+
+    def test_trace_without_tracer_is_noop(self):
+        sim, net = make_world()
+        node = Node("a", "a.example", net, np.random.default_rng(1), site="s")
+        node.trace("anything")  # must not raise

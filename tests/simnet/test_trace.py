@@ -1,0 +1,52 @@
+"""Tests for structured tracing."""
+
+from __future__ import annotations
+
+from repro.simnet.trace import Tracer
+
+
+class TestTracer:
+    def test_records_capture_time_and_detail(self):
+        t = [0.0]
+        tracer = Tracer(lambda: t[0])
+        tracer.record("ev", "node1", key="value")
+        t[0] = 5.0
+        tracer.record("ev", "node2")
+        assert len(tracer.records) == 2
+        assert tracer.records[0].time == 0.0
+        assert tracer.records[0].detail == (("key", "value"),)
+        assert tracer.records[1].time == 5.0
+
+    def test_counters_accumulate(self):
+        tracer = Tracer(lambda: 0.0)
+        for _ in range(3):
+            tracer.record("a", "n")
+        tracer.record("b", "n")
+        assert tracer.count("a") == 3
+        assert tracer.count("b") == 1
+        assert tracer.count("missing") == 0
+
+    def test_counters_only_mode(self):
+        tracer = Tracer(lambda: 0.0, keep_records=False)
+        tracer.record("a", "n")
+        assert tracer.records == []
+        assert tracer.count("a") == 1
+
+    def test_events_filter(self):
+        tracer = Tracer(lambda: 0.0)
+        tracer.record("x", "n1")
+        tracer.record("y", "n2")
+        tracer.record("x", "n3")
+        assert [r.node for r in tracer.events("x")] == ["n1", "n3"]
+
+    def test_clear(self):
+        tracer = Tracer(lambda: 0.0)
+        tracer.record("x", "n")
+        tracer.clear()
+        assert tracer.records == []
+        assert tracer.count("x") == 0
+
+    def test_detail_values_coerced_to_str(self):
+        tracer = Tracer(lambda: 0.0)
+        tracer.record("x", "n", count=17)
+        assert tracer.records[0].detail == (("count", "17"),)

@@ -1,0 +1,166 @@
+"""Tests for the pub/sub client entity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TransportError
+from repro.substrate.builder import BrokerNetwork, Topology
+from repro.substrate.client import PubSubClient
+
+
+def world(n_brokers=2, topology=Topology.LINEAR, seed=0):
+    net = BrokerNetwork(seed=seed)
+    for i in range(n_brokers):
+        net.add_broker(f"b{i}", site=f"s{i}")
+    if n_brokers > 1:
+        net.apply_topology(topology)
+    net.settle()
+    return net
+
+
+def attach(net, name, broker_name, site=None):
+    client = PubSubClient(
+        name,
+        f"{name}.host",
+        net.network,
+        np.random.default_rng(hash(name) % 2**32),
+        site=site or f"cs-{name}",
+    )
+    client.start()
+    client.connect(net.brokers[broker_name].client_endpoint)
+    net.sim.run_for(1.0)
+    assert client.connected
+    return client
+
+
+class TestConnection:
+    def test_connect_and_disconnect(self):
+        net = world(1)
+        client = attach(net, "alice", "b0")
+        assert net.brokers["b0"].client_count == 1
+        client.disconnect()
+        net.sim.run_for(0.5)
+        assert not client.connected
+        assert net.brokers["b0"].client_count == 0
+
+    def test_double_connect_rejected(self):
+        net = world(1)
+        client = attach(net, "alice", "b0")
+        with pytest.raises(TransportError):
+            client.connect(net.brokers["b0"].client_endpoint)
+
+    def test_publish_without_connection_rejected(self):
+        net = world(1)
+        client = PubSubClient("bob", "bob.host", net.network, np.random.default_rng(0), site="cs")
+        client.start()
+        with pytest.raises(TransportError):
+            client.publish("a/b")
+
+
+class TestPubSub:
+    def test_same_broker_delivery(self):
+        net = world(1)
+        alice = attach(net, "alice", "b0")
+        bob = attach(net, "bob", "b0")
+        got = []
+        alice.subscribe("news/**", got.append)
+        net.sim.run_for(0.5)
+        bob.publish("news/tech", b"payload")
+        net.sim.run_for(1.0)
+        assert len(got) == 1
+        assert got[0].payload == b"payload"
+        assert got[0].source == "bob"
+
+    def test_cross_broker_delivery(self):
+        net = world(3, Topology.LINEAR)
+        alice = attach(net, "alice", "b0")
+        bob = attach(net, "bob", "b2")
+        got = []
+        alice.subscribe("news/**", got.append)
+        net.sim.run_for(0.5)
+        bob.publish("news/x")
+        net.sim.run_for(2.0)
+        assert len(got) == 1
+
+    def test_no_delivery_without_subscription(self):
+        net = world(1)
+        alice = attach(net, "alice", "b0")
+        bob = attach(net, "bob", "b0")
+        bob.publish("news/x")
+        net.sim.run_for(1.0)
+        assert alice.received == []
+
+    def test_unsubscribe_stops_delivery(self):
+        net = world(1)
+        alice = attach(net, "alice", "b0")
+        bob = attach(net, "bob", "b0")
+        got = []
+        alice.subscribe("news/**", got.append)
+        net.sim.run_for(0.5)
+        alice.unsubscribe("news/**")
+        net.sim.run_for(0.5)
+        bob.publish("news/x")
+        net.sim.run_for(1.0)
+        assert got == []
+
+    def test_publisher_receives_own_matching_event(self):
+        net = world(1)
+        alice = attach(net, "alice", "b0")
+        got = []
+        alice.subscribe("me/**", got.append)
+        net.sim.run_for(0.5)
+        alice.publish("me/note")
+        net.sim.run_for(1.0)
+        assert len(got) == 1
+
+    def test_subscribe_before_connect_replays(self):
+        net = world(1)
+        client = PubSubClient("carol", "carol.host", net.network, np.random.default_rng(5), site="cs")
+        client.start()
+        got = []
+        client.subscribe("pre/**", got.append)
+        client.connect(net.brokers["b0"].client_endpoint)
+        net.sim.run_for(1.0)
+        other = attach(net, "dave", "b0")
+        other.publish("pre/x")
+        net.sim.run_for(1.0)
+        assert len(got) == 1
+
+    def test_wildcard_dispatch_to_correct_callbacks(self):
+        net = world(1)
+        alice = attach(net, "alice", "b0")
+        news, sports = [], []
+        alice.subscribe("news/**", news.append)
+        alice.subscribe("sports/**", sports.append)
+        bob = attach(net, "bob", "b0")
+        net.sim.run_for(0.5)
+        bob.publish("news/a")
+        bob.publish("sports/b")
+        net.sim.run_for(1.0)
+        assert len(news) == 1 and news[0].topic == "news/a"
+        assert len(sports) == 1 and sports[0].topic == "sports/b"
+        assert len(alice.received) == 2
+
+    def test_invalid_topic_rejected_on_publish(self):
+        net = world(1)
+        alice = attach(net, "alice", "b0")
+        with pytest.raises(ValueError):
+            alice.publish("bad//topic")
+
+    def test_invalid_pattern_rejected_on_subscribe(self):
+        net = world(1)
+        alice = attach(net, "alice", "b0")
+        with pytest.raises(ValueError):
+            alice.subscribe("**/bad")
+
+    def test_disconnect_cleans_broker_subscriptions(self):
+        net = world(1)
+        alice = attach(net, "alice", "b0")
+        alice.subscribe("news/**")
+        net.sim.run_for(0.5)
+        assert len(net.brokers["b0"].subscriptions) == 1
+        alice.disconnect()
+        net.sim.run_for(0.5)
+        assert len(net.brokers["b0"].subscriptions) == 0

@@ -1,0 +1,214 @@
+"""Tests for fragmentation and coalescing of large payloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import CodecError
+from repro.core.ids import IdGenerator
+from repro.substrate.fragmentation import FRAGMENT_HEADER, Coalescer, fragment
+
+
+# One shared generator: distinct fragment() calls must get distinct
+# dataset ids, exactly as they would inside one real process.
+_IDS = IdGenerator(np.random.default_rng(0))
+
+
+def ids():
+    return _IDS
+
+
+def frags(payload: bytes, mtu: int = 10):
+    return fragment("data/topic", payload, "sender", 1.0, ids(), mtu=mtu)
+
+
+class TestFragment:
+    def test_small_payload_single_unmarked_event(self):
+        events = frags(b"tiny", mtu=100)
+        assert len(events) == 1
+        assert events[0].header(FRAGMENT_HEADER) is None
+        assert events[0].payload == b"tiny"
+
+    def test_split_sizes(self):
+        events = frags(b"x" * 25, mtu=10)
+        assert [len(e.payload) for e in events] == [10, 10, 5]
+
+    def test_exact_multiple(self):
+        events = frags(b"x" * 20, mtu=10)
+        assert len(events) == 2
+
+    def test_shared_dataset_id_and_metadata(self):
+        events = frags(b"x" * 25, mtu=10)
+        dataset_ids = {e.header(FRAGMENT_HEADER) for e in events}
+        assert len(dataset_ids) == 1
+        assert [e.header("x-fragment-index") for e in events] == ["0", "1", "2"]
+        assert {e.header("x-fragment-count") for e in events} == {"3"}
+
+    def test_distinct_event_uuids(self):
+        events = frags(b"x" * 25, mtu=10)
+        assert len({e.uuid for e in events}) == 3
+
+    def test_invalid_mtu(self):
+        with pytest.raises(ValueError):
+            frags(b"x", mtu=0)
+
+
+class TestCoalescer:
+    def test_in_order_reassembly(self):
+        payload = bytes(range(256)) * 3
+        events = frags(payload, mtu=100)
+        co = Coalescer()
+        results = [co.offer(e) for e in events]
+        assert results[:-1] == [None] * (len(events) - 1)
+        assert results[-1] == payload
+        assert co.completed == 1
+        assert co.pending == 0
+
+    def test_out_of_order_reassembly(self):
+        payload = b"hello world, this is a large dataset!" * 4
+        events = frags(payload, mtu=16)
+        co = Coalescer()
+        rng = np.random.default_rng(1)
+        order = rng.permutation(len(events))
+        results = [co.offer(events[i]) for i in order]
+        complete = [r for r in results if r is not None]
+        assert complete == [payload]
+
+    def test_duplicates_ignored(self):
+        events = frags(b"x" * 25, mtu=10)
+        co = Coalescer()
+        co.offer(events[0])
+        assert co.offer(events[0]) is None
+        assert co.duplicates == 1
+        co.offer(events[1])
+        assert co.offer(events[2]) == b"x" * 25
+
+    def test_non_fragment_passthrough(self):
+        events = frags(b"plain", mtu=100)  # unmarked
+        co = Coalescer()
+        assert co.offer(events[0]) == b"plain"
+        assert co.completed == 0  # passthrough is not a reassembly
+
+    def test_interleaved_datasets(self):
+        a = frags(b"A" * 25, mtu=10)
+        b = frags(b"B" * 25, mtu=10)
+        co = Coalescer()
+        out = []
+        for ea, eb in zip(a, b):
+            out.append(co.offer(ea))
+            out.append(co.offer(eb))
+        complete = [r for r in out if r is not None]
+        assert complete == [b"A" * 25, b"B" * 25]
+
+    def test_digest_mismatch_detected(self):
+        import dataclasses
+
+        events = frags(b"x" * 25, mtu=10)
+        corrupted = dataclasses.replace(events[1], payload=b"y" * 10)
+        co = Coalescer()
+        co.offer(events[0])
+        co.offer(corrupted)
+        with pytest.raises(CodecError, match="digest"):
+            co.offer(events[2])
+
+    def test_malformed_headers_rejected(self):
+        import dataclasses
+
+        events = frags(b"x" * 25, mtu=10)
+        bad = dataclasses.replace(
+            events[0],
+            headers=((FRAGMENT_HEADER, "ds"), ("x-fragment-index", "NaN"),
+                     ("x-fragment-count", "3"), ("x-fragment-digest", "d")),
+        )
+        with pytest.raises(CodecError, match="malformed"):
+            Coalescer().offer(bad)
+
+    def test_index_out_of_range_rejected(self):
+        import dataclasses
+
+        events = frags(b"x" * 25, mtu=10)
+        bad = dataclasses.replace(
+            events[0],
+            headers=((FRAGMENT_HEADER, "ds"), ("x-fragment-index", "9"),
+                     ("x-fragment-count", "3"), ("x-fragment-digest", "d")),
+        )
+        with pytest.raises(CodecError, match="range"):
+            Coalescer().offer(bad)
+
+    def test_stale_partial_evicted(self):
+        co = Coalescer(max_partial=2)
+        # Three half-finished datasets: the stalest must be evicted.
+        for k, t in enumerate((1.0, 2.0, 3.0)):
+            events = fragment("t", bytes([k]) * 25, "s", t, ids(), mtu=10)
+            co.offer(events[0])
+        assert co.pending == 2
+        assert co.evicted == 1
+
+    def test_abandon(self):
+        events = frags(b"x" * 25, mtu=10)
+        co = Coalescer()
+        co.offer(events[0])
+        dataset = events[0].header(FRAGMENT_HEADER)
+        assert co.abandon(dataset) is True
+        assert co.abandon(dataset) is False
+        assert co.pending == 0
+
+    def test_max_partial_validated(self):
+        with pytest.raises(ValueError):
+            Coalescer(max_partial=0)
+
+
+@given(
+    payload=st.binary(min_size=0, max_size=600),
+    mtu=st.integers(min_value=1, max_value=64),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_shuffled_fragments_always_reassemble(payload, mtu, seed):
+    events = fragment("t", payload, "s", 0.0, ids(), mtu=mtu)
+    co = Coalescer()
+    order = np.random.default_rng(seed).permutation(len(events))
+    complete = [r for r in (co.offer(events[i]) for i in order) if r is not None]
+    assert complete == [payload]
+
+
+class TestEndToEnd:
+    def test_large_payload_crosses_broker_network(self):
+        """Fragments ride ordinary events end to end, with compression."""
+        from repro.core.compression import compress_payload, decompress_payload
+        from repro.substrate.builder import BrokerNetwork, Topology
+        from repro.substrate.client import PubSubClient
+
+        net = BrokerNetwork(seed=4)
+        for i in range(3):
+            net.add_broker(f"b{i}", site=f"s{i}")
+        net.apply_topology(Topology.LINEAR)
+        net.settle()
+        sender = PubSubClient("tx", "tx.host", net.network, np.random.default_rng(1), site="cs1")
+        receiver = PubSubClient("rx", "rx.host", net.network, np.random.default_rng(2), site="cs2")
+        for c, b in ((sender, "b0"), (receiver, "b2")):
+            c.start()
+            c.connect(net.brokers[b].client_endpoint)
+        net.sim.run_for(1.0)
+
+        co = Coalescer()
+        received = []
+
+        def on_event(event):
+            whole = co.offer(event)
+            if whole is not None:
+                received.append(decompress_payload(whole))
+
+        receiver.subscribe("datasets/**", on_event)
+        net.sim.run_for(0.5)
+
+        dataset = b"simulation-output," * 3000  # ~54 KB, compressible
+        framed = compress_payload(dataset)
+        for event in fragment(
+            "datasets/run42", framed, sender.name, sender.utc(), sender.ids, mtu=8192
+        ):
+            sender.publish(event.topic, event.payload, headers=event.headers)
+        net.sim.run_for(3.0)
+        assert received == [dataset]

@@ -1,0 +1,211 @@
+"""Tests for hierarchical topics and the wildcard trie."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.substrate.topics import (
+    TopicTrie,
+    topic_matches,
+    validate_pattern,
+    validate_topic,
+)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("topic", ["a", "a/b", "Services/BrokerDiscovery/Request"])
+    def test_valid_topics(self, topic):
+        assert "/".join(validate_topic(topic)) == topic
+
+    @pytest.mark.parametrize("topic", ["", "/a", "a/", "a//b", "a/*", "a/**", "*"])
+    def test_invalid_topics(self, topic):
+        with pytest.raises(ValueError):
+            validate_topic(topic)
+
+    @pytest.mark.parametrize("pattern", ["a", "a/*/c", "**", "a/**", "*/*"])
+    def test_valid_patterns(self, pattern):
+        assert "/".join(validate_pattern(pattern)) == pattern
+
+    @pytest.mark.parametrize("pattern", ["", "/a", "a//b", "**/a", "a/**/b", "foo*", "a/b*"])
+    def test_invalid_patterns(self, pattern):
+        with pytest.raises(ValueError):
+            validate_pattern(pattern)
+
+
+class TestTopicMatches:
+    @pytest.mark.parametrize(
+        "pattern,topic,expected",
+        [
+            ("a/b/c", "a/b/c", True),
+            ("a/b/c", "a/b", False),
+            ("a/b", "a/b/c", False),
+            ("a/*/c", "a/x/c", True),
+            ("a/*/c", "a/x/y", False),
+            ("*", "anything", True),
+            ("*", "a/b", False),
+            ("**", "a", True),
+            ("**", "a/b/c/d", True),
+            ("a/**", "a", True),  # '**' matches the empty suffix
+            ("a/**", "a/b/c", True),
+            ("a/**", "b/c", False),
+            ("a/*", "a/b", True),
+            ("a/*", "a", False),
+            ("Services/BrokerDiscovery/Request", "Services/BrokerDiscovery/Request", True),
+        ],
+    )
+    def test_cases(self, pattern, topic, expected):
+        assert topic_matches(pattern, topic) is expected
+
+
+class TestTrieBasics:
+    def test_exact_match(self):
+        trie = TopicTrie()
+        trie.add("a/b", "s1")
+        assert trie.match("a/b") == {"s1"}
+        assert trie.match("a") == set()
+        assert trie.match("a/b/c") == set()
+
+    def test_multiple_subscribers_same_pattern(self):
+        trie = TopicTrie()
+        trie.add("a/b", "s1")
+        trie.add("a/b", "s2")
+        assert trie.match("a/b") == {"s1", "s2"}
+
+    def test_star_matches_one_segment(self):
+        trie = TopicTrie()
+        trie.add("sports/*/scores", "s1")
+        assert trie.match("sports/tennis/scores") == {"s1"}
+        assert trie.match("sports/scores") == set()
+        assert trie.match("sports/a/b/scores") == set()
+
+    def test_doublestar_matches_any_suffix(self):
+        trie = TopicTrie()
+        trie.add("sports/**", "s1")
+        assert trie.match("sports") == {"s1"}
+        assert trie.match("sports/tennis/scores/live") == {"s1"}
+        assert trie.match("news") == set()
+
+    def test_mixed_patterns_union(self):
+        trie = TopicTrie()
+        trie.add("a/b", "exact")
+        trie.add("a/*", "star")
+        trie.add("a/**", "many")
+        trie.add("**", "all")
+        assert trie.match("a/b") == {"exact", "star", "many", "all"}
+        assert trie.match("a/c") == {"star", "many", "all"}
+        assert trie.match("a") == {"many", "all"}
+        assert trie.match("z") == {"all"}
+
+    def test_add_duplicate_returns_false(self):
+        trie = TopicTrie()
+        assert trie.add("a/b", "s1") is True
+        assert trie.add("a/b", "s1") is False
+        assert len(trie) == 1
+
+    def test_len_counts_pairs(self):
+        trie = TopicTrie()
+        trie.add("a", "s1")
+        trie.add("a", "s2")
+        trie.add("b/**", "s1")
+        assert len(trie) == 3
+
+
+class TestTrieRemoval:
+    def test_remove_restores_nonmatching(self):
+        trie = TopicTrie()
+        trie.add("a/b", "s1")
+        assert trie.remove("a/b", "s1") is True
+        assert trie.match("a/b") == set()
+        assert len(trie) == 0
+
+    def test_remove_missing_returns_false(self):
+        trie = TopicTrie()
+        assert trie.remove("a/b", "s1") is False
+        trie.add("a/b", "s1")
+        assert trie.remove("a/b", "s2") is False
+        assert trie.remove("a/c", "s1") is False
+        assert trie.remove("a/*", "s1") is False
+
+    def test_remove_doublestar(self):
+        trie = TopicTrie()
+        trie.add("a/**", "s1")
+        assert trie.remove("a/**", "s1") is True
+        assert trie.match("a/b") == set()
+
+    def test_remove_one_of_two_subscribers(self):
+        trie = TopicTrie()
+        trie.add("a/b", "s1")
+        trie.add("a/b", "s2")
+        trie.remove("a/b", "s1")
+        assert trie.match("a/b") == {"s2"}
+
+    def test_pruning_keeps_siblings(self):
+        trie = TopicTrie()
+        trie.add("a/b/c", "s1")
+        trie.add("a/b/d", "s2")
+        trie.remove("a/b/c", "s1")
+        assert trie.match("a/b/d") == {"s2"}
+
+    def test_patterns_iteration(self):
+        trie = TopicTrie()
+        pairs = {("a/b", "s1"), ("a/*", "s2"), ("x/**", "s3")}
+        for pattern, sub in pairs:
+            trie.add(pattern, sub)
+        assert set(trie.patterns()) == pairs
+
+
+# ---------------------------------------------------------------------------
+# Property tests: trie agrees with the reference matcher
+# ---------------------------------------------------------------------------
+
+_seg = st.sampled_from(["a", "b", "c", "d", "news", "sports"])
+_topic = st.lists(_seg, min_size=1, max_size=4).map("/".join)
+
+
+@st.composite
+def _pattern(draw) -> str:
+    depth = draw(st.integers(min_value=1, max_value=4))
+    segments = []
+    for i in range(depth):
+        choice = draw(st.sampled_from(["seg", "star", "many"]))
+        if choice == "many" and i == depth - 1:
+            segments.append("**")
+        elif choice == "star":
+            segments.append("*")
+        else:
+            segments.append(draw(_seg))
+    return "/".join(segments)
+
+
+@given(
+    subs=st.lists(st.tuples(_pattern(), st.sampled_from(["s1", "s2", "s3"])), max_size=15),
+    topics=st.lists(_topic, min_size=1, max_size=10),
+)
+def test_property_trie_agrees_with_reference(subs, topics):
+    trie = TopicTrie()
+    for pattern, sub in subs:
+        trie.add(pattern, sub)
+    for topic in topics:
+        expected = {s for p, s in subs if topic_matches(p, topic)}
+        assert trie.match(topic) == expected
+
+
+@given(
+    subs=st.lists(
+        st.tuples(_pattern(), st.sampled_from(["s1", "s2"])), min_size=1, max_size=12
+    ),
+    data=st.data(),
+)
+def test_property_remove_inverts_add(subs, data):
+    """After adding all and removing a subset, matching equals the model."""
+    trie = TopicTrie()
+    unique = list(dict.fromkeys(subs))
+    for pattern, sub in unique:
+        trie.add(pattern, sub)
+    to_remove = data.draw(st.lists(st.sampled_from(unique), max_size=len(unique), unique=True))
+    for pattern, sub in to_remove:
+        assert trie.remove(pattern, sub) is True
+    remaining = [ps for ps in unique if ps not in set(to_remove)]
+    assert len(trie) == len(remaining)
+    assert set(trie.patterns()) == set(remaining)

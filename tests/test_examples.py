@@ -1,0 +1,48 @@
+"""Every example script must run clean end to end.
+
+Examples double as executable documentation; this keeps them from
+rotting.  Each runs in a subprocess with a reduced workload where the
+script supports it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", []),
+    ("wan_discovery.py", ["--runs", "10"]),
+    ("load_balancing.py", []),
+    ("fault_tolerance.py", []),
+    ("secure_discovery.py", []),
+    ("substrate_services.py", []),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs_clean(script, args):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed\n--- stdout ---\n{result.stdout[-2000:]}"
+        f"\n--- stderr ---\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_every_example_file_is_listed():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    listed = {script for script, _ in CASES}
+    assert on_disk == listed, "update CASES when adding/removing examples"

@@ -1,0 +1,72 @@
+"""Tests for synthetic topology generators."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topology.generators import (
+    grid_latency_model,
+    random_waxman_sites,
+    scale_free_broker_graph,
+)
+
+
+class TestWaxmanSites:
+    def test_site_count_and_names(self):
+        model = random_waxman_sites(12, np.random.default_rng(0))
+        assert len(model.sites) == 12
+        assert model.sites[0] == "site00"
+
+    def test_deterministic(self):
+        a = random_waxman_sites(8, np.random.default_rng(5), jitter_sigma=0.0)
+        b = random_waxman_sites(8, np.random.default_rng(5), jitter_sigma=0.0)
+        for s1 in a.sites:
+            for s2 in a.sites:
+                assert a.base_delay(s1, s2) == b.base_delay(s1, s2)
+
+    def test_triangle_inequality_roughly_holds(self):
+        """Euclidean-derived latencies satisfy the triangle inequality."""
+        model = random_waxman_sites(10, np.random.default_rng(2), jitter_sigma=0.0)
+        sites = model.sites
+        for a in sites[:5]:
+            for b in sites[:5]:
+                for c in sites[:5]:
+                    # Floors at the minimum latency can break strictness
+                    # by at most the floor value itself.
+                    assert model.base_delay(a, c) <= (
+                        model.base_delay(a, b) + model.base_delay(b, c) + 0.0004
+                    )
+
+    def test_minimum_site_count(self):
+        with pytest.raises(ValueError):
+            random_waxman_sites(0, np.random.default_rng(0))
+
+
+class TestGridModel:
+    def test_manhattan_distances(self):
+        model = grid_latency_model(2, 3, hop_ms=5.0, jitter_sigma=0.0)
+        assert model.base_delay("g0_0", "g0_1") == pytest.approx(0.005)
+        assert model.base_delay("g0_0", "g1_2") == pytest.approx(0.015)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            grid_latency_model(0, 3)
+
+
+class TestScaleFreeGraph:
+    def test_connected_and_named(self):
+        g = scale_free_broker_graph(20, np.random.default_rng(1))
+        assert nx.is_connected(g)
+        assert all(isinstance(n, str) and n.startswith("b") for n in g.nodes)
+        assert g.number_of_nodes() == 20
+
+    def test_hub_structure(self):
+        g = scale_free_broker_graph(50, np.random.default_rng(2))
+        degrees = sorted((d for _, d in g.degree), reverse=True)
+        assert degrees[0] >= 3 * degrees[-1]  # preferential attachment hubs
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            scale_free_broker_graph(2, np.random.default_rng(0), m=2)

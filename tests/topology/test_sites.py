@@ -1,0 +1,74 @@
+"""Tests for the Table 1 site catalogue and WAN model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology.sites import (
+    PAPER_SITES,
+    TABLE1_MACHINES,
+    paper_latency_model,
+    paper_site_names,
+)
+
+
+class TestSiteCatalogue:
+    def test_five_table1_machines(self):
+        assert len(TABLE1_MACHINES) == 5
+        hosts = {s.machine for s in TABLE1_MACHINES}
+        assert hosts == {
+            "complexity.ucs.indiana.edu",
+            "webis.msi.umn.edu",
+            "tungsten.ncsa.uiuc.edu",
+            "pamd2.fsit.fsu.edu",
+            "bouscat.cs.cf.ac.uk",
+        }
+
+    def test_six_sites_total_with_bloomington(self):
+        assert len(PAPER_SITES) == 6
+        assert "bloomington" in paper_site_names()
+
+    def test_regions(self):
+        regions = {s.name: s.region for s in PAPER_SITES}
+        assert regions["cardiff"] == "europe"
+        assert all(
+            r == "north-america" for n, r in regions.items() if n != "cardiff"
+        )
+
+    def test_site_names_unique(self):
+        names = paper_site_names()
+        assert len(set(names)) == len(names)
+
+
+class TestLatencyModel:
+    def test_model_covers_all_sites(self):
+        model = paper_latency_model()
+        assert set(model.sites) == set(paper_site_names())
+
+    def test_cardiff_is_farthest_from_every_us_site(self):
+        model = paper_latency_model(jitter_sigma=0.0)
+        for site in paper_site_names():
+            if site == "cardiff":
+                continue
+            others = [
+                model.base_delay(site, o)
+                for o in paper_site_names()
+                if o not in (site, "cardiff")
+            ]
+            assert model.base_delay(site, "cardiff") > max(others)
+
+    def test_bloomington_indianapolis_is_shortest_wan_pair(self):
+        model = paper_latency_model(jitter_sigma=0.0)
+        assert model.base_delay("bloomington", "indianapolis") == pytest.approx(0.002)
+
+    def test_transatlantic_magnitude(self):
+        model = paper_latency_model(jitter_sigma=0.0)
+        assert 0.050 <= model.base_delay("bloomington", "cardiff") <= 0.070
+
+    def test_jitter_configurable(self):
+        rng = np.random.default_rng(0)
+        noisy = paper_latency_model(jitter_sigma=0.2)
+        a = noisy.delay("bloomington", "cardiff", 0, rng)
+        b = noisy.delay("bloomington", "cardiff", 0, rng)
+        assert a != b
