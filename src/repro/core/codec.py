@@ -205,6 +205,7 @@ def _encode_advertisement(w: _Writer, m: BrokerAdvertisement) -> None:
     w.string(m.region)
     w.string(m.institution)
     w.f64(m.issued_at)
+    w.f64(m.ttl)
 
 
 def _decode_advertisement(r: _Reader) -> BrokerAdvertisement:
@@ -216,6 +217,7 @@ def _decode_advertisement(r: _Reader) -> BrokerAdvertisement:
         region=r.string(),
         institution=r.string(),
         issued_at=r.f64(),
+        ttl=r.f64(),
     )
 
 

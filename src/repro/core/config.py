@@ -102,6 +102,11 @@ class BrokerConfig:
         Multicast group names the broker listens on for discovery; an
         empty tuple models the paper's "multicast service is disabled
         for a particular set of brokers".
+    link_retry_interval:
+        Seconds between a broker's attempts to re-establish a lost
+        *persistent* link (one created with ``link_to(..., persistent=True)``).
+        Section 7 assumes the broker network heals after failures; this
+        is the repair cadence.
     """
 
     dedup_capacity: int = DEFAULT_CAPACITY
@@ -110,6 +115,7 @@ class BrokerConfig:
     base_cpu_load: float = 0.02
     advertise: bool = True
     multicast_groups: tuple[str, ...] = ("Services/BrokerDiscovery",)
+    link_retry_interval: float = 5.0
 
     def __post_init__(self) -> None:
         if self.dedup_capacity < 1:
@@ -118,6 +124,8 @@ class BrokerConfig:
             raise ConfigError("total_memory must be positive")
         if not 0.0 <= self.base_cpu_load < 1.0:
             raise ConfigError("base_cpu_load must be in [0, 1)")
+        if self.link_retry_interval <= 0:
+            raise ConfigError("link_retry_interval must be positive")
 
 
 @dataclass(frozen=True, slots=True)
@@ -226,6 +234,13 @@ class ClientConfig:
     min_responses:
         If fewer responses than this arrive inside the timeout, the
         client retransmits rather than deciding on a thin sample.
+    require_ping_evidence:
+        If True, a run whose ping phase produced *zero* pongs fails
+        explicitly instead of falling back to the best-scored
+        candidate.  The paper's default (False) optimistically picks
+        from the target set; the strict mode is for fault-injection
+        runs where "no broker answered a ping" usually means the
+        chosen broker would be unreachable anyway.
     """
 
     bdn_endpoints: tuple[Endpoint, ...] = ()
@@ -244,6 +259,7 @@ class ClientConfig:
     ping_tie_absolute: float = 0.001
     credentials: frozenset[str] = frozenset()
     min_responses: int = 1
+    require_ping_evidence: bool = False
 
     def __post_init__(self) -> None:
         if self.response_timeout <= 0:

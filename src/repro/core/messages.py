@@ -123,6 +123,12 @@ class BrokerAdvertisement(Message):
         Optional institutional affiliation.
     issued_at:
         Broker's UTC timestamp at advertisement time.
+    ttl:
+        Lease duration in seconds, measured by the BDN from receipt.
+        A broker that keeps re-advertising on a heartbeat renews the
+        lease; one that dies (or is partitioned away) silently lets it
+        lapse and the BDN evicts the stale entry.  ``0`` means no lease
+        (the registration never expires), the pre-lease behaviour.
     """
 
     kind: ClassVar[int] = 3
@@ -134,6 +140,7 @@ class BrokerAdvertisement(Message):
     region: str = ""
     institution: str = ""
     issued_at: float = 0.0
+    ttl: float = 0.0
 
     def port_for(self, protocol: str) -> int | None:
         """Return the advertised port for ``protocol``, if any."""

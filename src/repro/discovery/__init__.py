@@ -22,6 +22,9 @@ The pieces map one-to-one onto the paper's sections:
   sub-activity breakdowns of Figures 2, 9 and 11.
 * :mod:`repro.discovery.faults` -- fault injection for the section 7
   scenarios.
+* :mod:`repro.discovery.chaos` -- seeded randomized fault schedules
+  (link cuts, partitions, kill+revive, loss storms) with invariant
+  checking over a discovery workload.
 """
 
 from repro.discovery.advertisement import (
@@ -40,10 +43,20 @@ from repro.discovery.ping import Pinger
 from repro.discovery.phases import PhaseTimer, PHASE_NAMES
 from repro.discovery.requester import (
     CLIENT_UDP_PORT,
+    CachedTarget,
     DiscoveryClient,
     DiscoveryOutcome,
 )
 from repro.discovery.faults import FaultInjector
+from repro.discovery.chaos import (
+    CHAOS_KINDS,
+    ChaosAction,
+    ChaosReport,
+    ChaosWorld,
+    apply_schedule,
+    draw_schedule,
+    run_chaos,
+)
 
 __all__ = [
     "AD_TOPIC",
@@ -64,7 +77,15 @@ __all__ = [
     "PhaseTimer",
     "PHASE_NAMES",
     "CLIENT_UDP_PORT",
+    "CachedTarget",
     "DiscoveryClient",
     "DiscoveryOutcome",
     "FaultInjector",
+    "CHAOS_KINDS",
+    "ChaosAction",
+    "ChaosReport",
+    "ChaosWorld",
+    "apply_schedule",
+    "draw_schedule",
+    "run_chaos",
 ]

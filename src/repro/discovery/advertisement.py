@@ -9,9 +9,18 @@ public topic such as ``Services/BrokerDiscoveryNodes/BrokerAdvertisement``
 that BDNs subscribe to); and a BDN may *ignore* advertisements outside
 its interest (e.g. "a BDN in the US may be interested only in broker
 additions in North America").
+
+**Leases** extend the paper's registration scheme for partition and
+churn tolerance: an advertisement may carry a TTL, brokers renew it by
+re-advertising on a heartbeat (:func:`start_periodic_advertisement`),
+and a BDN evicts entries whose lease lapsed -- so a broker that died or
+was partitioned away stops being handed to requesters after at most one
+TTL, instead of lingering until ping-based pruning notices.
 """
 
 from __future__ import annotations
+
+import math
 
 from dataclasses import dataclass
 
@@ -41,8 +50,17 @@ AD_TOPIC = "Services/BrokerDiscoveryNodes/BrokerAdvertisement"
 BDN_ANNOUNCE_TOPIC = "Services/BrokerDiscoveryNodes/Announce"
 
 
-def build_advertisement(broker: Broker, region: str = "", institution: str = "") -> BrokerAdvertisement:
-    """Construct a broker's advertisement from its live state."""
+def build_advertisement(
+    broker: Broker, region: str = "", institution: str = "", ttl: float = 0.0
+) -> BrokerAdvertisement:
+    """Construct a broker's advertisement from its live state.
+
+    ``ttl`` is the lease duration in seconds (0 = never expires, the
+    pre-lease behaviour; one-shot registrations keep that default so a
+    broker that advertises once is not silently forgotten).
+    """
+    if ttl < 0:
+        raise ValueError(f"ttl must be non-negative, got {ttl}")
     return BrokerAdvertisement(
         broker_id=broker.name,
         hostname=broker.host,
@@ -51,6 +69,7 @@ def build_advertisement(broker: Broker, region: str = "", institution: str = "")
         region=region or _region_hint(broker),
         institution=institution or broker.site,
         issued_at=broker.utc(),
+        ttl=ttl,
     )
 
 
@@ -59,7 +78,9 @@ def _region_hint(broker: Broker) -> str:
     return "europe" if broker.site == "cardiff" else "north-america"
 
 
-def advertise_direct(broker: Broker, bdn_endpoint: Endpoint, region: str = "") -> BrokerAdvertisement:
+def advertise_direct(
+    broker: Broker, bdn_endpoint: Endpoint, region: str = "", ttl: float = 0.0
+) -> BrokerAdvertisement:
     """Send the broker's advertisement straight to one BDN over UDP.
 
     The first dissemination form of section 2.3 ("sending this
@@ -67,19 +88,19 @@ def advertise_direct(broker: Broker, bdn_endpoint: Endpoint, region: str = "") -
     configuration file").  Like any datagram it may be lost; section 7
     notes the scheme tolerates lost advertisements.
     """
-    ad = build_advertisement(broker, region=region)
+    ad = build_advertisement(broker, region=region, ttl=ttl)
     broker.send_udp(bdn_endpoint, ad)
     return ad
 
 
-def advertise_on_topic(broker: Broker, region: str = "") -> BrokerAdvertisement:
+def advertise_on_topic(broker: Broker, region: str = "", ttl: float = 0.0) -> BrokerAdvertisement:
     """Publish the broker's advertisement on the public topic.
 
     The second dissemination form of section 2.3: every BDN attached to
     the broker network (via :meth:`repro.discovery.bdn.BDN.attach_to_network`)
     receives it through normal pub/sub routing.
     """
-    ad = build_advertisement(broker, region=region)
+    ad = build_advertisement(broker, region=region, ttl=ttl)
     event = Event(
         uuid=broker.ids(),
         topic=AD_TOPIC,
@@ -98,6 +119,7 @@ def start_periodic_advertisement(
     burst: int = 3,
     burst_spacing: float = 0.5,
     region: str = "",
+    ttl: float | None = None,
 ):
     """Advertise now (in a small burst) and re-advertise periodically.
 
@@ -107,14 +129,21 @@ def start_periodic_advertisement(
     makes registration robust at startup and the periodic re-send keeps
     the registration alive against BDN pruning and restarts.
 
+    ``ttl`` defaults to three heartbeat intervals, so the lease survives
+    two consecutive lost heartbeats before the BDN evicts the broker;
+    pass ``ttl=0`` explicitly for a non-expiring registration.  A dead
+    (or revived) broker pauses (resumes) the heartbeat automatically:
+    each tick checks ``broker.alive``.
+
     Returns the periodic series handle (cancel it to stop).
     """
     if interval <= 0 or burst < 1 or burst_spacing < 0:
         raise ValueError("invalid advertisement schedule")
+    lease = 3.0 * interval if ttl is None else ttl
 
     def send() -> None:
         if broker.alive:
-            advertise_direct(broker, bdn_endpoint, region=region)
+            advertise_direct(broker, bdn_endpoint, region=region, ttl=lease)
 
     send()
     for i in range(1, burst):
@@ -151,10 +180,17 @@ def enable_bdn_autoregistration(broker: Broker, region: str = "") -> None:
 
 @dataclass(frozen=True, slots=True)
 class StoredAdvertisement:
-    """An advertisement plus BDN-side bookkeeping."""
+    """An advertisement plus BDN-side bookkeeping.
+
+    ``expires_at`` is the lease deadline on the *BDN's* sim clock
+    (receipt time + TTL; infinity for lease-less advertisements) --
+    expiry is judged by the receiver so broker/BDN clock skew cannot
+    prematurely kill a lease.
+    """
 
     advertisement: BrokerAdvertisement
     received_at: float
+    expires_at: float = math.inf
 
     @property
     def broker_id(self) -> str:
@@ -165,6 +201,10 @@ class StoredAdvertisement:
         """Where the advertised broker receives datagrams."""
         port = self.advertisement.port_for("udp")
         return Endpoint(self.advertisement.hostname, port if port is not None else BROKER_UDP_PORT)
+
+    def is_expired(self, now: float) -> bool:
+        """Whether the lease has lapsed at time ``now``."""
+        return now >= self.expires_at
 
 
 class AdvertisementStore:
@@ -181,6 +221,7 @@ class AdvertisementStore:
         self.interest_regions = interest_regions
         self._ads: dict[str, StoredAdvertisement] = {}
         self.ignored = 0
+        self.leases_expired = 0
 
     def __len__(self) -> int:
         return len(self._ads)
@@ -192,13 +233,17 @@ class AdvertisementStore:
         """Store ``ad`` unless the interest filter rejects it.
 
         Re-advertisement by the same broker replaces the prior entry
-        (brokers "may have the option to re-advertise", section 2.4).
-        Returns True if stored.
+        (brokers "may have the option to re-advertise", section 2.4),
+        which is also how a heartbeat renews a lease.  Returns True if
+        stored.
         """
         if self.interest_regions and ad.region not in self.interest_regions:
             self.ignored += 1
             return False
-        self._ads[ad.broker_id] = StoredAdvertisement(advertisement=ad, received_at=now)
+        expires = now + ad.ttl if ad.ttl > 0 else math.inf
+        self._ads[ad.broker_id] = StoredAdvertisement(
+            advertisement=ad, received_at=now, expires_at=expires
+        )
         return True
 
     def remove(self, broker_id: str) -> bool:
@@ -206,13 +251,29 @@ class AdvertisementStore:
         return self._ads.pop(broker_id, None) is not None
 
     def get(self, broker_id: str) -> StoredAdvertisement | None:
-        """Look up one registration."""
+        """Look up one registration (expired entries included until evicted)."""
         return self._ads.get(broker_id)
 
-    def all(self) -> list[StoredAdvertisement]:
-        """Every stored advertisement, ordered by broker id."""
-        return [self._ads[k] for k in sorted(self._ads)]
+    def all(self, now: float | None = None) -> list[StoredAdvertisement]:
+        """Stored advertisements, ordered by broker id.
 
-    def broker_ids(self) -> list[str]:
-        """Registered broker ids, sorted."""
-        return sorted(self._ads)
+        With ``now`` given, entries whose lease has lapsed are filtered
+        out -- the read path every dissemination decision must use, so
+        a stale broker is never handed to a requester even between
+        eviction sweeps.
+        """
+        if now is None:
+            return [self._ads[k] for k in sorted(self._ads)]
+        return [self._ads[k] for k in sorted(self._ads) if not self._ads[k].is_expired(now)]
+
+    def broker_ids(self, now: float | None = None) -> list[str]:
+        """Registered broker ids, sorted (lease-filtered when ``now`` given)."""
+        return [s.broker_id for s in self.all(now)]
+
+    def evict_expired(self, now: float) -> list[str]:
+        """Remove every entry whose lease lapsed; returns the evicted ids."""
+        expired = sorted(k for k, s in self._ads.items() if s.is_expired(now))
+        for broker_id in expired:
+            del self._ads[broker_id]
+        self.leases_expired += len(expired)
+        return expired

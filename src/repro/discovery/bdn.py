@@ -98,6 +98,11 @@ class BDN(Node):
         self.requests_received = 0
         self.requests_disseminated = 0
         self.credential_rejections = 0
+        # Invariant guard: counts expired advertisements that were about
+        # to be used as dissemination targets.  Lease filtering in
+        # :meth:`_injection_targets` must keep this at zero; the chaos
+        # harness asserts it.
+        self.stale_targets = 0
 
     @property
     def udp_endpoint(self) -> Endpoint:
@@ -218,6 +223,14 @@ class BDN(Node):
 
     def _disseminate(self, request: DiscoveryRequest) -> None:
         targets = self._injection_targets()
+        # Defence in depth: _injection_targets already lease-filters, so
+        # an expired target here means the filtering broke.  Count it
+        # (the chaos invariants assert zero) and refuse to use it.
+        now = self.sim.now
+        stale = [s for s in targets if s.is_expired(now)]
+        if stale:
+            self.stale_targets += len(stale)
+            targets = [s for s in targets if not s.is_expired(now)]
         if not targets:
             self.trace("bdn_no_brokers", request=request.uuid)
             return
@@ -244,8 +257,11 @@ class BDN(Node):
         through the broker network"); brokers without RTT data yet fall
         back to registration order.
         ``single``: just the closest (or first-registered) broker.
+
+        Expired leases are filtered out here, so a stale broker is never
+        disseminated to even between eviction sweeps.
         """
-        ads = self.store.all()
+        ads = self.store.all(self.sim.now)
         if not ads or self.config.injection == "all":
             return ads
         by_distance = sorted(
@@ -266,10 +282,15 @@ class BDN(Node):
     # Distance sweeps
     # ------------------------------------------------------------------
     def _sweep(self) -> None:
-        """Ping every registered broker; prune long-silent ones."""
+        """Ping every registered broker; evict lapsed leases and prune
+        long-silent ones."""
         if not self.alive:
             return
         now = self.sim.now
+        for broker_id in self.store.evict_expired(now):
+            self._registered_at.pop(broker_id, None)
+            self.pinger.forget(broker_id)
+            self.trace("bdn_lease_expired", broker=broker_id)
         horizon = _PRUNE_MISSED_SWEEPS * self.config.ping_interval
         for stored in self.store.all():
             broker_id = stored.broker_id

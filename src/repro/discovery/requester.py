@@ -210,6 +210,7 @@ class DiscoveryClient(Node):
         self.pinger = Pinger(self, self.endpoint(CLIENT_UDP_PORT))
         self.pinger.on_rtt = self._on_ping_rtt
         self.last_target_set: list[CachedTarget] = []
+        self.last_selected: CachedTarget | None = None
         self._run: _Run | None = None
         self.late_responses = 0
 
@@ -251,6 +252,75 @@ class DiscoveryClient(Node):
             # and running", section 3).
             self._fallback_multicast(run)
         return run.uuid
+
+    def rediscover(self, on_complete: Callable[[DiscoveryOutcome], None]) -> str:
+        """Reconnect through the cached target set, skipping the BDNs.
+
+        Section 7's reconnect-after-disconnect: a node whose broker
+        dies "keeps track of [its] last target set of brokers" and
+        re-issues the request to them directly, with no fresh BDN round
+        trip.  Raises :class:`DiscoveryError` if a discovery is already
+        in flight, the client is not started, or nothing is cached.
+        """
+        if self._run is not None:
+            raise DiscoveryError(f"client {self.name} already has a discovery in flight")
+        if not self.started:
+            raise DiscoveryError(f"client {self.name} must be started before discovering")
+        if not self.last_target_set:
+            raise DiscoveryError(
+                f"client {self.name} has no cached target set to reconnect with"
+            )
+        phases = PhaseTimer(lambda: self.sim.now)
+        run = _Run(self.ids(), phases, self.sim.now, on_complete)
+        self._run = run
+        phases.begin("issue_request")
+        self.trace("rediscover_start", request=run.uuid)
+        self._fallback_cached(run)
+        return run.uuid
+
+    def watch_selected(
+        self,
+        on_reconnect: Callable[[DiscoveryOutcome], None],
+        interval: float = 1.0,
+        max_missed: int = 3,
+    ):
+        """Monitor the selected broker; rediscover when it stops answering.
+
+        Pings :attr:`last_selected` every ``interval`` seconds.  After
+        ``max_missed`` consecutive intervals with no pong the broker is
+        declared dead, the watch cancels itself and
+        :meth:`rediscover` runs with ``on_reconnect`` as its completion
+        callback.  Ticks that land while a discovery is already in
+        flight are skipped.  Returns the periodic series handle (cancel
+        it to stop watching).
+        """
+        if interval <= 0 or max_missed < 1:
+            raise DiscoveryError("invalid watch schedule")
+        target = self.last_selected
+        if target is None:
+            raise DiscoveryError(f"client {self.name} has no selected broker to watch")
+        key = f"watch:{target.broker_id}"
+        state = {"missed": 0, "pinged": False}
+
+        def tick() -> None:
+            if self._run is not None:
+                return
+            last = self.pinger.last_heard(key)
+            heard_recently = last is not None and self.sim.now - last <= interval
+            if state["pinged"] and not heard_recently:
+                state["missed"] += 1
+            elif heard_recently:
+                state["missed"] = 0
+            if state["missed"] >= max_missed:
+                series.cancel()
+                self.trace("watch_broker_lost", broker=target.broker_id)
+                self.rediscover(on_reconnect)
+                return
+            state["pinged"] = True
+            self.pinger.ping(target.udp_endpoint, key=key)
+
+        series = self.sim.call_every(interval, tick)
+        return series
 
     # ------------------------------------------------------------------
     # Request transmission and the fallback chain
@@ -530,8 +600,10 @@ class DiscoveryClient(Node):
                 eligible, key=lambda t: (t.weight, -ping_rtts[t.broker_id], t.broker_id)
             )
             selected_rtt = ping_rtts[selected.broker_id]
-        elif run.target_set:
+        elif run.target_set and not self.config.require_ping_evidence:
             # No pongs at all (heavy loss): fall back to the best score.
+            # Under ``require_ping_evidence`` this optimistic pick is
+            # disabled -- zero pongs becomes an explicit failure.
             selected = run.target_set[0]
         run.phases.close()
         outcome = DiscoveryOutcome(
@@ -557,6 +629,11 @@ class DiscoveryClient(Node):
                 )
                 for t in run.target_set
             ]
+            self.last_selected = CachedTarget(
+                broker_id=selected.broker_id,
+                host=selected.udp_endpoint.host,
+                udp_port=selected.udp_endpoint.port,
+            )
         run.state = "DONE" if outcome.success else "FAILED"
         self._run = None
         self.trace("discover_done", request=run.uuid, success=str(outcome.success))

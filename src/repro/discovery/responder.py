@@ -70,8 +70,45 @@ class DiscoveryResponder:
         self.requests_processed = 0
         self.responses_sent = 0
         self.policy_rejections = 0
+        self._heartbeats: list = []
         broker.add_udp_handler(DiscoveryRequest, self._on_udp_request)
         broker.add_control_handler(REQUEST_TOPIC, self._on_control_event)
+
+    # ------------------------------------------------------------------
+    # Registration heartbeats
+    # ------------------------------------------------------------------
+    def attach_heartbeat(
+        self,
+        bdn_endpoints,
+        interval: float = 30.0,
+        ttl: float | None = None,
+        region: str = "",
+    ) -> None:
+        """Maintain leased registrations with every listed BDN.
+
+        Starts one periodic advertisement series per BDN endpoint (see
+        :func:`~repro.discovery.advertisement.start_periodic_advertisement`;
+        ``ttl`` defaults to three intervals there).  Heartbeats pause
+        while the broker is dead and resume when it is revived, so a
+        revived broker re-acquires its leases within one interval
+        without any extra wiring.
+        """
+        from repro.discovery.advertisement import start_periodic_advertisement
+
+        if not self.broker.config.advertise:
+            return
+        for endpoint in bdn_endpoints:
+            self._heartbeats.append(
+                start_periodic_advertisement(
+                    self.broker, endpoint, interval=interval, region=region, ttl=ttl
+                )
+            )
+
+    def detach_heartbeat(self) -> None:
+        """Cancel every registration heartbeat started by this responder."""
+        for series in self._heartbeats:
+            series.cancel()
+        self._heartbeats.clear()
 
     # ------------------------------------------------------------------
     # Arrival paths

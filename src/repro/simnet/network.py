@@ -20,6 +20,20 @@ Hosts are registered with a *site* (keys the latency matrix) and a
 *realm* (scopes multicast and response policies).  Binding is by
 ``(host, port)`` endpoint; handlers receive decoded message objects plus
 the source endpoint.
+
+The fabric also carries **fault state** (exercised by
+:class:`~repro.discovery.faults.FaultInjector` and the chaos harness):
+
+* **link cuts** (:meth:`Network.fail_link` / :meth:`Network.heal_link`)
+  -- a bidirectional host-pair cut: datagrams are dropped, connection
+  attempts vanish like a timed-out SYN, and established connections
+  crossing the cut are closed;
+* **partitions** (:meth:`Network.partition` / :meth:`Network.heal_partition`)
+  -- the host set is split into reachability groups and every path
+  across the cut behaves as a failed link;
+* **per-link loss overrides** (:meth:`Network.set_link_loss`) -- a loss
+  model applying to one host pair, layered over the global model (see
+  :class:`~repro.simnet.loss.CompositeLoss` for additive layering).
 """
 
 from __future__ import annotations
@@ -141,12 +155,21 @@ class Network:
         self._udp_bindings: dict[Endpoint, Handler] = {}
         self._tcp_listeners: dict[Endpoint, Callable[[Connection], None]] = {}
         self._multicast_groups: dict[str, set[Endpoint]] = {}
+        # Fault state: cut host pairs, the active partition (host ->
+        # group id; hosts absent from every group share the implicit
+        # ``None`` group), and per-link loss-model overrides.
+        self._failed_links: set[tuple[str, str]] = set()
+        self._partition: dict[str, int] | None = None
+        self._link_loss: dict[tuple[str, str], LossModel] = {}
+        self._connections: list[Connection] = []
         # Counters.
         self.datagrams_sent = 0
         self.datagrams_delivered = 0
         self.datagrams_dropped = 0
+        self.datagrams_cut = 0
         self.bytes_sent = 0
         self.connections_opened = 0
+        self.connections_severed = 0
 
     # ------------------------------------------------------------------
     # Host registry
@@ -188,6 +211,113 @@ class Network:
         return info
 
     # ------------------------------------------------------------------
+    # Link faults and partitions
+    # ------------------------------------------------------------------
+    def _link_key(self, host_a: str, host_b: str) -> tuple[str, str]:
+        self._info(host_a)
+        self._info(host_b)
+        return (host_a, host_b) if host_a <= host_b else (host_b, host_a)
+
+    def fail_link(self, host_a: str, host_b: str) -> None:
+        """Cut the bidirectional path between two hosts.
+
+        Datagrams between them are dropped, new connection attempts
+        vanish (a SYN into a black hole), and established connections
+        crossing the cut are closed immediately -- which is what peers
+        of a partitioned broker observe as link death.
+        """
+        self._failed_links.add(self._link_key(host_a, host_b))
+        self._sever_unreachable()
+
+    def heal_link(self, host_a: str, host_b: str) -> None:
+        """Restore a previously cut host pair (idempotent)."""
+        self._failed_links.discard(self._link_key(host_a, host_b))
+
+    def failed_links(self) -> frozenset[tuple[str, str]]:
+        """Currently cut host pairs (normalised order)."""
+        return frozenset(self._failed_links)
+
+    def partition(self, *groups) -> None:
+        """Split the fabric into reachability groups.
+
+        Each ``group`` is an iterable of hostnames.  Hosts in different
+        groups cannot exchange datagrams or connections; hosts absent
+        from every group form one implicit extra group (they can still
+        talk to each other, but not across the cut).  A new partition
+        replaces the previous one.  Established connections across the
+        cut are closed.
+        """
+        mapping: dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for host in group:
+                self._info(host)
+                if host in mapping:
+                    raise TransportError(f"host {host!r} appears in multiple partition groups")
+                mapping[host] = index
+        self._partition = mapping
+        self._sever_unreachable()
+
+    def heal_partition(self) -> None:
+        """Remove the active partition (idempotent; link cuts persist)."""
+        self._partition = None
+
+    @property
+    def partitioned(self) -> bool:
+        """Whether a partition is currently in force."""
+        return self._partition is not None
+
+    def reachable(self, host_a: str, host_b: str) -> bool:
+        """Whether the fabric will currently carry traffic between two hosts.
+
+        False across a cut link or a partition boundary; loss models are
+        probabilistic and do not affect reachability.
+        """
+        self._info(host_a)
+        self._info(host_b)
+        if host_a == host_b:
+            return True
+        if self._link_key(host_a, host_b) in self._failed_links:
+            return False
+        if self._partition is not None:
+            if self._partition.get(host_a) != self._partition.get(host_b):
+                return False
+        return True
+
+    def set_link_loss(self, host_a: str, host_b: str, model: LossModel) -> None:
+        """Install ``model`` as the loss model for one host pair.
+
+        The override replaces the global model for that link only; wrap
+        the global model and the override in a
+        :class:`~repro.simnet.loss.CompositeLoss` to layer them instead.
+        """
+        self._link_loss[self._link_key(host_a, host_b)] = model
+
+    def clear_link_loss(self, host_a: str, host_b: str) -> None:
+        """Remove a per-link loss override (idempotent)."""
+        self._link_loss.pop(self._link_key(host_a, host_b), None)
+
+    def link_loss(self, host_a: str, host_b: str) -> LossModel | None:
+        """The loss override for a host pair, if any."""
+        return self._link_loss.get(self._link_key(host_a, host_b))
+
+    def _sever_unreachable(self) -> None:
+        """Close established connections that now cross a cut."""
+        still_open: list[Connection] = []
+        for conn in self._connections:
+            if not conn.open:
+                continue
+            if not self.reachable(conn.local.host, conn.remote.host):
+                self.connections_severed += 1
+                if self.tracer is not None:
+                    self.tracer.record(
+                        "tcp_severed", conn.local.host, dst=conn.remote.host
+                    )
+                conn.close()
+                continue
+            still_open.append(conn)
+        self._connections = still_open
+
+    # ------------------------------------------------------------------
     # UDP
     # ------------------------------------------------------------------
     def bind_udp(self, endpoint: Endpoint, handler: Handler) -> None:
@@ -210,10 +340,17 @@ class Network:
         size = wire_size(message)
         self.datagrams_sent += 1
         self.bytes_sent += size
+        if not self.reachable(src.host, dst.host):
+            self.datagrams_dropped += 1
+            self.datagrams_cut += 1
+            if self.tracer is not None:
+                self.tracer.record("udp_cut", src.host, dst=str(dst), kind=type(message).__name__)
+            return
         src_site = self.site_of(src.host)
         dst_site = self.site_of(dst.host)
         hops = self.latency.hops(src_site, dst_site)
-        if self.loss.lost(hops, self.rng):
+        loss = self._link_loss.get(self._link_key(src.host, dst.host), self.loss)
+        if loss.lost(hops, self.rng):
             self.datagrams_dropped += 1
             if self.tracer is not None:
                 self.tracer.record("udp_drop", src.host, dst=str(dst), kind=type(message).__name__)
@@ -222,6 +359,11 @@ class Network:
         self.sim.schedule(delay, self._deliver_udp, Datagram(message, src, dst, size))
 
     def _deliver_udp(self, dgram: Datagram) -> None:
+        if not self.reachable(dgram.src.host, dgram.dst.host):
+            # A cut landed while the datagram was in flight.
+            self.datagrams_dropped += 1
+            self.datagrams_cut += 1
+            return
         handler = self._udp_bindings.get(dgram.dst)
         if handler is None:
             self.datagrams_dropped += 1
@@ -304,9 +446,16 @@ class Network:
 
         Raises immediately if nobody listens at ``dst`` (a real SYN
         would time out; failing fast surfaces configuration errors).
+        An attempt across a cut link or partition is silently dropped
+        instead -- the SYN vanishes exactly like a real one would, and
+        ``on_connected`` never fires.
         """
         if dst not in self._tcp_listeners:
             raise TransportError(f"no TCP listener at {dst}")
+        if not self.reachable(src.host, dst.host):
+            if self.tracer is not None:
+                self.tracer.record("tcp_syn_cut", src.host, dst=str(dst))
+            return
         src_site = self.site_of(src.host)
         dst_site = self.site_of(dst.host)
         one_way = self.latency.delay(src_site, dst_site, 64, self.rng)
@@ -316,11 +465,14 @@ class Network:
             acceptor = self._tcp_listeners.get(dst)
             if acceptor is None:
                 return  # listener went away during the handshake
+            if not self.reachable(src.host, dst.host):
+                return  # cut landed mid-handshake
             local = Connection(self, src, dst)
             remote = Connection(self, dst, src)
             local.peer, remote.peer = remote, local
             local.open = remote.open = True
             self.connections_opened += 1
+            self._connections.append(local)
             acceptor(remote)
             on_connected(local)
 
@@ -343,5 +495,7 @@ class Network:
         peer = side.peer
         if peer is None or not peer.open:
             return  # connection torn down while the message was in flight
+        if not self.reachable(side.local.host, side.remote.host):
+            return  # cut landed while the segment was in flight
         if peer.on_receive is not None:
             peer.on_receive(message, side.local)

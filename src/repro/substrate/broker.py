@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.config import BrokerConfig, Endpoint
 from repro.core.dedup import DedupCache
+from repro.core.errors import TransportError
 from repro.core.messages import (
     Ack,
     Event,
@@ -106,6 +107,8 @@ class Broker(Node):
         self.routing: RoutingStrategy = FloodRouting()
         self._links: dict[str, Connection] = {}
         self._clients: dict[str, Connection] = {}
+        self._neighbors: dict[str, "Broker"] = {}
+        self._retry_pending: set[str] = set()
         self._control_handlers: list[tuple[str, ControlHandler]] = []
         self._udp_handlers: dict[type, UdpHandler] = {}
         self.alive = False
@@ -114,6 +117,7 @@ class Broker(Node):
         self.events_delivered = 0
         self.events_forwarded = 0
         self.duplicates_suppressed = 0
+        self.links_lost = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -145,6 +149,10 @@ class Broker(Node):
         if self.network.multicast_enabled(self.host):
             for group in self.config.multicast_groups:
                 self.network.join_multicast(group, self.udp_endpoint)
+        # A revived broker re-establishes its persistent neighbourhood.
+        for peer_id in sorted(self._neighbors):
+            if peer_id not in self._links:
+                self._schedule_link_retry(peer_id)
         self.trace("broker_start")
 
     def stop(self) -> None:
@@ -212,18 +220,34 @@ class Broker(Node):
         """Number of live broker links."""
         return len(self._links)
 
-    def link_to(self, other: "Broker", on_ready: Callable[[], None] | None = None) -> None:
+    def link_to(
+        self,
+        other: "Broker",
+        on_ready: Callable[[], None] | None = None,
+        persistent: bool = False,
+    ) -> None:
         """Open a link to ``other`` (async; completes after the TCP handshake).
 
         The initiator introduces itself with a hello message so the
-        acceptor can index the link by broker id.
+        acceptor can index the link by broker id.  With
+        ``persistent=True`` the broker remembers ``other`` as a
+        configured neighbour and keeps retrying (every
+        ``config.link_retry_interval`` seconds) whenever the link dies
+        or fails to come up -- the broker network heals itself after
+        partitions and peer restarts.
         """
         if other.name == self.name:
             raise ValueError("a broker cannot link to itself")
+        if persistent:
+            self._neighbors[other.name] = other
         if other.name in self._links:
             return
 
         def connected(conn: Connection) -> None:
+            if other.name in self._links or not self.alive:
+                # A concurrent accept (or our own death) won the race.
+                conn.close()
+                return
             conn.on_receive = lambda msg, src: self._on_link_message(other.name, msg)
             conn.on_close = lambda: self._on_link_closed(other.name)
             self._links[other.name] = conn
@@ -232,7 +256,19 @@ class Broker(Node):
             if on_ready is not None:
                 on_ready()
 
-        self.network.connect_tcp(self.link_endpoint, other.link_endpoint, connected)
+        try:
+            self.network.connect_tcp(self.link_endpoint, other.link_endpoint, connected)
+        except TransportError:
+            # Peer not listening (dead).  A persistent neighbour gets a
+            # retry loop; a one-shot link propagates the failure.
+            if not persistent:
+                raise
+            self._schedule_link_retry(other.name)
+            return
+        if persistent:
+            # A SYN swallowed by a partition never calls back; the
+            # retry probe is a no-op if the link is up by then.
+            self._schedule_link_retry(other.name)
 
     def _accept_link(self, conn: Connection) -> None:
         # The peer's first message is its hello; register the link then.
@@ -251,6 +287,28 @@ class Broker(Node):
     def _on_link_closed(self, peer_id: str) -> None:
         self._links.pop(peer_id, None)
         self.trace("link_down", peer=peer_id)
+        if self.alive:
+            self.links_lost += 1
+            if peer_id in self._neighbors:
+                self._schedule_link_retry(peer_id)
+
+    def _schedule_link_retry(self, peer_id: str) -> None:
+        """Arm one retry probe for a persistent neighbour (at most one
+        outstanding per peer)."""
+        if peer_id in self._retry_pending:
+            return
+        self._retry_pending.add(peer_id)
+        self.sim.schedule(self.config.link_retry_interval, self._retry_link, peer_id)
+
+    def _retry_link(self, peer_id: str) -> None:
+        self._retry_pending.discard(peer_id)
+        if not self.alive or peer_id in self._links:
+            return
+        other = self._neighbors.get(peer_id)
+        if other is None:
+            return
+        self.trace("link_retry", peer=peer_id)
+        self.link_to(other, persistent=True)
 
     def _on_link_message(self, peer_id: str, message: Message) -> None:
         if not self.alive:

@@ -118,8 +118,13 @@ class BrokerNetwork:
             broker.start()
         return broker
 
-    def link(self, a: str, b: str) -> None:
-        """Request a link between brokers ``a`` and ``b`` (completes in settle)."""
+    def link(self, a: str, b: str, persistent: bool = False) -> None:
+        """Request a link between brokers ``a`` and ``b`` (completes in settle).
+
+        With ``persistent=True`` the initiating broker treats ``b`` as a
+        configured neighbour and keeps re-establishing the link after
+        failures (see :meth:`repro.substrate.broker.Broker.link_to`).
+        """
         if a == b:
             raise ValueError("cannot link a broker to itself")
         broker_a, broker_b = self.brokers[a], self.brokers[b]
@@ -127,14 +132,16 @@ class BrokerNetwork:
         if edge in self._edges:
             return
         self._edges.add(edge)
-        broker_a.link_to(broker_b)
+        broker_a.link_to(broker_b, persistent=persistent)
 
-    def apply_topology(self, kind: str, names: list[str] | None = None) -> None:
+    def apply_topology(
+        self, kind: str, names: list[str] | None = None, persistent: bool = False
+    ) -> None:
         """Link the named brokers (default: all, in insertion order).
 
         ``star`` uses the first name as hub; ``linear`` chains in list
         order; ``random_tree`` draws a uniform random labelled tree from
-        the master RNG.
+        the master RNG.  ``persistent`` makes every link self-healing.
         """
         ordered = list(self.brokers) if names is None else list(names)
         if kind == Topology.UNCONNECTED:
@@ -144,24 +151,24 @@ class BrokerNetwork:
         if kind == Topology.STAR:
             hub = ordered[0]
             for spoke in ordered[1:]:
-                self.link(hub, spoke)
+                self.link(hub, spoke, persistent=persistent)
         elif kind == Topology.LINEAR:
             for a, b in zip(ordered, ordered[1:]):
-                self.link(a, b)
+                self.link(a, b, persistent=persistent)
         elif kind == Topology.RING:
             if len(ordered) < 3:
                 raise ValueError("ring needs at least 3 brokers")
             for a, b in zip(ordered, ordered[1:] + ordered[:1]):
-                self.link(a, b)
+                self.link(a, b, persistent=persistent)
         elif kind == Topology.MESH:
             for i, a in enumerate(ordered):
                 for b in ordered[i + 1 :]:
-                    self.link(a, b)
+                    self.link(a, b, persistent=persistent)
         elif kind == Topology.RANDOM_TREE:
             seed = int(self.master_rng.integers(0, 2**31))
             tree = nx.random_labeled_tree(len(ordered), seed=seed)
             for i, j in tree.edges:
-                self.link(ordered[i], ordered[j])
+                self.link(ordered[i], ordered[j], persistent=persistent)
         else:
             raise ValueError(f"unknown topology {kind!r} (choose from {Topology.ALL})")
 

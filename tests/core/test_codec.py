@@ -67,6 +67,7 @@ _ad = st.builds(
     region=_text,
     institution=_text,
     issued_at=_f,
+    ttl=_f,
 )
 _request = st.builds(
     DiscoveryRequest,

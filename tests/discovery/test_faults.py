@@ -67,6 +67,131 @@ class TestFaultInjector:
         with pytest.raises(ValueError):
             injector.loss_storm(UniformLoss(0.5), start=0.0, duration=0.0)
 
+    def test_loss_storm_restores_model_current_at_onset(self):
+        """Regression: the restore target is the model installed when
+        the storm *starts*, not whatever was live when the storm was
+        scheduled."""
+        world = World(n_brokers=1)
+        injector = FaultInjector(world.net.network)
+        storm = UniformLoss(0.9)
+        start = world.sim.now + 5.0
+        injector.loss_storm(storm, start=start, duration=2.0)
+        # The model changes after scheduling but before the window opens.
+        newer = UniformLoss(0.1)
+        injector.set_loss(newer, at=world.sim.now + 1.0)
+        world.sim.run_for(6.0)
+        assert world.net.network.loss is storm
+        world.sim.run_for(2.0)
+        assert world.net.network.loss is newer
+
+    def test_interleaved_loss_storms_unwind_to_original(self):
+        """Two overlapping, non-nested storms (A starts, B starts, A
+        ends, B ends) must end with the pre-storm model, not resurrect
+        storm A when B ends."""
+        world = World(n_brokers=1)
+        injector = FaultInjector(world.net.network)
+        original = world.net.network.loss
+        storm_a, storm_b = UniformLoss(0.9), UniformLoss(0.8)
+        t0 = world.sim.now
+        injector.loss_storm(storm_a, start=t0 + 1.0, duration=4.0)  # [1, 5]
+        injector.loss_storm(storm_b, start=t0 + 3.0, duration=4.0)  # [3, 7]
+        world.sim.run_for(2.0)
+        assert world.net.network.loss is storm_a
+        world.sim.run_for(2.0)  # t0+4: both active, B governs
+        assert world.net.network.loss is storm_b
+        world.sim.run_for(2.0)  # t0+6: A ended, B still active
+        assert world.net.network.loss is storm_b
+        world.sim.run_for(2.0)  # t0+8: all over
+        assert world.net.network.loss is original
+
+    def test_link_loss_storm_restores_prior_override(self):
+        world = World(n_brokers=2)
+        net = world.net.network
+        injector = FaultInjector(net)
+        hosts = (world.brokers[0].host, world.brokers[1].host)
+        prior = UniformLoss(0.05)
+        injector.set_link_loss(*hosts, prior)
+        storm = UniformLoss(0.9)
+        t0 = world.sim.now
+        injector.link_loss_storm(*hosts, storm, start=t0 + 1.0, duration=2.0)
+        world.sim.run_for(2.0)
+        assert net.link_loss(*hosts) is storm
+        world.sim.run_for(2.0)
+        assert net.link_loss(*hosts) is prior
+        # With no prior override, the storm's end clears the link.
+        other = (world.brokers[0].host, "client0.host")
+        injector.link_loss_storm(*other, storm, start=world.sim.now + 1.0, duration=1.0)
+        world.sim.run_for(3.0)
+        assert net.link_loss(*other) is None
+
+    def test_revive_broker_restores_service(self):
+        world = World(n_brokers=2)
+        injector = FaultInjector(world.net.network)
+        broker = world.brokers[0]
+        injector.kill_broker(broker)
+        assert not broker.alive
+        injector.revive_broker(broker, at=world.sim.now + 2.0)
+        world.sim.run_for(3.0)
+        assert broker.alive
+        assert [k for _, k, _ in injector.injected] == ["kill_broker", "revive_broker"]
+        outcome = world.discover()
+        assert outcome.success
+
+    def test_revive_is_idempotent_under_overlapping_windows(self):
+        world = World(n_brokers=1)
+        injector = FaultInjector(world.net.network)
+        broker = world.brokers[0]
+        injector.kill_broker(broker)
+        injector.revive_broker(broker)
+        injector.revive_broker(broker)  # second revive must be a no-op
+        assert broker.alive
+        kinds = [k for _, k, _ in injector.injected]
+        assert kinds.count("revive_broker") == 1
+
+    def test_fail_and_heal_link_via_injector(self):
+        world = World(n_brokers=2)
+        net = world.net.network
+        injector = FaultInjector(net)
+        hosts = (world.brokers[0].host, world.brokers[1].host)
+        t0 = world.sim.now
+        injector.fail_link(*hosts, at=t0 + 1.0)
+        injector.heal_link(*hosts, at=t0 + 3.0)
+        world.sim.run_for(2.0)
+        assert not net.reachable(*hosts)
+        world.sim.run_for(2.0)
+        assert net.reachable(*hosts)
+        assert [k for _, k, _ in injector.injected] == ["fail_link", "heal_link"]
+
+    def test_partition_and_heal_via_injector(self):
+        world = World(n_brokers=2)
+        net = world.net.network
+        injector = FaultInjector(net)
+        island = world.brokers[0].host
+        injector.partition([island])
+        assert net.partitioned
+        assert not net.reachable(island, world.brokers[1].host)
+        # The client (implicit group) is cut off from the island too.
+        assert not net.reachable(island, "client0.host")
+        injector.heal()
+        assert not net.partitioned
+        assert net.reachable(island, world.brokers[1].host)
+        assert [k for _, k, _ in injector.injected] == ["partition", "heal"]
+
+    def test_partitioned_client_falls_back_then_recovers(self):
+        """A client partitioned away from BDN and brokers fails its
+        discovery outright; after the heal it succeeds again."""
+        world = World(n_brokers=2)
+        injector = FaultInjector(world.net.network)
+        injector.partition(["client0.host"])
+        from repro.experiments.harness import run_discovery_once
+
+        outcome = run_discovery_once(world.client)
+        assert not outcome.success
+        injector.heal()
+        world.sim.run_for(1.0)
+        recovered = world.discover()
+        assert recovered.success
+
 
 class TestSectionSevenClaims:
     def test_only_one_functioning_bdn_needed(self):

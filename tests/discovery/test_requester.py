@@ -310,3 +310,160 @@ class TestCachedTarget:
     def test_endpoint_helper(self):
         target = CachedTarget(broker_id="b", host="h.x", udp_port=5046)
         assert target.udp_endpoint == Endpoint("h.x", 5046)
+
+
+class TestFallbackExhaustion:
+    """Every rung of the fallback ladder removed: the client must end in
+    a terminal failed outcome, never hang."""
+
+    def _no_multicast_config(self, endpoints) -> ClientConfig:
+        return ClientConfig(
+            bdn_endpoints=endpoints,
+            max_responses=2,
+            target_set_size=2,
+            response_timeout=1.0,
+            retransmit_interval=0.5,
+            max_retransmits=1,
+            use_multicast_fallback=False,
+        )
+
+    def test_dead_bdn_no_multicast_empty_cache_fails_terminally(self):
+        world = World(n_brokers=2, shared_realm="lab")
+        world.bdn.stop()
+        cfg = self._no_multicast_config((world.bdn.udp_endpoint,))
+        client = DiscoveryClient(
+            "c-exhausted", "c-ex.host", world.net.network, np.random.default_rng(3),
+            config=cfg, site="cs-ex", realm="lab",
+        )
+        client.start()
+        world.sim.run_for(1.0)
+        # run_discovery_once raises if the run never completes, so a
+        # returned outcome is itself proof of termination.
+        outcome = run_discovery_once(client)
+        assert not outcome.success
+        assert outcome.selected is None
+        # initial send + 1 retransmit, then straight to failure: the
+        # disabled multicast and empty cache add no transmissions.
+        assert outcome.transmissions == 2
+        assert outcome.total_time < 5.0
+        assert outcome.phases.open_phase is None
+
+    def test_no_bdns_no_multicast_empty_cache_fails_immediately(self):
+        world = World(n_brokers=2, shared_realm="lab")
+        cfg = self._no_multicast_config(())
+        client = DiscoveryClient(
+            "c-nothing", "c-no.host", world.net.network, np.random.default_rng(4),
+            config=cfg, site="cs-no", realm="lab",
+        )
+        client.start()
+        world.sim.run_for(1.0)
+        outcome = run_discovery_once(client)
+        assert not outcome.success
+        assert outcome.transmissions == 0
+        assert outcome.bdn_used is None
+        assert outcome.total_time < 1.0
+
+    def test_multicast_disabled_on_network_falls_through(self):
+        """use_multicast_fallback=True but the client's host has no
+        multicast service: same terminal failure, no hang."""
+        world = World(n_brokers=2, shared_realm="lab")
+        world.bdn.stop()
+        cfg = ClientConfig(
+            bdn_endpoints=(world.bdn.udp_endpoint,),
+            max_responses=2,
+            target_set_size=2,
+            response_timeout=1.0,
+            retransmit_interval=0.5,
+            max_retransmits=1,
+        )
+        client = DiscoveryClient(
+            "c-nomc", "c-nomc.host", world.net.network, np.random.default_rng(5),
+            config=cfg, site="cs-nomc", realm="lab", multicast_enabled=False,
+        )
+        client.start()
+        world.sim.run_for(1.0)
+        outcome = run_discovery_once(client)
+        assert not outcome.success
+        assert outcome.selected is None
+
+    def test_failure_is_recoverable(self):
+        """A terminal failure leaves the client reusable: revive the
+        BDN and the same client succeeds."""
+        world = World(n_brokers=2, shared_realm="lab")
+        world.bdn.stop()
+        cfg = self._no_multicast_config((world.bdn.udp_endpoint,))
+        client = DiscoveryClient(
+            "c-again", "c-again.host", world.net.network, np.random.default_rng(9),
+            config=cfg, site="cs-again", realm="lab",
+        )
+        client.start()
+        world.sim.run_for(1.0)
+        assert not run_discovery_once(client).success
+        world.bdn._started = False
+        world.bdn.start()
+        world.sim.run_for(1.0)
+        outcome = run_discovery_once(client)
+        assert outcome.success
+        assert outcome.via == "bdn"
+
+
+class TestRediscover:
+    def test_rediscover_uses_cache_without_bdn_round_trip(self):
+        world = World(n_brokers=3)
+        first = world.discover()
+        assert first.success
+        requests_before = world.bdn.requests_received
+        outcomes = []
+        world.client.rediscover(outcomes.append)
+        world.sim.run_for(10.0)
+        assert outcomes and outcomes[0].success
+        assert outcomes[0].via == "cached"
+        assert outcomes[0].bdn_used is None
+        assert world.bdn.requests_received == requests_before
+
+    def test_rediscover_without_cache_raises(self, small_world):
+        with pytest.raises(DiscoveryError):
+            small_world.client.rediscover(lambda outcome: None)
+
+    def test_rediscover_while_in_flight_raises(self, small_world):
+        small_world.client.discover(lambda outcome: None)
+        with pytest.raises(DiscoveryError):
+            small_world.client.rediscover(lambda outcome: None)
+
+    def test_last_selected_recorded(self, small_world):
+        outcome = small_world.discover()
+        assert outcome.success
+        selected = small_world.client.last_selected
+        assert selected is not None
+        assert selected.broker_id == outcome.selected.broker_id
+
+
+class TestWatchSelected:
+    def test_watch_triggers_cached_rediscovery_on_broker_death(self):
+        world = World(n_brokers=3)
+        first = world.discover()
+        assert first.success
+        chosen = world.net.brokers[first.selected.broker_id]
+        outcomes = []
+        world.client.watch_selected(outcomes.append, interval=0.5, max_missed=2)
+        world.sim.run_for(3.0)
+        assert outcomes == []  # broker healthy, no rediscovery
+        chosen.stop()
+        world.sim.run_for(10.0)
+        assert outcomes, "watch never reacted to the dead broker"
+        assert outcomes[0].via == "cached"
+        assert outcomes[0].success
+        assert outcomes[0].selected.broker_id != chosen.name
+
+    def test_watch_requires_a_selection(self, small_world):
+        with pytest.raises(DiscoveryError):
+            small_world.client.watch_selected(lambda outcome: None)
+
+    def test_watch_handle_cancellable(self):
+        world = World(n_brokers=2)
+        assert world.discover().success
+        series = world.client.watch_selected(lambda outcome: None, interval=0.5)
+        series.cancel()
+        world.net.brokers[world.client.last_selected.broker_id].stop()
+        world.sim.run_for(5.0)
+        assert world.client._run is None  # no rediscovery started

@@ -1,0 +1,118 @@
+"""Self-healing broker links: persistent neighbours and link repair."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import BrokerConfig
+from repro.core.errors import ConfigError
+from repro.discovery.faults import FaultInjector
+from repro.substrate.broker import Broker
+from repro.substrate.builder import BrokerNetwork, Topology
+
+
+def persistent_pair(seed=0, retry=1.0) -> tuple[BrokerNetwork, Broker, Broker]:
+    net = BrokerNetwork(seed=seed)
+    cfg = BrokerConfig(link_retry_interval=retry)
+    a = net.add_broker("a", site="sa", config=cfg)
+    b = net.add_broker("b", site="sb", config=cfg)
+    net.link("a", "b", persistent=True)
+    net.settle()
+    return net, a, b
+
+
+class TestPersistentLinks:
+    def test_link_repairs_after_peer_restart(self):
+        net, a, b = persistent_pair()
+        injector = FaultInjector(net.network)
+        injector.kill_broker(b)
+        net.sim.run_for(0.5)
+        assert a.peers == frozenset()
+        assert a.links_lost == 1
+        injector.revive_broker(b)
+        net.sim.run_for(5.0)  # a few retry intervals
+        assert a.peers == {"b"}
+        assert b.peers == {"a"}
+
+    def test_link_repairs_after_partition_heals(self):
+        net, a, b = persistent_pair()
+        injector = FaultInjector(net.network)
+        injector.partition([a.host], [b.host])
+        net.sim.run_for(0.5)
+        assert a.peers == frozenset()
+        injector.heal()
+        net.sim.run_for(5.0)
+        assert a.peers == {"b"}
+        assert b.peers == {"a"}
+
+    def test_repair_survives_retries_into_a_wall(self):
+        """Cut lasting several retry intervals: every attempt fails
+        silently until the heal, then the next attempt connects."""
+        net, a, b = persistent_pair()
+        injector = FaultInjector(net.network)
+        injector.fail_link(a.host, b.host)
+        net.sim.run_for(6.0)  # many failed retries
+        assert a.peers == frozenset()
+        injector.heal_link(a.host, b.host)
+        net.sim.run_for(5.0)
+        assert a.peers == {"b"}
+
+    def test_no_duplicate_links_after_repair(self):
+        net, a, b = persistent_pair()
+        injector = FaultInjector(net.network)
+        injector.partition([a.host], [b.host])
+        net.sim.run_for(0.5)
+        injector.heal()
+        net.sim.run_for(10.0)
+        assert a.link_count == 1
+        assert b.link_count == 1
+
+    def test_non_persistent_link_stays_down(self):
+        net = BrokerNetwork()
+        a = net.add_broker("a", site="sa")
+        b = net.add_broker("b", site="sb")
+        net.link("a", "b")  # default: not persistent
+        net.settle()
+        injector = FaultInjector(net.network)
+        injector.kill_broker(b)
+        net.sim.run_for(0.5)
+        injector.revive_broker(b)
+        net.sim.run_for(10.0)
+        assert a.peers == frozenset()
+
+    def test_stop_does_not_trigger_repair(self):
+        net, a, b = persistent_pair()
+        a.stop()
+        net.sim.run_for(10.0)
+        assert a.peers == frozenset()
+        assert b.peers == frozenset()
+        assert a.links_lost == 0  # own shutdown is not a lost link
+
+    def test_persistent_ring_reheals_end_to_end(self):
+        """A ring broker is killed and revived; the ring closes again
+        and events flood every broker."""
+        net = BrokerNetwork(seed=3)
+        cfg = BrokerConfig(link_retry_interval=1.0)
+        for i in range(4):
+            net.add_broker(f"b{i}", site=f"s{i}", config=cfg)
+        net.apply_topology(Topology.RING, persistent=True)
+        net.settle()
+        injector = FaultInjector(net.network)
+        victim = net.brokers["b1"]
+        injector.kill_broker(victim)
+        net.sim.run_for(2.0)
+        injector.revive_broker(victim)
+        net.sim.run_for(6.0)
+        assert victim.peers == {"b0", "b2"}
+        from tests.substrate.test_broker import make_event
+
+        source = net.brokers["b0"]
+        routed = {name: broker.events_routed for name, broker in net.brokers.items()}
+        source.publish_local(make_event(source))
+        net.sim.run_for(2.0)
+        for name, broker in net.brokers.items():
+            assert broker.events_routed == routed[name] + 1, name
+
+    def test_retry_interval_validated(self):
+        with pytest.raises(ConfigError):
+            BrokerConfig(link_retry_interval=0.0)
