@@ -1,0 +1,326 @@
+#!/usr/bin/env python
+"""Performance-regression harness for the simulator and fabric hot paths.
+
+Every paper figure runs through ``Simulator.run``, so throughput of the
+event loop *is* the cost of every experiment.  This harness pins that
+down per commit:
+
+* three **discovery workloads** (star / linear / unconnected, the
+  paper's section 9 topologies) run a fixed number of discoveries and
+  measure how many simulator events execute per wall-clock second;
+* one **substrate soak** floods a six-broker mesh with pub/sub events,
+  UDP pings and timer churn (armed-then-cancelled timeouts, the pattern
+  PR 1's lease/retry timers create) -- the pure hot-path scenario the
+  optimisation work is judged against.
+
+Results land in ``BENCH_perf.json`` (see docs/PROTOCOL.md, section
+"Performance") and ``--check`` fails when any scenario's events/sec
+drops more than ``--tolerance`` (default 20%) below the stored
+baseline.  A pure-Python calibration loop normalises for machine speed
+so baselines recorded on one box remain meaningful on another; the
+calibration deliberately avoids the code under test, so real
+regressions do not divide themselves away.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py            # run + print
+    PYTHONPATH=src python benchmarks/perf_harness.py --update   # refresh baselines
+    PYTHONPATH=src python benchmarks/perf_harness.py --check    # regression gate (CI)
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import resource
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.config import Endpoint  # noqa: E402
+from repro.core.messages import PingRequest  # noqa: E402
+from repro.experiments.scenarios import DiscoveryScenario, ScenarioSpec  # noqa: E402
+from repro.substrate.builder import BrokerNetwork, Topology  # noqa: E402
+from repro.substrate.client import PubSubClient  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_perf.json"
+SCHEMA_VERSION = 1
+
+#: Scenario sizes per profile; ``quick`` keeps the CI gate under a minute.
+#: ``repeats`` runs each scenario in a fresh world that many times and
+#: keeps the fastest, suppressing scheduler/GC noise in the wall clock.
+PROFILES = {
+    "full": {"discovery_runs": 150, "soak_publishes": 3000, "repeats": 2},
+    "quick": {"discovery_runs": 40, "soak_publishes": 800, "repeats": 1},
+}
+
+
+def _calibration_ops_per_sec() -> float:
+    """Machine-speed proxy: pure-Python dict/arithmetic churn.
+
+    Intentionally independent of :mod:`repro` so that a slowdown in the
+    code under test cannot cancel out of the normalised comparison.
+    """
+    n = 300_000
+    best = float("inf")
+    for _ in range(3):
+        d: dict[int, int] = {}
+        acc = 0
+        start = time.perf_counter()
+        for i in range(n):
+            d[i & 1023] = i
+            acc += d[i & 1023] ^ (i >> 3)
+        best = min(best, time.perf_counter() - start)
+    return n / best
+
+
+def _peak_rss_kb() -> int:
+    """Process high-water RSS in kilobytes (cumulative, Linux units)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------------
+
+
+def run_discovery_scenario(topology: str, runs: int, seed: int = 42) -> dict:
+    """One paper topology, ``runs`` sequential discoveries."""
+    ctor = {
+        "star": ScenarioSpec.star,
+        "linear": ScenarioSpec.linear,
+        "unconnected": ScenarioSpec.unconnected,
+    }[topology]
+    scenario = DiscoveryScenario(ctor(seed=seed))
+    sim = scenario.net.sim
+    events_before = sim.events_processed
+    sim_before = sim.now
+    start = time.perf_counter()
+    outcomes = scenario.run(runs=runs)
+    wall = time.perf_counter() - start
+    events = sim.events_processed - events_before
+    return {
+        "events_per_sec": events / wall,
+        "wall_time_s": wall,
+        "sim_time_s": sim.now - sim_before,
+        "events_processed": events,
+        "peak_rss_kb": _peak_rss_kb(),
+        "detail": {
+            "runs": runs,
+            "successes": sum(1 for o in outcomes if o.success),
+        },
+    }
+
+
+def run_substrate_soak(
+    publishes: int,
+    n_brokers: int = 6,
+    n_clients: int = 12,
+    spacing: float = 0.005,
+    seed: int = 7,
+) -> dict:
+    """Flood a broker mesh with events, pings and timer churn.
+
+    Per publish tick the soak: publishes one 64-byte event (flooded
+    across the full mesh), fires one UDP ping at a broker, and re-arms
+    a 30 s timeout timer (cancelling the previous one) -- so cancelled
+    far-future heap entries accumulate exactly like lease/retry timers
+    do in long chaos runs.  A monitor polls ``sim.pending`` four times
+    per simulated second, the way any supervising harness would.
+    """
+    net = BrokerNetwork(seed=seed)
+    names = [f"b{i}" for i in range(n_brokers)]
+    for i, name in enumerate(names):
+        net.add_broker(name, site=f"site{i % 3}")
+    net.apply_topology(Topology.MESH)
+
+    clients: list[PubSubClient] = []
+    for i in range(n_clients):
+        client = PubSubClient(
+            f"c{i}",
+            f"c{i}.soak",
+            net.network,
+            np.random.default_rng(seed * 100_003 + i),
+            site=f"site{i % 3}",
+        )
+        client.start()
+        client.subscribe(f"soak/{i % 4}/**")
+        client.connect(net.brokers[names[i % n_brokers]].client_endpoint)
+        clients.append(client)
+
+    ping_source = Endpoint("c0.soak", 9_999)
+    net.network.bind_udp(ping_source, lambda message, src: None)
+    net.settle(8.0)
+
+    timeout_timer = [None]
+
+    def tick(i: int) -> None:
+        client = clients[i % n_clients]
+        if client.connected:
+            client.publish(f"soak/{i % 4}/x{i % 7}", payload=b"p" * 64)
+        broker = net.brokers[names[i % n_brokers]]
+        net.network.send_udp(
+            ping_source,
+            broker.udp_endpoint,
+            PingRequest(
+                uuid=f"soak-ping-{i}",
+                sent_at=net.sim.now,
+                reply_host=ping_source.host,
+                reply_port=ping_source.port,
+            ),
+        )
+        if timeout_timer[0] is not None:
+            timeout_timer[0].cancel()
+        timeout_timer[0] = net.sim.schedule(30.0, lambda: None)
+
+    first_tick = net.sim.now + 0.5
+    for i in range(publishes):
+        net.sim.schedule_at(first_tick + i * spacing, tick, i)
+
+    pending_samples: list[int] = []
+    monitor = net.sim.call_every(0.25, lambda: pending_samples.append(net.sim.pending))
+    horizon = first_tick + publishes * spacing + 1.0
+
+    events_before = net.sim.events_processed
+    sim_before = net.sim.now
+    start = time.perf_counter()
+    net.sim.run(until=horizon)
+    wall = time.perf_counter() - start
+    monitor.cancel()
+    events = net.sim.events_processed - events_before
+
+    delivered = sum(len(c.received) for c in clients)
+    return {
+        "events_per_sec": events / wall,
+        "wall_time_s": wall,
+        "sim_time_s": net.sim.now - sim_before,
+        "events_processed": events,
+        "peak_rss_kb": _peak_rss_kb(),
+        "detail": {
+            "publishes": publishes,
+            "events_delivered": delivered,
+            "datagrams_delivered": net.network.datagrams_delivered,
+            "pending_samples": len(pending_samples),
+        },
+    }
+
+
+def run_all(profile: str, only: list[str] | None = None) -> dict:
+    sizes = PROFILES[profile]
+    runners = {
+        "discovery_star": lambda: run_discovery_scenario("star", sizes["discovery_runs"]),
+        "discovery_linear": lambda: run_discovery_scenario("linear", sizes["discovery_runs"]),
+        "discovery_unconnected": lambda: run_discovery_scenario(
+            "unconnected", sizes["discovery_runs"]
+        ),
+        "substrate_soak": lambda: run_substrate_soak(sizes["soak_publishes"]),
+    }
+    scenarios: dict[str, dict] = {}
+    for name, runner in runners.items():
+        if only and name not in only:
+            continue
+        print(f"running {name} ...", flush=True)
+        repeats = []
+        for _ in range(sizes["repeats"]):
+            # Dead worlds from earlier scenarios otherwise trigger
+            # collection pauses inside the timed region.
+            gc.collect()
+            repeats.append(runner())
+        scenarios[name] = max(repeats, key=lambda r: r["events_per_sec"])
+        s = scenarios[name]
+        print(
+            f"  {s['events_per_sec']:>12.0f} events/s"
+            f"  wall {s['wall_time_s']:.2f} s"
+            f"  sim {s['sim_time_s']:.1f} s"
+            f"  events {s['events_processed']}"
+            f"  rss {s['peak_rss_kb']} kB",
+            flush=True,
+        )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "profile": profile,
+        "calibration_ops_per_sec": _calibration_ops_per_sec(),
+        "scenarios": scenarios,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Baseline comparison
+# ---------------------------------------------------------------------------
+
+
+def check_against_baseline(current: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Return a list of human-readable regression messages (empty = pass)."""
+    failures: list[str] = []
+    if baseline.get("profile") != current["profile"]:
+        failures.append(
+            f"profile mismatch: baseline {baseline.get('profile')!r} vs "
+            f"current {current['profile']!r}; refresh with --update"
+        )
+        return failures
+    scale = current["calibration_ops_per_sec"] / baseline["calibration_ops_per_sec"]
+    print(f"machine calibration scale vs baseline: {scale:.3f}")
+    for name, base in baseline["scenarios"].items():
+        cur = current["scenarios"].get(name)
+        if cur is None:
+            failures.append(f"{name}: present in baseline but was not run")
+            continue
+        expected = base["events_per_sec"] * scale
+        ratio = cur["events_per_sec"] / expected
+        verdict = "OK" if ratio >= 1.0 - tolerance else "REGRESSION"
+        print(
+            f"{name:>24}: {cur['events_per_sec']:>12.0f} events/s"
+            f"  vs adjusted baseline {expected:>12.0f}  ({ratio:5.2f}x)  {verdict}"
+        )
+        if ratio < 1.0 - tolerance:
+            failures.append(
+                f"{name}: {cur['events_per_sec']:.0f} events/s is "
+                f"{(1.0 - ratio) * 100:.1f}% below the machine-adjusted baseline "
+                f"{expected:.0f} (tolerance {tolerance * 100:.0f}%)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true", help="compare against the baseline file and fail on regression")
+    parser.add_argument("--update", action="store_true", help="write results as the new baseline")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE, help="baseline JSON path")
+    parser.add_argument("--output", type=Path, default=None, help="also write current results to this path")
+    parser.add_argument("--tolerance", type=float, default=0.20, help="allowed fractional events/sec drop (default 0.20)")
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="full")
+    parser.add_argument("--scenario", action="append", default=None, help="run only the named scenario (repeatable)")
+    args = parser.parse_args(argv)
+
+    current = run_all(args.profile, only=args.scenario)
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.output}")
+    if args.update:
+        args.baseline.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+    if args.check:
+        if not args.baseline.exists():
+            print(f"no baseline at {args.baseline}; run with --update first", file=sys.stderr)
+            return 2
+        baseline = json.loads(args.baseline.read_text())
+        failures = check_against_baseline(current, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

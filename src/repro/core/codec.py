@@ -18,6 +18,7 @@ the wire format auditable.
 from __future__ import annotations
 
 import struct
+from functools import lru_cache
 
 from repro.core.errors import CodecError
 from repro.core.messages import (
@@ -379,6 +380,14 @@ def decode_message(buf: bytes) -> Message:
     return message
 
 
+@lru_cache(maxsize=4096)
 def wire_size(message: Message) -> int:
-    """Byte length of ``message`` on the wire (header included)."""
+    """Byte length of ``message`` on the wire (header included).
+
+    Memoised: the fabric charges size once per hop, so one event
+    flooding a mesh would otherwise be re-encoded per link.  Messages
+    are frozen dataclasses (hashable, equality by value), which makes
+    them safe cache keys; the LRU bound keeps long soaks from pinning
+    every message ever sent.
+    """
     return len(encode_message(message))

@@ -45,20 +45,50 @@ class Pinger:
         Endpoint ping responses should come back to.
     max_samples:
         RTT samples retained per key (older ones roll off).
+    outstanding_timeout:
+        Seconds an unanswered ping stays tracked.  UDP pings are lossy
+        by design, so without a deadline every lost pong would leave its
+        UUID in the outstanding table forever -- a slow leak on
+        long-lived BDNs that ping every registered broker periodically.
+        Expiry is lazy (checked on the next ping/response, no timers),
+        so it cannot perturb the event schedule.
     """
 
-    def __init__(self, node: Node, reply_endpoint: Endpoint, max_samples: int = 16) -> None:
+    def __init__(
+        self,
+        node: Node,
+        reply_endpoint: Endpoint,
+        max_samples: int = 16,
+        outstanding_timeout: float = 30.0,
+    ) -> None:
         if max_samples < 1:
             raise ValueError("max_samples must be >= 1")
+        if outstanding_timeout <= 0:
+            raise ValueError("outstanding_timeout must be positive")
         self._node = node
         self._reply = reply_endpoint
         self._max_samples = max_samples
-        self._outstanding: dict[str, str] = {}  # ping uuid -> target key
+        self._outstanding_timeout = outstanding_timeout
+        # ping uuid -> (target key, expiry deadline).  Insertion order is
+        # deadline order (the timeout is constant), so expiry only ever
+        # needs to pop from the front.
+        self._outstanding: dict[str, tuple[str, float]] = {}
         self._samples: dict[str, list[float]] = {}
         self._last_heard: dict[str, float] = {}
         self.on_rtt: RttCallback | None = None
         self.pings_sent = 0
         self.pongs_received = 0
+        self.pings_expired = 0
+
+    def _expire_outstanding(self) -> None:
+        """Drop outstanding pings whose deadline has passed."""
+        now = self._node.sim.now
+        while self._outstanding:
+            uuid = next(iter(self._outstanding))
+            if self._outstanding[uuid][1] > now:
+                break
+            del self._outstanding[uuid]
+            self.pings_expired += 1
 
     def ping(self, target: Endpoint, key: str | None = None) -> str:
         """Send one ping to ``target``; returns the ping UUID.
@@ -67,8 +97,10 @@ class Pinger:
         host); pass the broker id when known so RTTs can be looked up
         by broker.
         """
+        self._expire_outstanding()
         uuid = self._node.ids()
-        self._outstanding[uuid] = key if key is not None else target.host
+        deadline = self._node.sim.now + self._outstanding_timeout
+        self._outstanding[uuid] = (key if key is not None else target.host, deadline)
         request = PingRequest(
             uuid=uuid,
             sent_at=self._node.clock.raw(),
@@ -82,11 +114,14 @@ class Pinger:
     def on_response(self, response: PingResponse, src: Endpoint) -> None:
         """Record the RTT carried by one ping response.
 
-        Unknown UUIDs (stale or duplicated responses) are ignored.
+        Unknown UUIDs (stale or duplicated responses) are ignored, and
+        so are pongs arriving after their ping's deadline.
         """
-        key = self._outstanding.pop(response.uuid, None)
-        if key is None:
+        self._expire_outstanding()
+        entry = self._outstanding.pop(response.uuid, None)
+        if entry is None:
             return
+        key = entry[0]
         rtt = self._node.clock.raw() - response.sent_at
         if rtt < 0:
             return  # clock was stepped mid-flight; drop the sample

@@ -513,9 +513,29 @@ class DiscoveryClient(Node):
         cost = _SELECT_COST_BASE + _SELECT_COST_PER_CANDIDATE * len(run.candidates)
         self.sim.schedule(cost, self._select_targets, run)
 
+    #: Transports a shortlisted broker must offer: UDP for the ping
+    #: phase, TCP for the eventual client connection.
+    _REQUIRED_TRANSPORTS = ("udp", "tcp")
+
     def _select_targets(self, run: _Run) -> None:
+        usable = []
+        for cand in run.candidates.values():
+            missing = cand.missing_transports(self._REQUIRED_TRANSPORTS)
+            if missing:
+                # Previously these fell through with a port-0 endpoint
+                # and got pinged into the void; exclude them up front.
+                self.trace(
+                    "candidate_excluded",
+                    request=run.uuid,
+                    broker=cand.broker_id,
+                    missing=",".join(missing),
+                )
+                continue
+            usable.append(cand)
         run.target_set = select_target_set(
-            list(run.candidates.values()), self.config.target_set_size
+            usable,
+            self.config.target_set_size,
+            required_transports=self._REQUIRED_TRANSPORTS,
         )
         run.phases.begin("ping_target_set")
         run.state = "PINGING"

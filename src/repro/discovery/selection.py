@@ -51,20 +51,34 @@ class Candidate:
     def broker_id(self) -> str:
         return self.response.broker_id
 
+    def has_transport(self, proto: str) -> bool:
+        """True if the broker advertised a ``proto`` transport."""
+        return self.response.port_for(proto) is not None
+
+    def missing_transports(self, required: tuple[str, ...]) -> tuple[str, ...]:
+        """The subset of ``required`` transports this broker lacks."""
+        return tuple(p for p in required if not self.has_transport(p))
+
     @property
     def udp_endpoint(self) -> Endpoint:
         """Where to ping this broker."""
-        port = self.response.port_for("udp")
-        if port is None:
-            port = 0
-        return Endpoint(self.response.hostname, port)
+        return self._endpoint("udp")
 
     @property
     def tcp_endpoint(self) -> Endpoint:
         """Where to connect to this broker after selection."""
-        port = self.response.port_for("tcp")
+        return self._endpoint("tcp")
+
+    def _endpoint(self, proto: str) -> Endpoint:
+        port = self.response.port_for(proto)
         if port is None:
-            port = 0
+            # Port 0 used to be silently substituted here, producing
+            # pings/connections into the void; callers must exclude
+            # transport-less candidates up front (see required_transports
+            # in select_target_set).
+            raise ValueError(
+                f"broker {self.broker_id!r} advertised no {proto!r} transport"
+            )
         return Endpoint(self.response.hostname, port)
 
 
@@ -92,7 +106,11 @@ def make_candidate(
     )
 
 
-def select_target_set(candidates: list[Candidate], size: int) -> list[Candidate]:
+def select_target_set(
+    candidates: list[Candidate],
+    size: int,
+    required_transports: tuple[str, ...] = (),
+) -> list[Candidate]:
     """Shortlist the top-``size`` candidates by combined score.
 
     "The received results are then sorted using the weights and we
@@ -102,9 +120,14 @@ def select_target_set(candidates: list[Candidate], size: int) -> list[Candidate]
 
     Duplicate broker ids (a broker that answered both a transmission
     and a retransmission) are collapsed, keeping the earliest arrival.
+    Candidates missing any of ``required_transports`` are excluded: the
+    ping phase needs a UDP endpoint and the final connection a TCP one,
+    and a shortlisted broker without them would be pinged at port 0.
     """
     if size < 1:
         raise ValueError("target set size must be >= 1")
+    if required_transports:
+        candidates = [c for c in candidates if not c.missing_transports(required_transports)]
     best_per_broker: dict[str, Candidate] = {}
     for cand in candidates:
         prior = best_per_broker.get(cand.broker_id)

@@ -182,14 +182,27 @@ class DiscoveryScenario:
         The Bloomington BDN (None for multicast-only scenarios).
     client:
         The discovery client.
+
+    Parameters
+    ----------
+    keep_trace:
+        Retain full :class:`~repro.simnet.trace.Tracer` records; the
+        determinism tests compare them byte for byte.
+    optimized:
+        Passed through to :class:`BrokerNetwork`; ``False`` runs the
+        world with every hot-path cache disabled (reference mode).
     """
 
-    def __init__(self, spec: ScenarioSpec) -> None:
+    def __init__(
+        self, spec: ScenarioSpec, keep_trace: bool = False, optimized: bool = True
+    ) -> None:
         self.spec = spec
         self.net = BrokerNetwork(
             seed=spec.seed,
             latency=paper_latency_model(jitter_sigma=spec.jitter_sigma),
             loss=PerHopLoss(spec.per_hop_loss) if spec.per_hop_loss > 0 else NoLoss(),
+            keep_trace=keep_trace,
+            optimized=optimized,
         )
         self.brokers = []
         self.responders: dict[str, DiscoveryResponder] = {}

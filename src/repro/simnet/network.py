@@ -79,6 +79,30 @@ class _HostInfo:
     multicast_enabled: bool
 
 
+@dataclass(slots=True)
+class _PathRecord:
+    """Precomputed per-(src, dst) delivery state for the datagram hot path.
+
+    One flat record replaces the chain of dict resolutions (host info,
+    link key, failed-link set, partition map, per-link loss override,
+    hop count) that :meth:`Network.send_udp` would otherwise repeat for
+    every datagram.  Records are invalidated wholesale on any fault or
+    topology change, which only happens at chaos-schedule frequency --
+    datagrams happen at traffic frequency.
+
+    The *global* loss model is deliberately not baked in:
+    ``loss_override`` is the per-link override or None, and the sender
+    resolves ``None`` against ``Network.loss`` at send time, so loss
+    storms that swap the global model keep working unchanged.
+    """
+
+    reachable: bool
+    src_site: str
+    dst_site: str
+    hops: int
+    loss_override: LossModel | None
+
+
 class Connection:
     """One side of an established TCP-like connection.
 
@@ -162,6 +186,13 @@ class Network:
         self._partition: dict[str, int] | None = None
         self._link_loss: dict[tuple[str, str], LossModel] = {}
         self._connections: list[Connection] = []
+        # Hot-path caches.  ``use_path_cache`` may be flipped off to get
+        # the uncached reference behaviour (the determinism tests assert
+        # both modes produce bit-identical traces); results are the same
+        # either way, only the per-datagram cost differs.
+        self.use_path_cache = True
+        self._path_cache: dict[tuple[str, str], _PathRecord] = {}
+        self._mcast_cache: dict[tuple[str, str], tuple[Endpoint, ...]] = {}
         # Counters.
         self.datagrams_sent = 0
         self.datagrams_delivered = 0
@@ -218,6 +249,45 @@ class Network:
         self._info(host_b)
         return (host_a, host_b) if host_a <= host_b else (host_b, host_a)
 
+    def invalidate_path_cache(self) -> None:
+        """Drop every precomputed path record.
+
+        Called internally on any fault or topology change; call it
+        manually after swapping :attr:`latency` for a different model
+        mid-run (nothing in the repo does, but the cache bakes in hop
+        counts, so a swap without invalidation would go stale).
+        """
+        self._path_cache.clear()
+
+    def _path(self, src_host: str, dst_host: str) -> _PathRecord:
+        """The (possibly cached) flat delivery record for one host pair."""
+        key = (src_host, dst_host)
+        if self.use_path_cache:
+            record = self._path_cache.get(key)
+            if record is not None:
+                return record
+        link_key = self._link_key(src_host, dst_host)
+        src_site = self._info(src_host).site
+        dst_site = self._info(dst_host).site
+        reachable = True
+        if src_host != dst_host:
+            if link_key in self._failed_links:
+                reachable = False
+            elif self._partition is not None and self._partition.get(
+                src_host
+            ) != self._partition.get(dst_host):
+                reachable = False
+        record = _PathRecord(
+            reachable=reachable,
+            src_site=src_site,
+            dst_site=dst_site,
+            hops=self.latency.hops(src_site, dst_site),
+            loss_override=self._link_loss.get(link_key),
+        )
+        if self.use_path_cache:
+            self._path_cache[key] = record
+        return record
+
     def fail_link(self, host_a: str, host_b: str) -> None:
         """Cut the bidirectional path between two hosts.
 
@@ -227,11 +297,13 @@ class Network:
         of a partitioned broker observe as link death.
         """
         self._failed_links.add(self._link_key(host_a, host_b))
+        self.invalidate_path_cache()
         self._sever_unreachable()
 
     def heal_link(self, host_a: str, host_b: str) -> None:
         """Restore a previously cut host pair (idempotent)."""
         self._failed_links.discard(self._link_key(host_a, host_b))
+        self.invalidate_path_cache()
 
     def failed_links(self) -> frozenset[tuple[str, str]]:
         """Currently cut host pairs (normalised order)."""
@@ -255,11 +327,13 @@ class Network:
                     raise TransportError(f"host {host!r} appears in multiple partition groups")
                 mapping[host] = index
         self._partition = mapping
+        self.invalidate_path_cache()
         self._sever_unreachable()
 
     def heal_partition(self) -> None:
         """Remove the active partition (idempotent; link cuts persist)."""
         self._partition = None
+        self.invalidate_path_cache()
 
     @property
     def partitioned(self) -> bool:
@@ -272,16 +346,7 @@ class Network:
         False across a cut link or a partition boundary; loss models are
         probabilistic and do not affect reachability.
         """
-        self._info(host_a)
-        self._info(host_b)
-        if host_a == host_b:
-            return True
-        if self._link_key(host_a, host_b) in self._failed_links:
-            return False
-        if self._partition is not None:
-            if self._partition.get(host_a) != self._partition.get(host_b):
-                return False
-        return True
+        return self._path(host_a, host_b).reachable
 
     def set_link_loss(self, host_a: str, host_b: str, model: LossModel) -> None:
         """Install ``model`` as the loss model for one host pair.
@@ -291,10 +356,12 @@ class Network:
         :class:`~repro.simnet.loss.CompositeLoss` to layer them instead.
         """
         self._link_loss[self._link_key(host_a, host_b)] = model
+        self.invalidate_path_cache()
 
     def clear_link_loss(self, host_a: str, host_b: str) -> None:
         """Remove a per-link loss override (idempotent)."""
         self._link_loss.pop(self._link_key(host_a, host_b), None)
+        self.invalidate_path_cache()
 
     def link_loss(self, host_a: str, host_b: str) -> LossModel | None:
         """The loss override for a host pair, if any."""
@@ -340,26 +407,24 @@ class Network:
         size = wire_size(message)
         self.datagrams_sent += 1
         self.bytes_sent += size
-        if not self.reachable(src.host, dst.host):
+        path = self._path(src.host, dst.host)
+        if not path.reachable:
             self.datagrams_dropped += 1
             self.datagrams_cut += 1
             if self.tracer is not None:
                 self.tracer.record("udp_cut", src.host, dst=str(dst), kind=type(message).__name__)
             return
-        src_site = self.site_of(src.host)
-        dst_site = self.site_of(dst.host)
-        hops = self.latency.hops(src_site, dst_site)
-        loss = self._link_loss.get(self._link_key(src.host, dst.host), self.loss)
-        if loss.lost(hops, self.rng):
+        loss = path.loss_override if path.loss_override is not None else self.loss
+        if loss.lost(path.hops, self.rng):
             self.datagrams_dropped += 1
             if self.tracer is not None:
                 self.tracer.record("udp_drop", src.host, dst=str(dst), kind=type(message).__name__)
             return
-        delay = self.latency.delay(src_site, dst_site, size, self.rng)
+        delay = self.latency.delay(path.src_site, path.dst_site, size, self.rng)
         self.sim.schedule(delay, self._deliver_udp, Datagram(message, src, dst, size))
 
     def _deliver_udp(self, dgram: Datagram) -> None:
-        if not self.reachable(dgram.src.host, dgram.dst.host):
+        if not self._path(dgram.src.host, dgram.dst.host).reachable:
             # A cut landed while the datagram was in flight.
             self.datagrams_dropped += 1
             self.datagrams_cut += 1
@@ -390,12 +455,14 @@ class Network:
         if not self._info(endpoint.host).multicast_enabled:
             raise TransportError(f"multicast disabled on host {endpoint.host!r}")
         self._multicast_groups.setdefault(group, set()).add(endpoint)
+        self._mcast_cache.clear()
 
     def leave_multicast(self, group: str, endpoint: Endpoint) -> None:
         """Unsubscribe ``endpoint`` from ``group`` (idempotent)."""
         members = self._multicast_groups.get(group)
         if members is not None:
             members.discard(endpoint)
+        self._mcast_cache.clear()
 
     def multicast_members(self, group: str) -> frozenset[Endpoint]:
         """Current members of ``group`` (all realms)."""
@@ -412,15 +479,33 @@ class Network:
         if not self._info(src.host).multicast_enabled:
             raise TransportError(f"multicast disabled on host {src.host!r}")
         realm = self.realm_of(src.host)
+        members = self._in_realm_members(group, realm)
         reached = 0
-        for member in sorted(self._multicast_groups.get(group, ())):
+        for member in members:
             if member == src:
-                continue
-            if self.realm_of(member.host) != realm:
                 continue
             self.send_udp(src, member, message)
             reached += 1
         return reached
+
+    def _in_realm_members(self, group: str, realm: str) -> tuple[Endpoint, ...]:
+        """Sorted group members within ``realm``.
+
+        The whole fan-out is resolved once per (group, realm) and
+        reused for every subsequent multicast -- membership and realms
+        change only on join/leave, not per datagram.
+        """
+        key = (group, realm)
+        members = self._mcast_cache.get(key)
+        if members is None:
+            members = tuple(
+                m
+                for m in sorted(self._multicast_groups.get(group, ()))
+                if self._info(m.host).realm == realm
+            )
+            if self.use_path_cache:
+                self._mcast_cache[key] = members
+        return members
 
     # ------------------------------------------------------------------
     # TCP
@@ -452,13 +537,12 @@ class Network:
         """
         if dst not in self._tcp_listeners:
             raise TransportError(f"no TCP listener at {dst}")
-        if not self.reachable(src.host, dst.host):
+        path = self._path(src.host, dst.host)
+        if not path.reachable:
             if self.tracer is not None:
                 self.tracer.record("tcp_syn_cut", src.host, dst=str(dst))
             return
-        src_site = self.site_of(src.host)
-        dst_site = self.site_of(dst.host)
-        one_way = self.latency.delay(src_site, dst_site, 64, self.rng)
+        one_way = self.latency.delay(path.src_site, path.dst_site, 64, self.rng)
         setup = 2.0 * one_way * _TCP_SETUP_RTTS
 
         def establish() -> None:
@@ -483,9 +567,8 @@ class Network:
         side.bytes_sent += size
         side.messages_sent += 1
         self.bytes_sent += size
-        src_site = self.site_of(side.local.host)
-        dst_site = self.site_of(side.remote.host)
-        delay = self.latency.delay(src_site, dst_site, size, self.rng)
+        path = self._path(side.local.host, side.remote.host)
+        delay = self.latency.delay(path.src_site, path.dst_site, size, self.rng)
         # FIFO: never deliver before the previous message on this side.
         arrival = max(self.sim.now + delay, side._last_arrival)
         side._last_arrival = arrival

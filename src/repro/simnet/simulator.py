@@ -11,7 +11,23 @@ callbacks.  Two properties matter for reproducibility:
   keeping both ``schedule`` and ``cancel`` O(log n) amortised.
 
 The event loop is the hot path of every benchmark; it deliberately uses
-plain tuples on :mod:`heapq` rather than richer objects.
+plain slotted objects on :mod:`heapq` rather than richer abstractions.
+Two optimisations keep long runs flat:
+
+* a **live-event counter** makes :attr:`Simulator.pending` O(1) instead
+  of an O(n) heap scan -- monitors and soak harnesses poll it freely;
+* heap entries are ``(time, seq, event)`` tuples, so sift comparisons
+  resolve on the floats at C level instead of calling a Python
+  ``__lt__`` per comparison; ``seq`` is unique, so the tie-break never
+  reaches the event object and the order is exactly ``(time, seq)``;
+* **heap compaction** rebuilds the queue without its cancelled entries
+  once they exceed :attr:`Simulator.compaction_threshold` of the heap.
+  Cancelled far-future entries (retry probes, lease timers, watchdogs
+  that were re-armed) otherwise accumulate unboundedly across long
+  chaos runs, because lazy deletion only reclaims entries whose fire
+  time is actually reached.  Compaction removes only entries that could
+  never fire and ``heapq.heapify`` respects the same total order
+  ``(time, seq)``, so virtual-time results are bit-for-bit unchanged.
 """
 
 from __future__ import annotations
@@ -22,6 +38,10 @@ from typing import Any
 
 __all__ = ["Simulator", "ScheduledEvent"]
 
+#: Compaction never runs below this queue size; tiny heaps are cheap to
+#: scan and rebuilding them would thrash.
+_MIN_COMPACTION_SIZE = 64
+
 
 class ScheduledEvent:
     """Handle to a pending callback; supports cancellation.
@@ -31,18 +51,33 @@ class ScheduledEvent:
     callback from firing.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple) -> None:
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: "Simulator | None" = None,
+    ) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        # Back-reference to the owning simulator while the entry sits in
+        # its queue; detached on pop so late cancels of already-fired
+        # events cannot skew the live-event accounting.
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent this event from firing (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -55,6 +90,14 @@ class ScheduledEvent:
 class Simulator:
     """Virtual-time event loop.
 
+    Parameters
+    ----------
+    compaction_threshold:
+        Rebuild the heap without cancelled entries once they make up
+        more than this fraction of it (and the heap holds at least 64
+        entries).  ``None`` disables compaction -- the pre-optimisation
+        reference behaviour the determinism tests compare against.
+
     Examples
     --------
     >>> sim = Simulator()
@@ -66,11 +109,19 @@ class Simulator:
     (['b', 'a'], 1.5)
     """
 
-    def __init__(self) -> None:
+    def __init__(self, compaction_threshold: float | None = 0.5) -> None:
+        if compaction_threshold is not None and not 0.0 < compaction_threshold < 1.0:
+            raise ValueError(
+                f"compaction_threshold must be in (0, 1) or None, got {compaction_threshold}"
+            )
         self._now = 0.0
         self._seq = 0
-        self._queue: list[ScheduledEvent] = []
+        self._queue: list[tuple[float, int, ScheduledEvent]] = []
         self._events_processed = 0
+        self._live = 0  # queued entries that are not cancelled
+        self._dead = 0  # queued entries that are cancelled (lazy-deleted)
+        self.compaction_threshold = compaction_threshold
+        self.compactions = 0
 
     @property
     def now(self) -> float:
@@ -79,8 +130,13 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for ev in self._queue if not ev.cancelled)
+        """Number of not-yet-fired, not-cancelled events (O(1))."""
+        return self._live
+
+    @property
+    def queue_size(self) -> int:
+        """Physical heap size, cancelled entries included."""
+        return len(self._queue)
 
     @property
     def events_processed(self) -> int:
@@ -97,9 +153,10 @@ class Simulator:
         """Run ``fn(*args)`` at absolute virtual time ``time``."""
         if time < self._now:
             raise ValueError(f"cannot schedule into the past (t={time} < now={self._now})")
-        ev = ScheduledEvent(time, self._seq, fn, args)
+        ev = ScheduledEvent(time, self._seq, fn, args, self)
         self._seq += 1
-        heapq.heappush(self._queue, ev)
+        heapq.heappush(self._queue, (time, ev.seq, ev))
+        self._live += 1
         return ev
 
     def call_every(
@@ -113,6 +170,9 @@ class Simulator:
 
         The returned handle controls the *whole* series: cancelling it
         stops future firings.  ``first_delay`` defaults to ``interval``.
+        A tick that raises does **not** kill the series: the next tick
+        is re-armed before the exception propagates, so periodic
+        services (heartbeat renewals, sweeps) survive one bad callback.
         """
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
@@ -121,17 +181,60 @@ class Simulator:
         def tick() -> None:
             if series.cancelled:
                 return
-            fn(*args)
-            if not series.cancelled:
-                self.schedule(interval, tick)
+            try:
+                fn(*args)
+            finally:
+                if not series.cancelled:
+                    self.schedule(interval, tick)
 
         self.schedule(interval if first_delay is None else first_delay, tick)
         return series
 
+    # ------------------------------------------------------------------
+    # Cancelled-entry accounting
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """A queued entry was cancelled; compact if the heap is mostly dead."""
+        self._live -= 1
+        self._dead += 1
+        threshold = self.compaction_threshold
+        if (
+            threshold is not None
+            and len(self._queue) >= _MIN_COMPACTION_SIZE
+            and self._dead > threshold * len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        Only entries that could never fire are removed, and heapify
+        re-establishes the identical ``(time, seq)`` total order, so
+        pop order -- and therefore every virtual-time result -- is
+        unchanged.
+        """
+        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self._dead = 0
+        self.compactions += 1
+
+    def _pop(self) -> ScheduledEvent:
+        """Pop the heap top and detach it from the accounting."""
+        ev = heapq.heappop(self._queue)[2]
+        if ev.cancelled:
+            self._dead -= 1
+        else:
+            self._live -= 1
+        ev._sim = None  # late cancel() must not touch the counters
+        return ev
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the single next event.  Returns False if the queue is empty."""
         while self._queue:
-            ev = heapq.heappop(self._queue)
+            ev = self._pop()
             if ev.cancelled:
                 continue
             self._now = ev.time
@@ -149,13 +252,13 @@ class Simulator:
         """
         fired = 0
         while self._queue:
-            ev = self._queue[0]
+            ev = self._queue[0][2]
             if ev.cancelled:
-                heapq.heappop(self._queue)
+                self._pop()
                 continue
             if until is not None and ev.time > until:
                 break
-            heapq.heappop(self._queue)
+            self._pop()
             self._now = ev.time
             self._events_processed += 1
             ev.fn(*ev.args)

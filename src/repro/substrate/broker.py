@@ -104,7 +104,15 @@ class Broker(Node):
         self.subscriptions = SubscriptionManager()
         self.local_interests: set[str] = set()
         self.dedup = DedupCache(self.config.dedup_capacity)
-        self.routing: RoutingStrategy = FloodRouting()
+        # Routing-decision caches.  Peer sets change only on link
+        # fault/heal, so the per-(from_peer) forwarding target list is
+        # memoised between topology changes; ``use_route_cache=False``
+        # restores the uncached reference behaviour (results identical
+        # either way -- the determinism tests assert it).
+        self.use_route_cache = True
+        self._peers_cache: frozenset[str] | None = None
+        self._targets_cache: dict[str | None, tuple[int, tuple[str, ...]]] = {}
+        self.routing = FloodRouting()
         self._links: dict[str, Connection] = {}
         self._clients: dict[str, Connection] = {}
         self._neighbors: dict[str, "Broker"] = {}
@@ -176,6 +184,7 @@ class Broker(Node):
             conn.close()
         self._links.clear()
         self._clients.clear()
+        self._invalidate_link_caches()
         self.trace("broker_stop")
 
     # ------------------------------------------------------------------
@@ -211,9 +220,49 @@ class Broker(Node):
     # Broker links
     # ------------------------------------------------------------------
     @property
+    def routing(self) -> RoutingStrategy:
+        """The installed routing strategy."""
+        return self._routing
+
+    @routing.setter
+    def routing(self, strategy: RoutingStrategy) -> None:
+        self._routing = strategy
+        # Resolve the optional strategy hooks once per installation
+        # instead of via getattr on every routed event/message.
+        self._targets_for_topic = getattr(strategy, "targets_for_topic", None)
+        self._on_link_interest = getattr(strategy, "on_link_interest", None)
+        self._targets_cache.clear()
+
+    @property
     def peers(self) -> frozenset[str]:
         """Ids of brokers this broker holds live links to."""
-        return frozenset(self._links)
+        peers = self._peers_cache
+        if peers is None:
+            peers = self._peers_cache = frozenset(self._links)
+        return peers
+
+    def _invalidate_link_caches(self) -> None:
+        """A link came up or went down: recompute peers and targets."""
+        self._peers_cache = None
+        self._targets_cache.clear()
+
+    def _forward_targets(self, from_peer: str | None) -> tuple[str, ...]:
+        """Sorted forwarding targets, memoised per ``from_peer``.
+
+        The cache key is the arrival link; entries are invalidated when
+        the link set changes (fault/heal/accept/close) or the strategy
+        is replaced, and revalidated against the strategy's ``version``
+        counter so in-place mutations (``SpanningTreeRouting.add_edge``)
+        are picked up too.
+        """
+        if not self.use_route_cache:
+            return tuple(sorted(self._routing.targets(self.name, self.peers, from_peer)))
+        version = getattr(self._routing, "version", 0)
+        cached = self._targets_cache.get(from_peer)
+        if cached is None or cached[0] != version:
+            targets = tuple(sorted(self._routing.targets(self.name, self.peers, from_peer)))
+            self._targets_cache[from_peer] = cached = (version, targets)
+        return cached[1]
 
     @property
     def link_count(self) -> int:
@@ -251,6 +300,7 @@ class Broker(Node):
             conn.on_receive = lambda msg, src: self._on_link_message(other.name, msg)
             conn.on_close = lambda: self._on_link_closed(other.name)
             self._links[other.name] = conn
+            self._invalidate_link_caches()
             conn.send(Ack(uuid=self.ids(), acked_by=self.name))
             self.trace("link_up", peer=other.name)
             if on_ready is not None:
@@ -280,12 +330,14 @@ class Broker(Node):
             conn.on_receive = lambda m, s: self._on_link_message(peer_id, m)
             conn.on_close = lambda: self._on_link_closed(peer_id)
             self._links[peer_id] = conn
+            self._invalidate_link_caches()
             self.trace("link_accepted", peer=peer_id)
 
         conn.on_receive = first_message
 
     def _on_link_closed(self, peer_id: str) -> None:
         self._links.pop(peer_id, None)
+        self._invalidate_link_caches()
         self.trace("link_down", peer=peer_id)
         if self.alive:
             self.links_lost += 1
@@ -318,9 +370,8 @@ class Broker(Node):
         elif isinstance(message, (Subscribe, Unsubscribe)):
             # Link-level interest propagation: a content-aware routing
             # strategy (if installed) digests and forwards it.
-            on_link_interest = getattr(self.routing, "on_link_interest", None)
-            if on_link_interest is not None:
-                on_link_interest(self, peer_id, message)
+            if self._on_link_interest is not None:
+                self._on_link_interest(self, peer_id, message)
 
     def send_to_peer(self, peer_id: str, message: Message) -> bool:
         """Send an arbitrary message over one broker link.
@@ -440,8 +491,9 @@ class Broker(Node):
             self.duplicates_suppressed += 1
             return
         self.events_routed += 1
-        # Local delivery to matching client subscribers.
-        for subscriber in sorted(self.subscriptions.subscribers_for(event.topic)):
+        # Local delivery to matching client subscribers (cached per
+        # topic; identical to sorted(subscribers_for(topic))).
+        for subscriber in self.subscriptions.sorted_subscribers_for(event.topic):
             conn = self._clients.get(subscriber)
             if conn is not None and conn.open:
                 conn.send(event)
@@ -451,13 +503,16 @@ class Broker(Node):
             if topic_matches(pattern, event.topic):
                 handler(event, from_peer)
         # Forward into the broker network.  Content-aware strategies
-        # narrow the target set by the event's topic.
-        targets_for_topic = getattr(self.routing, "targets_for_topic", None)
-        if targets_for_topic is not None:
-            targets = targets_for_topic(self.name, self.peers, from_peer, event.topic)
+        # narrow the target set by the event's topic (their interest
+        # tables mutate with every subscription, so only the static
+        # per-(from_peer) strategies go through the memoised path).
+        if self._targets_for_topic is not None:
+            targets: tuple[str, ...] | list[str] = sorted(
+                self._targets_for_topic(self.name, self.peers, from_peer, event.topic)
+            )
         else:
-            targets = self.routing.targets(self.name, self.peers, from_peer)
-        for peer in sorted(targets):
+            targets = self._forward_targets(from_peer)
+        for peer in targets:
             conn = self._links.get(peer)
             if conn is not None and conn.open:
                 conn.send(event)

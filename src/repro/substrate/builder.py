@@ -57,6 +57,11 @@ class BrokerNetwork:
         Models installed on the fabric.
     keep_trace:
         Whether to retain full trace records (counters always on).
+    optimized:
+        ``False`` disables every hot-path cache (heap compaction, the
+        fabric's path cache, broker route memoisation) so determinism
+        tests can compare the optimised world against the reference
+        behaviour.  Virtual-time results must be identical either way.
     """
 
     def __init__(
@@ -65,8 +70,10 @@ class BrokerNetwork:
         latency: LatencyModel | None = None,
         loss: LossModel | None = None,
         keep_trace: bool = False,
+        optimized: bool = True,
     ) -> None:
-        self.sim = Simulator()
+        self.optimized = optimized
+        self.sim = Simulator(compaction_threshold=0.5 if optimized else None)
         self.master_rng = np.random.default_rng(seed)
         self.tracer = Tracer(lambda: self.sim.now, keep_records=keep_trace)
         self.network = Network(
@@ -76,6 +83,7 @@ class BrokerNetwork:
             rng=self._child_rng(),
             tracer=self.tracer,
         )
+        self.network.use_path_cache = optimized
         self.brokers: dict[str, Broker] = {}
         self._edges: set[tuple[str, str]] = set()
 
@@ -113,6 +121,7 @@ class BrokerNetwork:
             multicast_enabled=multicast_enabled,
             tracer=self.tracer,
         )
+        broker.use_route_cache = self.optimized
         self.brokers[name] = broker
         if start:
             broker.start()

@@ -64,6 +64,10 @@ class SpanningTreeRouting:
 
     def __init__(self, tree_edges: set[tuple[str, str]] | None = None) -> None:
         self._neighbors: dict[str, set[str]] = {}
+        #: Bumped on every mutation; brokers memoise target sets keyed on
+        #: this, so in-place edits (builders growing the tree after the
+        #: strategy is installed) invalidate their caches automatically.
+        self.version = 0
         if tree_edges:
             for a, b in tree_edges:
                 self.add_edge(a, b)
@@ -74,6 +78,7 @@ class SpanningTreeRouting:
             raise ValueError(f"self-loop {a!r} is not a tree edge")
         self._neighbors.setdefault(a, set()).add(b)
         self._neighbors.setdefault(b, set()).add(a)
+        self.version += 1
 
     def tree_neighbors(self, broker_id: str) -> frozenset[str]:
         """This broker's neighbours in the tree."""

@@ -18,10 +18,18 @@ __all__ = ["SubscriptionManager"]
 class SubscriptionManager:
     """Tracks (pattern, subscriber) registrations for one broker."""
 
+    #: Match-cache entries retained before a wholesale reset; topics are
+    #: usually drawn from a small app-defined set, so this is rarely hit.
+    _MATCH_CACHE_MAX = 2048
+
     def __init__(self) -> None:
         self._trie = TopicTrie()
         self._by_subscriber: dict[str, set[str]] = defaultdict(set)
         self._pattern_counts: dict[str, int] = defaultdict(int)
+        # topic -> sorted matching subscribers; routing resolves the
+        # same concrete topics over and over, so trie walks are cached
+        # until any registration changes.
+        self._match_cache: dict[str, tuple[str, ...]] = {}
 
     def __len__(self) -> int:
         """Total number of live (pattern, subscriber) pairs."""
@@ -33,12 +41,14 @@ class SubscriptionManager:
         if added:
             self._by_subscriber[subscriber].add(pattern)
             self._pattern_counts[pattern] += 1
+            self._match_cache.clear()
         return added
 
     def unsubscribe(self, pattern: str, subscriber: str) -> bool:
         """Withdraw one registration.  Returns False if absent."""
         removed = self._trie.remove(pattern, subscriber)
         if removed:
+            self._match_cache.clear()
             patterns = self._by_subscriber.get(subscriber)
             if patterns is not None:
                 patterns.discard(pattern)
@@ -53,6 +63,8 @@ class SubscriptionManager:
         Returns the patterns that were removed for it.
         """
         patterns = self._by_subscriber.pop(subscriber, set())
+        if patterns:
+            self._match_cache.clear()
         for pattern in patterns:
             self._trie.remove(pattern, subscriber)
             self._decrement(pattern)
@@ -74,6 +86,21 @@ class SubscriptionManager:
     def subscribers_for(self, topic: str) -> set[str]:
         """Subscribers whose patterns match the concrete ``topic``."""
         return self._trie.match(topic)
+
+    def sorted_subscribers_for(self, topic: str) -> tuple[str, ...]:
+        """Matching subscribers in sorted order, cached per topic.
+
+        The cache is cleared on every registration change, so the
+        result is always exactly ``sorted(subscribers_for(topic))`` --
+        routing uses this to skip repeated trie walks for hot topics.
+        """
+        cached = self._match_cache.get(topic)
+        if cached is None:
+            if len(self._match_cache) >= self._MATCH_CACHE_MAX:
+                self._match_cache.clear()
+            cached = tuple(sorted(self._trie.match(topic)))
+            self._match_cache[topic] = cached
+        return cached
 
     def patterns_of(self, subscriber: str) -> frozenset[str]:
         """Patterns currently held by ``subscriber``."""

@@ -69,13 +69,14 @@ def make_response(
     issued_at: float = 10.0,
     metrics: UsageMetrics | None = None,
     request_uuid: str = "req-1",
+    transports: tuple[tuple[str, int], ...] = (("tcp", 5045), ("udp", 5046)),
 ) -> DiscoveryResponse:
     """Convenience DiscoveryResponse builder for tests."""
     return DiscoveryResponse(
         request_uuid=request_uuid,
         broker_id=broker_id,
         hostname=hostname,
-        transports=(("tcp", 5045), ("udp", 5046)),
+        transports=transports,
         issued_at=issued_at,
         metrics=metrics if metrics is not None else make_metrics(),
     )

@@ -123,3 +123,43 @@ class TestPinger:
         node = Node("p2", "p2.host", net.network, np.random.default_rng(0), site="sx")
         with pytest.raises(ValueError):
             Pinger(node, node.endpoint(1), max_samples=0)
+
+    def test_invalid_outstanding_timeout(self):
+        net, broker, _ = ping_world()
+        node = Node("p3", "p3.host", net.network, np.random.default_rng(0), site="sx")
+        with pytest.raises(ValueError):
+            Pinger(node, node.endpoint(1), outstanding_timeout=0.0)
+
+
+class TestOutstandingExpiry:
+    def test_lost_pings_do_not_accumulate(self):
+        """The leak: with every pong lost, the outstanding table used to
+        grow by one entry per ping, forever."""
+        net, broker, pinger = ping_world(loss=UniformLoss(0.999))
+        for _ in range(50):
+            pinger.ping(broker.udp_endpoint, key="bk")
+            net.sim.run_for(1.0)  # default timeout is 30 s
+        assert len(pinger._outstanding) <= 31
+        assert pinger.pings_expired >= 19
+        net.sim.run_for(31.0)
+        pinger.ping(broker.udp_endpoint, key="bk")
+        assert len(pinger._outstanding) == 1
+
+    def test_answered_pings_do_not_expire(self):
+        net, broker, pinger = ping_world()
+        for _ in range(5):
+            pinger.ping(broker.udp_endpoint, key="bk")
+            net.sim.run_for(1.0)
+        assert pinger.pings_expired == 0
+        assert pinger.pongs_received == 5
+        assert len(pinger._outstanding) == 0
+
+    def test_pong_after_deadline_ignored(self):
+        net, broker, pinger = ping_world(loss=UniformLoss(0.999))
+        uuid = pinger.ping(broker.udp_endpoint, key="bk")
+        net.sim.run_for(31.0)  # past the 30 s deadline
+        late = PingResponse(uuid=uuid, sent_at=0.0, broker_id="bk")
+        pinger.on_response(late, Endpoint("ghost", 1))
+        assert pinger.sample_count("bk") == 0
+        assert pinger.pongs_received == 0
+        assert pinger.pings_expired == 1

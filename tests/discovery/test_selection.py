@@ -116,6 +116,47 @@ class TestSelectTargetSet:
         assert [c.broker_id for c in select_target_set([b, a], 2)] == ["a", "b"]
 
 
+class TestTransportRequirements:
+    def test_missing_transport_endpoint_raises(self):
+        """Port 0 used to be silently substituted; now it's an error."""
+        cand = make_candidate(
+            make_response(transports=(("tcp", 5045),)), 10.0, WeightConfig()
+        )
+        with pytest.raises(ValueError):
+            cand.udp_endpoint
+        assert cand.tcp_endpoint == Endpoint("b1.example", 5045)
+
+    def test_has_transport_and_missing(self):
+        cand = make_candidate(
+            make_response(transports=(("udp", 5046),)), 10.0, WeightConfig()
+        )
+        assert cand.has_transport("udp")
+        assert not cand.has_transport("tcp")
+        assert cand.missing_transports(("udp", "tcp")) == ("tcp",)
+
+    def test_select_excludes_transportless_candidates(self):
+        w = WeightConfig()
+        full = make_candidate(make_response(broker_id="full", issued_at=10.0), 10.05, w)
+        udp_only = make_candidate(
+            make_response(
+                broker_id="udp-only", issued_at=10.0, transports=(("udp", 5046),)
+            ),
+            10.01,
+            w,
+        )
+        target = select_target_set(
+            [udp_only, full], 5, required_transports=("udp", "tcp")
+        )
+        assert [c.broker_id for c in target] == ["full"]
+
+    def test_no_requirements_keeps_all(self):
+        w = WeightConfig()
+        udp_only = make_candidate(
+            make_response(broker_id="udp-only", transports=(("udp", 5046),)), 10.01, w
+        )
+        assert len(select_target_set([udp_only], 5)) == 1
+
+
 @given(
     n=st.integers(min_value=1, max_value=20),
     size=st.integers(min_value=1, max_value=25),

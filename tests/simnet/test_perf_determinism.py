@@ -1,0 +1,79 @@
+"""Optimisations must be invisible to virtual-time results.
+
+Every hot-path cache added by the performance pass (heap compaction,
+the fabric's per-path cache, broker route memoisation) can be switched
+off via ``optimized=False``, which restores the reference behaviour.
+These tests run the same seeded worlds both ways and require the runs
+to be *byte-for-byte identical*: same trace records, same event counts,
+same outcomes.  Any divergence means an optimisation changed scheduling
+or RNG draw order -- a correctness bug, not a perf trade-off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import Event
+from repro.experiments.scenarios import DiscoveryScenario, ScenarioSpec
+from repro.substrate.builder import BrokerNetwork, Topology
+
+
+def _trace_signature(net) -> tuple:
+    return tuple((r.time, r.event, r.node, r.detail) for r in net.tracer.records)
+
+
+def _run_discovery_world(topology: str, optimized: bool, runs: int = 3) -> tuple:
+    ctor = {"star": ScenarioSpec.star, "linear": ScenarioSpec.linear}[topology]
+    scenario = DiscoveryScenario(ctor(seed=5), keep_trace=True, optimized=optimized)
+    outcomes = scenario.run(runs=runs)
+    sim = scenario.net.sim
+    return (
+        _trace_signature(scenario.net),
+        sim.events_processed,
+        sim.now,
+        [(o.success, o.total_time, o.via, o.transmissions) for o in outcomes],
+        [o.selected.broker_id for o in outcomes if o.selected is not None],
+    )
+
+
+@pytest.mark.parametrize("topology", ["star", "linear"])
+def test_discovery_identical_with_and_without_optimizations(topology):
+    reference = _run_discovery_world(topology, optimized=False)
+    optimized = _run_discovery_world(topology, optimized=True)
+    assert optimized == reference
+
+
+def _run_substrate_world(optimized: bool) -> tuple:
+    net = BrokerNetwork(seed=13, keep_trace=True, optimized=optimized)
+    for i in range(4):
+        net.add_broker(f"b{i}", site=f"site{i % 2}")
+    net.apply_topology(Topology.MESH)
+    net.settle()
+    brokers = list(net.brokers.values())
+    timers = []
+    for i in range(120):
+        # Publish through the fabric and churn cancelled timers, the
+        # pattern that triggers compaction in the optimised world.
+        broker = brokers[i % len(brokers)]
+        net.sim.schedule(
+            0.01 * i,
+            broker.publish_local,
+            Event(
+                uuid=f"ev-{i}",
+                topic=f"t/{i % 5}",
+                payload=b"x" * 32,
+                source=broker.name,
+                issued_at=0.0,
+            ),
+        )
+        timers.append(net.sim.schedule(60.0 + i, lambda: None))
+    for t in timers:
+        t.cancel()
+    net.sim.run_for(5.0)
+    return (_trace_signature(net), net.sim.events_processed, net.sim.now)
+
+
+def test_substrate_identical_with_and_without_optimizations():
+    reference = _run_substrate_world(optimized=False)
+    optimized = _run_substrate_world(optimized=True)
+    assert optimized == reference

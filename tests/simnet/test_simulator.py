@@ -174,6 +174,107 @@ class TestPeriodic:
             sim.call_every(0.0, lambda: None)
 
 
+class TestAccounting:
+    def test_pending_counts_live_events(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending == 10
+        for h in handles[:4]:
+            h.cancel()
+        assert sim.pending == 6
+
+    def test_cancel_after_fire_does_not_corrupt_pending(self):
+        sim = Simulator()
+        fired = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.step()  # fires the t=1 event
+        fired.cancel()  # late cancel of an already-fired event
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+
+    def test_queue_size_includes_cancelled(self):
+        sim = Simulator(compaction_threshold=None)
+        h = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h.cancel()
+        assert sim.queue_size == 2
+        assert sim.pending == 1
+
+    def test_compaction_reclaims_cancelled_entries(self):
+        sim = Simulator(compaction_threshold=0.5)
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for h in handles:
+            h.cancel()
+        assert sim.compactions >= 1
+        assert sim.queue_size < 100
+        assert sim.pending == 0
+
+    def test_compaction_disabled_with_none(self):
+        sim = Simulator(compaction_threshold=None)
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for h in handles:
+            h.cancel()
+        assert sim.compactions == 0
+        assert sim.queue_size == 100
+
+    def test_compaction_preserves_firing_order(self):
+        sim_opt = Simulator(compaction_threshold=0.5)
+        sim_ref = Simulator(compaction_threshold=None)
+        results = {}
+        for name, sim in (("opt", sim_opt), ("ref", sim_ref)):
+            fired: list[tuple[float, int]] = []
+            keep = []
+            for i in range(200):
+                keep.append(sim.schedule(float(i % 17), fired.append, (float(i % 17), i)))
+            for i, h in enumerate(keep):
+                if i % 3:  # cancel two thirds, forcing compactions
+                    h.cancel()
+            sim.run()
+            results[name] = fired
+        assert results["opt"] == results["ref"]
+        assert sim_opt.compactions >= 1
+
+    def test_invalid_compaction_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(compaction_threshold=0.0)
+        with pytest.raises(ValueError):
+            Simulator(compaction_threshold=1.5)
+
+
+class TestPeriodicExceptionSafety:
+    def test_series_survives_a_raising_tick(self):
+        sim = Simulator()
+        fired = []
+
+        def tick():
+            fired.append(sim.now)
+            if len(fired) == 2:
+                raise RuntimeError("one bad tick")
+
+        sim.call_every(1.0, tick)
+        with pytest.raises(RuntimeError):
+            sim.run(until=2.5)
+        # The next tick was re-armed before the exception propagated.
+        sim.run(until=4.5)
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+
+    def test_cancel_inside_raising_tick_still_stops_series(self):
+        sim = Simulator()
+        fired = []
+
+        def tick():
+            fired.append(sim.now)
+            series.cancel()
+            raise RuntimeError("bad and cancelled")
+
+        series = sim.call_every(1.0, tick)
+        with pytest.raises(RuntimeError):
+            sim.run(until=1.5)
+        sim.run(until=10.0)
+        assert fired == [1.0]
+
+
 @given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=50))
 def test_property_firing_order_is_sorted_by_time(delays):
     """Whatever the insertion order, events fire in nondecreasing time."""

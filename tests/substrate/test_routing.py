@@ -72,3 +72,54 @@ class TestSpanningTreeRouting:
         routing.add_edge("x", "y")
         assert routing.tree_neighbors("x") == {"y"}
         assert routing.tree_neighbors("y") == {"x"}
+
+    def test_version_bumps_on_mutation(self):
+        routing = SpanningTreeRouting()
+        assert routing.version == 0
+        routing.add_edge("x", "y")
+        routing.add_edge("y", "z")
+        assert routing.version == 2
+
+
+class TestBrokerRouteCache:
+    def _mesh(self, optimized: bool = True):
+        from repro.substrate.builder import BrokerNetwork, Topology
+
+        net = BrokerNetwork(seed=11, optimized=optimized)
+        for name in ("ba", "bb", "bc"):
+            net.add_broker(name, site="s1")
+        net.apply_topology(Topology.MESH)
+        net.settle()
+        return net
+
+    def test_cached_targets_match_uncached(self):
+        net = self._mesh()
+        broker = net.brokers["ba"]
+        cached = broker._forward_targets("bb")
+        broker.use_route_cache = False
+        assert broker._forward_targets("bb") == cached == ("bc",)
+
+    def test_cache_invalidated_on_link_down(self):
+        net = self._mesh()
+        ba = net.brokers["ba"]
+        assert ba._forward_targets(None) == ("bb", "bc")
+        net.brokers["bc"].stop()
+        net.settle(2.0)
+        assert "bc" not in ba.peers
+        assert ba._forward_targets(None) == ("bb",)
+
+    def test_cache_invalidated_on_strategy_mutation(self):
+        net = self._mesh()
+        ba = net.brokers["ba"]
+        strategy = SpanningTreeRouting({("ba", "bb")})
+        ba.routing = strategy
+        assert ba._forward_targets(None) == ("bb",)
+        strategy.add_edge("ba", "bc")  # in-place mutation, version bump
+        assert ba._forward_targets(None) == ("bb", "bc")
+
+    def test_cache_invalidated_on_routing_reassignment(self):
+        net = self._mesh()
+        ba = net.brokers["ba"]
+        assert ba._forward_targets(None) == ("bb", "bc")
+        ba.routing = SpanningTreeRouting({("ba", "bb")})
+        assert ba._forward_targets(None) == ("bb",)
