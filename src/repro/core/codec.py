@@ -24,6 +24,7 @@ from repro.core.errors import CodecError
 from repro.core.messages import (
     Ack,
     BrokerAdvertisement,
+    DiscoveryBusy,
     DiscoveryRequest,
     DiscoveryResponse,
     Event,
@@ -154,6 +155,7 @@ def _write_metrics(w: _Writer, m: UsageMetrics) -> None:
     w.u32(m.num_links)
     w.u32(m.num_connections)
     w.f64(m.cpu_load)
+    w.u32(m.queue_depth)
 
 
 def _read_metrics(r: _Reader) -> UsageMetrics:
@@ -163,6 +165,7 @@ def _read_metrics(r: _Reader) -> UsageMetrics:
         num_links=r.u32(),
         num_connections=r.u32(),
         cpu_load=r.f64(),
+        queue_depth=r.u32(),
     )
 
 
@@ -270,6 +273,22 @@ def _decode_response(r: _Reader) -> DiscoveryResponse:
     )
 
 
+def _encode_busy(w: _Writer, m: DiscoveryBusy) -> None:
+    w.string(m.request_uuid)
+    w.string(m.bdn)
+    w.f64(m.retry_after)
+    w.u32(m.queue_depth)
+
+
+def _decode_busy(r: _Reader) -> DiscoveryBusy:
+    return DiscoveryBusy(
+        request_uuid=r.string(),
+        bdn=r.string(),
+        retry_after=r.f64(),
+        queue_depth=r.u32(),
+    )
+
+
 def _encode_ping_request(w: _Writer, m: PingRequest) -> None:
     w.string(m.uuid)
     w.f64(m.sent_at)
@@ -321,6 +340,7 @@ _ENCODERS = {
     BrokerAdvertisement.kind: _encode_advertisement,
     DiscoveryRequest.kind: _encode_request,
     DiscoveryResponse.kind: _encode_response,
+    DiscoveryBusy.kind: _encode_busy,
     PingRequest.kind: _encode_ping_request,
     PingResponse.kind: _encode_ping_response,
 }
@@ -333,6 +353,7 @@ _DECODERS = {
     BrokerAdvertisement.kind: _decode_advertisement,
     DiscoveryRequest.kind: _decode_request,
     DiscoveryResponse.kind: _decode_response,
+    DiscoveryBusy.kind: _decode_busy,
     PingRequest.kind: _decode_ping_request,
     PingResponse.kind: _decode_ping_response,
 }

@@ -21,6 +21,8 @@ from repro.core.metrics import WeightConfig
 __all__ = [
     "Endpoint",
     "ResponsePolicyConfig",
+    "ServiceConfig",
+    "RetryPolicyConfig",
     "BrokerConfig",
     "BDNConfig",
     "ClientConfig",
@@ -79,6 +81,102 @@ class ResponsePolicyConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Service-time model for one node's ingress queue.
+
+    With a service config installed, a node no longer processes every
+    datagram instantly: arrivals wait in a bounded FIFO, each message
+    occupies the (single) server for its class's service time, and
+    arrivals finding the queue full are dropped with a
+    ``queue_overflow`` trace.  ``None`` (the default everywhere) keeps
+    the pre-overload instant-processing behaviour.
+
+    Attributes
+    ----------
+    queue_capacity:
+        Maximum messages in the queue, the one in service included.
+    service_time:
+        Default seconds of service per message.
+    service_times:
+        Per-message-class overrides as ``(class name, seconds)`` pairs,
+        e.g. ``(("DiscoveryRequest", 0.05),)`` -- discovery requests
+        cost dissemination work while pings stay cheap.
+    """
+
+    queue_capacity: int = 64
+    service_time: float = 0.001
+    service_times: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ConfigError("queue_capacity must be >= 1")
+        if self.service_time <= 0:
+            raise ConfigError("service_time must be positive")
+        for name, seconds in self.service_times:
+            if not name:
+                raise ConfigError("service_times entries need a class name")
+            if seconds <= 0:
+                raise ConfigError(f"service time for {name!r} must be positive")
+
+    def time_for(self, message_type: type) -> float:
+        """Service seconds for one message of ``message_type``."""
+        for name, seconds in self.service_times:
+            if name == message_type.__name__:
+                return seconds
+        return self.service_time
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicyConfig:
+    """Adaptive retry behaviour of a discovery client.
+
+    ``None`` on :class:`ClientConfig` (the default) keeps the paper's
+    fixed retransmit timer; installing a policy replaces it with a
+    token-bucket retry *budget*, decorrelated-jitter exponential
+    backoff, ``retry_after`` honouring, and a per-BDN circuit breaker.
+
+    Attributes
+    ----------
+    budget_capacity:
+        Token-bucket size: retransmissions/retry passes the client may
+        burst before the budget gates it.
+    budget_refill_per_sec:
+        Tokens regained per second, the sustained retry rate.
+    backoff_base:
+        Minimum (and initial) backoff delay in seconds.
+    backoff_cap:
+        Upper bound on any single backoff delay.
+    breaker_failures:
+        Consecutive failures/busies that trip a BDN's breaker
+        closed -> open.
+    breaker_cooldown:
+        Seconds an open breaker waits before allowing one half-open
+        probe.
+    """
+
+    budget_capacity: int = 10
+    budget_refill_per_sec: float = 1.0
+    backoff_base: float = 0.25
+    backoff_cap: float = 5.0
+    breaker_failures: int = 3
+    breaker_cooldown: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.budget_capacity < 1:
+            raise ConfigError("budget_capacity must be >= 1")
+        if self.budget_refill_per_sec <= 0:
+            raise ConfigError("budget_refill_per_sec must be positive")
+        if self.backoff_base <= 0:
+            raise ConfigError("backoff_base must be positive")
+        if self.backoff_cap < self.backoff_base:
+            raise ConfigError("backoff_cap must be >= backoff_base")
+        if self.breaker_failures < 1:
+            raise ConfigError("breaker_failures must be >= 1")
+        if self.breaker_cooldown <= 0:
+            raise ConfigError("breaker_cooldown must be positive")
+
+
+@dataclass(frozen=True, slots=True)
 class BrokerConfig:
     """Static configuration of one broker process.
 
@@ -107,6 +205,16 @@ class BrokerConfig:
         *persistent* link (one created with ``link_to(..., persistent=True)``).
         Section 7 assumes the broker network heals after failures; this
         is the repair cadence.
+    service:
+        Optional ingress-queue service model; queue depth feeds the
+        usage metrics in discovery responses.  ``None`` = instant
+        processing (pre-overload behaviour).
+    response_suppress_depth:
+        With a service model installed, suppress discovery responses
+        while the ingress queue holds at least this many messages --
+        the paper's "lossy UDP response is a signal" idea applied
+        deliberately (a response the broker cannot back with capacity
+        is worse than silence).  ``0`` disables suppression.
     """
 
     dedup_capacity: int = DEFAULT_CAPACITY
@@ -116,6 +224,8 @@ class BrokerConfig:
     advertise: bool = True
     multicast_groups: tuple[str, ...] = ("Services/BrokerDiscovery",)
     link_retry_interval: float = 5.0
+    service: ServiceConfig | None = None
+    response_suppress_depth: int = 0
 
     def __post_init__(self) -> None:
         if self.dedup_capacity < 1:
@@ -126,6 +236,13 @@ class BrokerConfig:
             raise ConfigError("base_cpu_load must be in [0, 1)")
         if self.link_retry_interval <= 0:
             raise ConfigError("link_retry_interval must be positive")
+        if self.response_suppress_depth < 0:
+            raise ConfigError("response_suppress_depth must be >= 0")
+        if self.response_suppress_depth > 0 and self.service is None:
+            raise ConfigError(
+                "response_suppress_depth needs a service model (queue depth is "
+                "always 0 without one)"
+            )
 
 
 @dataclass(frozen=True, slots=True)
@@ -157,6 +274,17 @@ class BDNConfig:
         registered broker, which is the "O(N) distribution [that]
         would be inefficient" behind Figure 2; calibrated to a
         2005-era JVM dispatch path.
+    service:
+        Optional ingress-queue service model.  ``None`` = instant
+        processing (pre-overload behaviour).
+    admission_high_watermark:
+        With a service model installed, a discovery request arriving
+        while the ingress queue holds at least this many messages is
+        *shed*: not queued, not disseminated, answered with a cheap
+        :class:`~repro.core.messages.DiscoveryBusy` instead.  ``0``
+        disables admission control.
+    busy_retry_after:
+        The ``retry_after`` hint (seconds) carried by busy replies.
     """
 
     injection: str = "closest_farthest"
@@ -164,6 +292,9 @@ class BDNConfig:
     required_credentials: frozenset[str] = frozenset()
     ping_interval: float = 30.0
     fanout_delay: float = 0.06
+    service: ServiceConfig | None = None
+    admission_high_watermark: int = 0
+    busy_retry_after: float = 1.0
 
     _INJECTIONS = ("closest_farthest", "single", "all")
 
@@ -176,6 +307,15 @@ class BDNConfig:
             raise ConfigError("ping_interval must be positive")
         if self.fanout_delay <= 0:
             raise ConfigError("fanout_delay must be positive")
+        if self.admission_high_watermark < 0:
+            raise ConfigError("admission_high_watermark must be >= 0")
+        if self.admission_high_watermark > 0 and self.service is None:
+            raise ConfigError(
+                "admission_high_watermark needs a service model (queue depth is "
+                "always 0 without one)"
+            )
+        if self.busy_retry_after <= 0:
+            raise ConfigError("busy_retry_after must be positive")
 
 
 @dataclass(frozen=True, slots=True)
@@ -241,6 +381,11 @@ class ClientConfig:
         from the target set; the strict mode is for fault-injection
         runs where "no broker answered a ping" usually means the
         chosen broker would be unreachable anyway.
+    retry_policy:
+        Optional adaptive-retry policy (token-bucket budget, jittered
+        backoff, per-BDN circuit breaker, ``retry_after`` honouring).
+        ``None`` keeps the fixed retransmit timer and makes every
+        existing trace bit-identical.
     """
 
     bdn_endpoints: tuple[Endpoint, ...] = ()
@@ -260,6 +405,7 @@ class ClientConfig:
     credentials: frozenset[str] = frozenset()
     min_responses: int = 1
     require_ping_evidence: bool = False
+    retry_policy: RetryPolicyConfig | None = None
 
     def __post_init__(self) -> None:
         if self.response_timeout <= 0:

@@ -14,6 +14,9 @@ Each message type mirrors a structure the paper describes:
 * :class:`PingRequest` / :class:`PingResponse` -- the UDP ping pair used
   to refine delay estimates over the target set (section 6).
 * :class:`Ack` -- BDN's timely acknowledgement of a request (section 3).
+* :class:`DiscoveryBusy` -- a BDN's overload signal carrying a
+  ``retry_after`` hint (the overload-protection layer on top of the
+  paper's load-aware selection metrics).
 
 All messages are frozen dataclasses: forwarding mutations (hop counts,
 re-timestamping) go through :func:`dataclasses.replace`, which keeps the
@@ -22,6 +25,8 @@ recipients.
 """
 
 from __future__ import annotations
+
+import math
 
 from dataclasses import dataclass, field, replace
 from typing import ClassVar
@@ -35,6 +40,7 @@ __all__ = [
     "BrokerAdvertisement",
     "DiscoveryRequest",
     "DiscoveryResponse",
+    "DiscoveryBusy",
     "Subscribe",
     "Unsubscribe",
     "PingRequest",
@@ -129,6 +135,9 @@ class BrokerAdvertisement(Message):
         lease; one that dies (or is partitioned away) silently lets it
         lapse and the BDN evicts the stale entry.  ``0`` means no lease
         (the registration never expires), the pre-lease behaviour.
+        Negative or non-finite values are rejected at construction (and
+        therefore on decode): a malformed lease must fail loudly, not
+        register an immortal or instantly-dead entry.
     """
 
     kind: ClassVar[int] = 3
@@ -141,6 +150,10 @@ class BrokerAdvertisement(Message):
     institution: str = ""
     issued_at: float = 0.0
     ttl: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.ttl) or self.ttl < 0:
+            raise ValueError(f"ttl must be finite and non-negative, got {self.ttl}")
 
     def port_for(self, protocol: str) -> int | None:
         """Return the advertised port for ``protocol``, if any."""
@@ -237,6 +250,45 @@ class DiscoveryResponse(Message):
             if proto == protocol:
                 return port
         return None
+
+
+@dataclass(frozen=True, slots=True)
+class DiscoveryBusy(Message):
+    """A BDN's overload signal: the request was shed, try again later.
+
+    Sent instead of an :class:`Ack` when admission control refuses a
+    :class:`DiscoveryRequest` because the BDN's ingress queue sits at or
+    above its high watermark.  Deliberately cheap to produce -- it is
+    the one message an overloaded BDN can still afford.
+
+    Attributes
+    ----------
+    request_uuid:
+        UUID of the refused request.
+    bdn:
+        Name of the refusing BDN.
+    retry_after:
+        Hint, in seconds, for how long the requester should wait before
+        re-sending to this BDN.
+    queue_depth:
+        The BDN's ingress queue depth at refusal time (observability;
+        lets requesters and experiments see *how* overloaded it was).
+    """
+
+    kind: ClassVar[int] = 10
+
+    request_uuid: str
+    bdn: str
+    retry_after: float
+    queue_depth: int = 0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.retry_after) or self.retry_after < 0:
+            raise ValueError(
+                f"retry_after must be finite and non-negative, got {self.retry_after}"
+            )
+        if self.queue_depth < 0:
+            raise ValueError(f"queue_depth must be non-negative, got {self.queue_depth}")
 
 
 @dataclass(frozen=True, slots=True)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["UsageMetrics", "WeightConfig", "broker_weight"]
+__all__ = ["UsageMetrics", "WeightConfig", "broker_weight", "OverloadStats"]
 
 _MB = 1024 * 1024
 
@@ -43,6 +43,10 @@ class UsageMetrics:
         Active concurrent client connections.
     cpu_load:
         Normalised CPU utilisation in ``[0, 1]``.
+    queue_depth:
+        Messages waiting in (or being served by) the broker's ingress
+        queue at snapshot time.  ``0`` for brokers without a service
+        model -- the pre-overload behaviour, and the default.
     """
 
     free_memory: int
@@ -50,6 +54,7 @@ class UsageMetrics:
     num_links: int
     num_connections: int
     cpu_load: float = 0.0
+    queue_depth: int = 0
 
     def __post_init__(self) -> None:
         if self.total_memory <= 0:
@@ -63,6 +68,8 @@ class UsageMetrics:
             raise ValueError("link/connection counts must be non-negative")
         if not 0.0 <= self.cpu_load <= 1.0:
             raise ValueError(f"cpu_load must be in [0, 1], got {self.cpu_load}")
+        if self.queue_depth < 0:
+            raise ValueError(f"queue_depth must be non-negative, got {self.queue_depth}")
 
     @property
     def memory_fraction_free(self) -> float:
@@ -94,6 +101,13 @@ class WeightConfig:
         response).
     cpu_load:
         Penalty on the normalised CPU load, another "OTHER factor".
+    queue_depth:
+        Penalty per queued ingress message, the overload-model "OTHER
+        factor": a broker whose service queue is backed up answers (and
+        accepts clients) late, so requesters steer away from it.  The
+        factor contributes nothing when ``queue_depth`` is 0, which is
+        every broker without a service model, so pre-overload scores
+        are unchanged.
     delay_penalty_per_ms:
         Penalty per millisecond of NTP-estimated one-way delay, applied
         by the target-set selection (section 6 bases the target set on
@@ -106,6 +120,7 @@ class WeightConfig:
     num_links: float = 1.0
     num_connections: float = 1.0
     cpu_load: float = 25.0
+    queue_depth: float = 1.0
     delay_penalty_per_ms: float = 2.0
 
     def __post_init__(self) -> None:
@@ -115,6 +130,7 @@ class WeightConfig:
             "num_links",
             "num_connections",
             "cpu_load",
+            "queue_depth",
             "delay_penalty_per_ms",
         ):
             if getattr(self, name) < 0:
@@ -148,4 +164,90 @@ def broker_weight(metrics: UsageMetrics, config: WeightConfig = DEFAULT_WEIGHTS)
     w -= metrics.num_links * config.num_links
     w -= metrics.num_connections * config.num_connections
     w -= metrics.cpu_load * config.cpu_load
+    w -= metrics.queue_depth * config.queue_depth
     return w
+
+
+@dataclass(frozen=True, slots=True)
+class OverloadStats:
+    """Aggregated overload-protection counters across a world's nodes.
+
+    One row set for the experiments harness and report: how deep queues
+    got, what was dropped or shed, how often requesters were told to
+    back off, and how often circuit breakers tripped.  Gathered by duck
+    typing so this module stays free of simnet/discovery imports --
+    any object exposing the relevant counters contributes.
+
+    Attributes
+    ----------
+    queue_depth:
+        Sum of current ingress-queue depths (waiting + in service).
+    queue_peak:
+        Largest single-queue depth observed anywhere.
+    queue_overflows:
+        Messages dropped because an ingress queue was full.
+    queue_served:
+        Messages that completed service.
+    requests_shed:
+        Discovery requests refused by BDN admission control.
+    responses_suppressed:
+        Discovery responses withheld by loaded brokers.
+    busy_received:
+        ``DiscoveryBusy`` messages observed by requesters.
+    breaker_trips:
+        Circuit-breaker closed/half-open -> open transitions.
+    retries_denied:
+        Retransmissions refused because a retry budget was empty.
+    """
+
+    queue_depth: int = 0
+    queue_peak: int = 0
+    queue_overflows: int = 0
+    queue_served: int = 0
+    requests_shed: int = 0
+    responses_suppressed: int = 0
+    busy_received: int = 0
+    breaker_trips: int = 0
+    retries_denied: int = 0
+
+    @classmethod
+    def gather(cls, bdns=(), brokers=(), responders=(), clients=()) -> "OverloadStats":
+        """Collect the counters from live nodes (missing attributes read 0)."""
+        depth = peak = overflows = served = shed = 0
+        for node in (*bdns, *brokers):
+            queue = getattr(node, "ingress", None)
+            if queue is not None:
+                depth += queue.depth
+                peak = max(peak, queue.max_depth)
+                overflows += queue.overflows
+                served += queue.served
+            shed += getattr(node, "requests_shed", 0)
+        suppressed = sum(getattr(r, "responses_suppressed", 0) for r in responders)
+        busy = sum(getattr(c, "busy_received", 0) for c in clients)
+        trips = sum(getattr(c, "breaker_trips", 0) for c in clients)
+        denied = sum(getattr(c, "retries_denied", 0) for c in clients)
+        return cls(
+            queue_depth=depth,
+            queue_peak=peak,
+            queue_overflows=overflows,
+            queue_served=served,
+            requests_shed=shed,
+            responses_suppressed=suppressed,
+            busy_received=busy,
+            breaker_trips=trips,
+            retries_denied=denied,
+        )
+
+    def rows(self) -> list[tuple[str, int]]:
+        """(label, value) pairs in report order."""
+        return [
+            ("queue depth (now)", self.queue_depth),
+            ("queue depth (peak)", self.queue_peak),
+            ("queue overflows", self.queue_overflows),
+            ("messages served", self.queue_served),
+            ("requests shed", self.requests_shed),
+            ("responses suppressed", self.responses_suppressed),
+            ("busy signals seen", self.busy_received),
+            ("breaker trips", self.breaker_trips),
+            ("retries denied", self.retries_denied),
+        ]

@@ -34,6 +34,7 @@ from repro.core.errors import CodecError
 from repro.core.messages import (
     Ack,
     BrokerAdvertisement,
+    DiscoveryBusy,
     DiscoveryRequest,
     Event,
     Message,
@@ -41,6 +42,7 @@ from repro.core.messages import (
 )
 from repro.simnet.network import Network
 from repro.simnet.node import Node
+from repro.simnet.service import IngressQueue
 from repro.simnet.trace import Tracer
 from repro.discovery.advertisement import (
     AD_TOPIC,
@@ -94,10 +96,25 @@ class BDN(Node):
         self.alive = False
         self._registered_at: dict[str, float] = {}
         self._network_client: PubSubClient | None = None
+        # Optional service-time model: requests queue in a bounded FIFO
+        # and, above the admission high-watermark, are refused with a
+        # DiscoveryBusy instead of queued.  Built once so the counters
+        # span restarts; None (the default) keeps instant processing.
+        self.ingress: IngressQueue | None = None
+        if self.config.service is not None:
+            self.ingress = IngressQueue(
+                self.sim,
+                self._on_udp,
+                self.config.service,
+                trace=self.trace,
+                admit=self._admit,
+            )
         # Counters.
         self.requests_received = 0
         self.requests_disseminated = 0
         self.credential_rejections = 0
+        self.requests_shed = 0
+        self.unknown_messages = 0
         # Invariant guard: counts expired advertisements that were about
         # to be used as dissemination targets.  Lease filtering in
         # :meth:`_injection_targets` must keep this at zero; the chaos
@@ -109,6 +126,11 @@ class BDN(Node):
         """Where brokers register and clients send discovery requests."""
         return self.endpoint(BDN_UDP_PORT)
 
+    @property
+    def queue_depth(self) -> int:
+        """Current ingress-queue depth (0 without a service model)."""
+        return self.ingress.depth if self.ingress is not None else 0
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -118,7 +140,8 @@ class BDN(Node):
             return
         super().start()
         self.alive = True
-        self.network.bind_udp(self.udp_endpoint, self._on_udp)
+        handler = self.ingress.deliver if self.ingress is not None else self._on_udp
+        self.network.bind_udp(self.udp_endpoint, handler)
         self.sim.call_every(self.config.ping_interval, self._sweep)
         self.trace("bdn_start")
 
@@ -128,6 +151,8 @@ class BDN(Node):
             return
         self.alive = False
         self.network.unbind_udp(self.udp_endpoint)
+        if self.ingress is not None:
+            self.ingress.reset()  # a dead process loses its socket buffer
         if self._network_client is not None:
             self._network_client.disconnect()
         self.trace("bdn_stop")
@@ -183,6 +208,39 @@ class BDN(Node):
     # ------------------------------------------------------------------
     # UDP dispatch
     # ------------------------------------------------------------------
+    def _admit(self, message: Message, src: Endpoint) -> bool:
+        """Admission control, run before the ingress queue.
+
+        Above the configured high-watermark new discovery requests are
+        refused with an immediate :class:`DiscoveryBusy` -- the cheap
+        "come back later" answer -- instead of being queued behind work
+        the BDN cannot finish in time.  Advertisements, pings and other
+        traffic are never shed here (they are what keeps the BDN's view
+        of the network alive); the bounded queue still drops them when
+        completely full.
+        """
+        watermark = self.config.admission_high_watermark
+        if (
+            watermark <= 0
+            or not isinstance(message, DiscoveryRequest)
+            or self.queue_depth < watermark
+        ):
+            return True
+        self.requests_shed += 1
+        requester = Endpoint(message.requester_host, message.requester_port)
+        self.network.send_udp(
+            self.udp_endpoint,
+            requester,
+            DiscoveryBusy(
+                request_uuid=message.uuid,
+                bdn=self.name,
+                retry_after=self.config.busy_retry_after,
+                queue_depth=self.queue_depth,
+            ),
+        )
+        self.trace("bdn_busy", request=message.uuid, depth=str(self.queue_depth))
+        return False
+
     def _on_udp(self, message: Message, src: Endpoint) -> None:
         if not self.alive:
             return
@@ -192,6 +250,12 @@ class BDN(Node):
             self._handle_request(message)
         elif isinstance(message, PingResponse):
             self.pinger.on_response(message, src)
+        else:
+            # Anything else on the discovery port is a protocol error
+            # (or a stale/misrouted datagram): count it and drop it
+            # instead of silently ignoring it.
+            self.unknown_messages += 1
+            self.trace("bdn_unknown_message", type=type(message).__name__)
 
     def _register(self, ad: BrokerAdvertisement) -> None:
         if self.store.accept(ad, self.sim.now):

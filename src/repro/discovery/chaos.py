@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.config import BDNConfig, ClientConfig
+from repro.core.config import BDNConfig, ClientConfig, RetryPolicyConfig, ServiceConfig
 from repro.core.errors import DiscoveryError
 from repro.discovery.bdn import BDN
 from repro.discovery.faults import FaultInjector
@@ -46,6 +46,7 @@ from repro.substrate.builder import BrokerNetwork, Topology
 
 __all__ = [
     "CHAOS_KINDS",
+    "STORM_KINDS",
     "ChaosAction",
     "ChaosWorld",
     "ChaosReport",
@@ -64,6 +65,11 @@ CHAOS_KINDS = (
     "link_loss_storm",
 )
 
+#: CHAOS_KINDS plus request storms against a BDN.  A separate tuple --
+#: extending CHAOS_KINDS in place would re-map the kind drawn for every
+#: existing seed and silently invalidate the recorded chaos baselines.
+STORM_KINDS = CHAOS_KINDS + ("request_storm",)
+
 # Kinds whose *onset* can invalidate a decision already in flight
 # (they change aliveness/reachability; loss storms only delay).
 _DISRUPTIVE = frozenset({"fail_link", "partition", "kill_bdn", "kill_broker"})
@@ -77,9 +83,11 @@ class ChaosAction:
     """One disruption plus its implied recovery.
 
     ``targets`` is kind-specific: two hosts for ``fail_link`` /
-    ``link_loss_storm``, one node name for the kill kinds, empty
-    otherwise.  ``groups`` carries the host groups of a ``partition``.
-    ``intensity`` is the datagram drop probability of a storm.
+    ``link_loss_storm``, one node name for the kill kinds and
+    ``request_storm``, empty otherwise.  ``groups`` carries the host
+    groups of a ``partition``.  ``intensity`` is the datagram drop
+    probability of a loss storm, or the offered request rate (per
+    second) of a ``request_storm``.
     """
 
     kind: str
@@ -111,8 +119,22 @@ class ChaosWorld:
     N_BDNS = 2
     HEARTBEAT_INTERVAL = 2.0
     LEASE_TTL = 6.0
+    # Overload-variant knobs: a BDN serves ~50 msg/s, sheds discovery
+    # requests above 8 queued, and the client pays for retries from a
+    # refilling budget with a per-BDN breaker.
+    BDN_SERVICE = ServiceConfig(queue_capacity=32, service_time=0.02)
+    ADMISSION_WATERMARK = 8
+    RETRY_POLICY = RetryPolicyConfig(
+        budget_capacity=8,
+        budget_refill_per_sec=1.0,
+        backoff_base=0.25,
+        backoff_cap=2.0,
+        breaker_failures=3,
+        breaker_cooldown=1.0,
+    )
 
-    def __init__(self, seed: int) -> None:
+    def __init__(self, seed: int, overload: bool = False) -> None:
+        self.overload = overload
         self.net = BrokerNetwork(
             seed=seed,
             latency=UniformLatencyModel(base=0.010, jitter_fraction=0.02),
@@ -126,13 +148,22 @@ class ChaosWorld:
             self.brokers.append(broker)
         self.net.apply_topology(Topology.RING, persistent=True)
         self.bdns = []
+        bdn_config = BDNConfig(injection="all", ping_interval=2.0)
+        if overload:
+            bdn_config = BDNConfig(
+                injection="all",
+                ping_interval=2.0,
+                service=self.BDN_SERVICE,
+                admission_high_watermark=self.ADMISSION_WATERMARK,
+                busy_retry_after=0.5,
+            )
         for j in range(self.N_BDNS):
             bdn = BDN(
                 f"d{j}",
                 f"d{j}.host",
                 self.net.network,
                 self._child_rng(),
-                config=BDNConfig(injection="all", ping_interval=2.0),
+                config=bdn_config,
                 site=f"bdn-s{j}",
                 realm="lab",
                 tracer=self.net.tracer,
@@ -159,6 +190,7 @@ class ChaosWorld:
                 ping_repeats=2,
                 ping_timeout=0.5,
                 require_ping_evidence=True,
+                retry_policy=self.RETRY_POLICY if overload else None,
             ),
             site="client-site",
             realm="lab",
@@ -214,12 +246,13 @@ def draw_schedule(
     duration: float,
     min_actions: int = 2,
     max_actions: int = 4,
+    kinds: tuple[str, ...] = CHAOS_KINDS,
 ) -> tuple[ChaosAction, ...]:
     """Draw a randomized fault schedule inside ``[start, start+duration]``.
 
     Every action carries its own recovery time; nothing outlives the
-    window.  All randomness comes from ``rng``, so one seed maps to one
-    schedule.
+    window.  All randomness comes from ``rng``, so one (seed, kinds)
+    pair maps to one schedule.
     """
     if duration <= 0:
         raise ValueError("duration must be positive")
@@ -228,7 +261,7 @@ def draw_schedule(
     actions: list[ChaosAction] = []
     n = int(rng.integers(min_actions, max_actions + 1))
     for _ in range(n):
-        kind = CHAOS_KINDS[int(rng.integers(len(CHAOS_KINDS)))]
+        kind = kinds[int(rng.integers(len(kinds)))]
         at = start + float(rng.uniform(0.0, duration * 0.5))
         dur = float(rng.uniform(duration * 0.15, duration * 0.5))
         dur = min(dur, start + duration - at)
@@ -258,6 +291,17 @@ def draw_schedule(
         elif kind == "loss_storm":
             actions.append(
                 ChaosAction(kind, at, dur, intensity=float(rng.uniform(0.3, 0.8)))
+            )
+        elif kind == "request_storm":
+            bdn = world.bdns[int(rng.integers(len(world.bdns)))]
+            actions.append(
+                ChaosAction(
+                    kind,
+                    at,
+                    dur,
+                    targets=(bdn.name,),
+                    intensity=float(rng.uniform(20.0, 60.0)),
+                )
             )
         else:  # link_loss_storm
             a, b = rng.choice(len(hosts), size=2, replace=False)
@@ -295,6 +339,14 @@ def apply_schedule(world: ChaosWorld, schedule: tuple[ChaosAction, ...]) -> None
         elif action.kind == "loss_storm":
             inj.loss_storm(
                 UniformLoss(action.intensity), start=action.start, duration=action.duration
+            )
+        elif action.kind == "request_storm":
+            bdn = world.node_by_name(action.targets[0])
+            inj.request_storm(
+                bdn.udp_endpoint,
+                rate=action.intensity,
+                start=action.start,
+                duration=action.duration,
             )
         elif action.kind == "link_loss_storm":
             a, b = action.targets
@@ -378,6 +430,37 @@ def _check_stale_targets(world: ChaosWorld, violations: list[str]) -> None:
             )
 
 
+def _check_overload(world: ChaosWorld, violations: list[str]) -> None:
+    """Overload-variant invariants, checked after every storm has ended.
+
+    Queues must have stayed within their configured bound and drained
+    back below the admission watermark (bounded growth -- an overflow is
+    legal, a backlog that outlives its storm is not), and no circuit
+    breaker may be wedged: each is either closed again or eligible to
+    probe (an open breaker past its cooldown re-closes on the next
+    successful attempt, so "eligible" is the recovered state).
+    """
+    for bdn in world.bdns:
+        queue = bdn.ingress
+        if queue is None:
+            continue
+        if queue.max_depth > queue.config.queue_capacity:
+            violations.append(
+                f"{bdn.name}: queue peaked at {queue.max_depth} "
+                f"> capacity {queue.config.queue_capacity}"
+            )
+        if queue.depth > world.ADMISSION_WATERMARK:
+            violations.append(
+                f"{bdn.name}: queue still {queue.depth} deep after recovery "
+                f"(watermark {world.ADMISSION_WATERMARK})"
+            )
+    for endpoint, breaker in world.client._breakers.items():  # noqa: SLF001
+        if breaker.state != breaker.CLOSED and not breaker.available():
+            violations.append(
+                f"breaker for {endpoint} wedged {breaker.state} after recovery"
+            )
+
+
 # ---------------------------------------------------------------------------
 # The harness
 # ---------------------------------------------------------------------------
@@ -386,6 +469,8 @@ def run_chaos(
     fault_window: float = 20.0,
     recovery: float = 12.0,
     run_gap: float = 0.5,
+    kinds: tuple[str, ...] = CHAOS_KINDS,
+    overload: bool = False,
 ) -> ChaosReport:
     """Run one full chaos scenario for ``seed`` and check every invariant.
 
@@ -396,8 +481,13 @@ def run_chaos(
     :meth:`~repro.discovery.requester.DiscoveryClient.rediscover` --
     which must reconnect through the *cached* target set, with no BDN
     round trip, onto a different live broker.
+
+    ``kinds`` selects the disruption pool (:data:`STORM_KINDS` adds
+    request storms); ``overload=True`` equips the world's BDNs with
+    bounded queues + admission control and the client with the adaptive
+    retry policy, and checks the overload invariants at the end.
     """
-    world = ChaosWorld(seed)
+    world = ChaosWorld(seed, overload=overload)
     rng = np.random.default_rng(seed)
     violations: list[str] = []
     outcomes: list[DiscoveryOutcome] = []
@@ -424,7 +514,7 @@ def run_chaos(
 
     # 2. Draw and arm the fault schedule.
     start = world.sim.now + 1.0
-    schedule = draw_schedule(rng, world, start, fault_window)
+    schedule = draw_schedule(rng, world, start, fault_window, kinds=kinds)
     apply_schedule(world, schedule)
 
     # 3. Discovery workload through the turbulence.  Failures are
@@ -462,5 +552,9 @@ def run_chaos(
 
     # 6. Store-level invariant: expired advertisements never disseminated.
     _check_stale_targets(world, violations)
+
+    # 7. Overload invariants: bounded queues drained, breakers not wedged.
+    if overload:
+        _check_overload(world, violations)
 
     return ChaosReport(seed=seed, schedule=schedule, outcomes=outcomes, violations=violations)

@@ -14,12 +14,20 @@ individual links, and partitioning the fabric into isolated groups.
 
 from __future__ import annotations
 
+from repro.core.config import Endpoint
+from repro.core.errors import TransportError
+from repro.core.messages import DiscoveryRequest
 from repro.simnet.loss import LossModel
 from repro.simnet.network import Network
 from repro.discovery.bdn import BDN
 from repro.substrate.broker import Broker
 
 __all__ = ["FaultInjector"]
+
+#: Source port of storm datagrams; deliberately never bound, so any
+#: acks/busies/responses the flood provokes vanish like replies to a
+#: spoofed source address would.
+_STORM_PORT = 7999
 
 
 class FaultInjector:
@@ -43,6 +51,9 @@ class FaultInjector:
         # Same per link: {link pair: (active storm entries, prior override)}.
         self._link_storms: dict[tuple[str, str], list[list]] = {}
         self._pre_storm_link_loss: dict[tuple[str, str], LossModel | None] = {}
+        # Monotone id for request-storm uuids (must never collide with a
+        # real client's request uuids).
+        self._storm_seq = 0
 
     def _log(self, kind: str, target: str) -> None:
         self.injected.append((self.network.sim.now, kind, target))
@@ -94,6 +105,55 @@ class FaultInjector:
             self._log("revive_broker", broker.name)
 
         self._when(do, at)
+
+    # ------------------------------------------------------------------
+    # Overload
+    # ------------------------------------------------------------------
+    def request_storm(
+        self,
+        target: Endpoint,
+        rate: float,
+        start: float,
+        duration: float,
+        source_host: str = "storm.injector",
+    ) -> int:
+        """Flood ``target`` with discovery requests for a window.
+
+        ``rate`` requests per (virtual) second, evenly spaced, each with
+        a fresh uuid and incrementing attempt-0 so dedup offers no
+        shelter.  The flood's requester endpoint is never bound, so
+        whatever the target answers is charged to the fabric and then
+        dropped -- the storm is pure offered load, the way a scripted
+        client herd (or an attacker) looks from the receiving side.
+        Returns the number of datagrams scheduled.
+        """
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        try:
+            self.network.register_host(source_host, site="storm-site", realm=None)
+        except TransportError:
+            pass  # already registered by an earlier storm
+        src = Endpoint(source_host, _STORM_PORT)
+        n = int(rate * duration)
+        for i in range(n):
+            self._storm_seq += 1
+            request = DiscoveryRequest(
+                uuid=f"storm-{self._storm_seq}",
+                requester_host=source_host,
+                requester_port=_STORM_PORT,
+            )
+            self.network.sim.schedule_at(
+                start + i / rate, self.network.send_udp, src, target, request
+            )
+        self.network.sim.schedule_at(
+            start, self._log, "request_storm_start", f"{target}@{rate:g}/s"
+        )
+        self.network.sim.schedule_at(
+            start + duration, self._log, "request_storm_end", str(target)
+        )
+        return n
 
     # ------------------------------------------------------------------
     # Network degradation

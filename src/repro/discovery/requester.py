@@ -32,11 +32,19 @@ import numpy as np
 
 from repro.core.config import ClientConfig, Endpoint
 from repro.core.errors import DiscoveryError
-from repro.core.messages import Ack, DiscoveryRequest, DiscoveryResponse, Message, PingResponse
+from repro.core.messages import (
+    Ack,
+    DiscoveryBusy,
+    DiscoveryRequest,
+    DiscoveryResponse,
+    Message,
+    PingResponse,
+)
 from repro.simnet.network import Network
 from repro.simnet.node import Node
 from repro.simnet.simulator import ScheduledEvent
 from repro.simnet.trace import Tracer
+from repro.discovery.overload import CircuitBreaker, DecorrelatedJitterBackoff, TokenBucket
 from repro.discovery.phases import PhaseTimer
 from repro.discovery.ping import Pinger
 from repro.discovery.selection import Candidate, make_candidate, select_target_set
@@ -141,6 +149,7 @@ class _Run:
         "ack_timer",
         "collection_timer",
         "ping_timer",
+        "retry_timer",
         "extended",
     )
 
@@ -161,10 +170,16 @@ class _Run:
         self.ack_timer: ScheduledEvent | None = None
         self.collection_timer: ScheduledEvent | None = None
         self.ping_timer: ScheduledEvent | None = None
+        self.retry_timer: ScheduledEvent | None = None
         self.extended = False
 
     def cancel_timers(self) -> None:
-        for timer in (self.ack_timer, self.collection_timer, self.ping_timer):
+        for timer in (
+            self.ack_timer,
+            self.collection_timer,
+            self.ping_timer,
+            self.retry_timer,
+        ):
             if timer is not None:
                 timer.cancel()
 
@@ -213,11 +228,45 @@ class DiscoveryClient(Node):
         self.last_selected: CachedTarget | None = None
         self._run: _Run | None = None
         self.late_responses = 0
+        # Adaptive retry machinery, active only with a RetryPolicyConfig
+        # (the default None preserves the paper's fixed retransmit timer
+        # exactly -- no extra rng draws, no extra timers).
+        policy = self.config.retry_policy
+        self.retry_budget: TokenBucket | None = None
+        self._backoff: DecorrelatedJitterBackoff | None = None
+        self._breakers: dict[Endpoint, CircuitBreaker] = {}
+        self._bdn_retry_at: dict[Endpoint, float] = {}
+        if policy is not None:
+            self.retry_budget = TokenBucket(
+                policy.budget_capacity, policy.budget_refill_per_sec, lambda: self.sim.now
+            )
+            self._backoff = DecorrelatedJitterBackoff(
+                policy.backoff_base, policy.backoff_cap, self.rng
+            )
+        self.busy_received = 0
+        self.retries_denied = 0
+        self.bdn_skips = 0
 
     @property
     def udp_endpoint(self) -> Endpoint:
         """Where acks, responses and pongs arrive."""
         return self.endpoint(CLIENT_UDP_PORT)
+
+    @property
+    def breaker_trips(self) -> int:
+        """Total circuit-breaker trips across every tracked BDN."""
+        return sum(b.trips for b in self._breakers.values())
+
+    def _breaker(self, bdn: Endpoint) -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding one BDN."""
+        breaker = self._breakers.get(bdn)
+        if breaker is None:
+            policy = self.config.retry_policy
+            breaker = CircuitBreaker(
+                policy.breaker_failures, policy.breaker_cooldown, lambda: self.sim.now
+            )
+            self._breakers[bdn] = breaker
+        return breaker
 
     def start(self) -> None:
         """Bind the UDP port and kick off NTP."""
@@ -243,6 +292,8 @@ class DiscoveryClient(Node):
         run = _Run(self.ids(), phases, self.sim.now, on_complete)
         self._run = run
         phases.begin("issue_request")
+        if self._backoff is not None:
+            self._backoff.reset()  # each run starts its backoff sequence fresh
         self.trace("discover_start", request=run.uuid)
         if self.config.bdn_endpoints:
             self._send_to_bdn(run)
@@ -345,6 +396,12 @@ class DiscoveryClient(Node):
         )
 
     def _send_to_bdn(self, run: _Run) -> None:
+        if self.config.retry_policy is not None and not self._skip_unavailable_bdns(run):
+            # Every remaining BDN is gated by a retry_after or an open
+            # breaker: don't waste a transmission, walk on down the
+            # fallback chain.
+            self._fallback_multicast(run)
+            return
         bdn = self.config.bdn_endpoints[run.bdn_index]
         run.via = "bdn"
         request = self._request(run)
@@ -368,7 +425,9 @@ class DiscoveryClient(Node):
         if run.state not in ("ISSUING", "COLLECTING") or run.candidates:
             return
         if run.via == "bdn":
-            if run.retransmits_here < self.config.max_retransmits:
+            if self.config.retry_policy is not None:
+                self._on_bdn_silence_with_policy(run)
+            elif run.retransmits_here < self.config.max_retransmits:
                 run.retransmits_here += 1
                 self.trace("request_retransmit", request=run.uuid)
                 self._send_to_bdn(run)
@@ -383,6 +442,77 @@ class DiscoveryClient(Node):
             self._fallback_cached(run)
         else:  # cached
             self._fail(run)
+
+    def _on_bdn_silence_with_policy(self, run: _Run) -> None:
+        """The adaptive-retry replacement for the fixed BDN retransmit.
+
+        Silence is a failure signal for the current BDN's breaker.  A
+        retransmission must then be paid for from the retry budget and
+        waits out a decorrelated-jitter backoff (never earlier than the
+        BDN's advertised ``retry_after``); with the budget empty the
+        client moves on instead of hammering.
+        """
+        bdn = self.config.bdn_endpoints[run.bdn_index]
+        self._breaker(bdn).record_failure()
+        if run.retransmits_here < self.config.max_retransmits:
+            if self.retry_budget.try_acquire():
+                run.retransmits_here += 1
+                gate = self._bdn_retry_at.get(bdn, 0.0)
+                delay = max(self._backoff.next(), gate - self.sim.now)
+                self.trace(
+                    "request_retransmit_budgeted", request=run.uuid, delay=f"{delay:.3f}"
+                )
+                self._schedule_retry(run, delay)
+                return
+            self.retries_denied += 1
+            self.trace("retry_denied", request=run.uuid)
+        if run.bdn_index + 1 < len(self.config.bdn_endpoints):
+            run.bdn_index += 1
+            run.retransmits_here = 0
+            self.trace("request_next_bdn", request=run.uuid)
+            self._send_to_bdn(run)
+        else:
+            self._fallback_multicast(run)
+
+    def _skip_unavailable_bdns(self, run: _Run) -> bool:
+        """Advance ``run.bdn_index`` past gated/broken BDNs.
+
+        Returns True when an admissible BDN remains.  The ``retry_after``
+        gate is checked *before* the breaker so that a gated BDN does
+        not consume the breaker's half-open probe.
+        """
+        bdns = self.config.bdn_endpoints
+        while run.bdn_index < len(bdns):
+            bdn = bdns[run.bdn_index]
+            if self._bdn_retry_at.get(bdn, 0.0) > self.sim.now:
+                self.bdn_skips += 1
+                self.trace("bdn_skipped_retry_after", request=run.uuid, bdn=str(bdn))
+            elif not self._breaker(bdn).allow():
+                self.bdn_skips += 1
+                self.trace("bdn_skipped_breaker", request=run.uuid, bdn=str(bdn))
+            else:
+                return True
+            run.bdn_index += 1
+            run.retransmits_here = 0
+        return False
+
+    def _schedule_retry(self, run: _Run, delay: float) -> None:
+        """Park the run until the backoff elapses, then resend."""
+        if run.collection_timer is not None:
+            run.collection_timer.cancel()
+            run.collection_timer = None
+        if run.ack_timer is not None:
+            run.ack_timer.cancel()
+            run.ack_timer = None
+        if run.retry_timer is not None:
+            run.retry_timer.cancel()
+        run.retry_timer = self.sim.schedule(delay, self._retry_fire, run)
+
+    def _retry_fire(self, run: _Run) -> None:
+        run.retry_timer = None
+        if run.state not in ("ISSUING", "COLLECTING") or run.candidates:
+            return
+        self._send_to_bdn(run)
 
     def _fallback_multicast(self, run: _Run) -> None:
         """Multicast the request to in-realm brokers (section 7)."""
@@ -445,12 +575,60 @@ class DiscoveryClient(Node):
             self._on_response(run, message)
         elif isinstance(message, DiscoveryResponse):
             self.late_responses += 1
+        elif isinstance(message, DiscoveryBusy) and message.request_uuid == run.uuid:
+            self._on_busy(run, message, src)
 
     def _on_ack(self, run: _Run, src: Endpoint) -> None:
         if run.state != "ISSUING":
             return
+        if self.config.retry_policy is not None:
+            self._breaker(src).record_success()
         run.bdn_used = src
         self._enter_collecting(run)
+
+    def _on_busy(self, run: _Run, busy: DiscoveryBusy, src: Endpoint) -> None:
+        """A BDN refused the request under load (admission control).
+
+        The busy signal replaces the ack+silence round trip: the BDN is
+        gated for ``retry_after`` seconds, its breaker records a
+        failure, and the client immediately walks to the next BDN.  When
+        the whole rung is busy, one retry-budget token buys a backed-off
+        retry of the rung once the earliest gate opens; with the budget
+        empty the run falls through to multicast.
+        """
+        if self.config.retry_policy is None:
+            return  # no policy: treat like any stray datagram
+        self.busy_received += 1
+        self.trace(
+            "bdn_busy_received",
+            request=run.uuid,
+            bdn=busy.bdn,
+            retry_after=f"{busy.retry_after:.3f}",
+        )
+        self._bdn_retry_at[src] = self.sim.now + busy.retry_after
+        self._breaker(src).record_failure()
+        if run.state != "ISSUING" or run.via != "bdn" or run.candidates:
+            return
+        bdns = self.config.bdn_endpoints
+        if run.bdn_index >= len(bdns) or bdns[run.bdn_index] != src:
+            return  # stale busy from a BDN we already moved past
+        if run.bdn_index + 1 < len(bdns):
+            run.bdn_index += 1
+            run.retransmits_here = 0
+            self.trace("request_next_bdn", request=run.uuid)
+            self._send_to_bdn(run)
+            return
+        if self.retry_budget.try_acquire():
+            earliest = min(self._bdn_retry_at.get(b, 0.0) for b in bdns)
+            delay = max(self._backoff.next(), earliest - self.sim.now)
+            run.bdn_index = 0
+            run.retransmits_here = 0
+            self.trace("request_rung_retry", request=run.uuid, delay=f"{delay:.3f}")
+            self._schedule_retry(run, delay)
+        else:
+            self.retries_denied += 1
+            self.trace("retry_denied", request=run.uuid)
+            self._fallback_multicast(run)
 
     def _enter_collecting(self, run: _Run) -> None:
         run.state = "COLLECTING"

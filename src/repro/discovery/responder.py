@@ -62,6 +62,9 @@ class DiscoveryResponder:
         Responses actually issued (policy permitting).
     policy_rejections:
         Requests the response policy declined to answer.
+    responses_suppressed:
+        Responses withheld because the broker's ingress queue was at or
+        above ``response_suppress_depth`` when the response came due.
     """
 
     def __init__(self, broker: Broker) -> None:
@@ -70,6 +73,7 @@ class DiscoveryResponder:
         self.requests_processed = 0
         self.responses_sent = 0
         self.policy_rejections = 0
+        self.responses_suppressed = 0
         self._heartbeats: list = []
         broker.add_udp_handler(DiscoveryRequest, self._on_udp_request)
         broker.add_control_handler(REQUEST_TOPIC, self._on_control_event)
@@ -189,6 +193,20 @@ class DiscoveryResponder:
 
     def _respond(self, request: DiscoveryRequest) -> None:
         if not self.broker.alive:
+            return
+        suppress_depth = self.broker.config.response_suppress_depth
+        if suppress_depth > 0 and self.broker.queue_depth >= suppress_depth:
+            # Under load, attracting a new client would make things
+            # worse: withhold the response and let an idle broker win
+            # the selection instead (the policy "may also dictate that
+            # responses be issued only if" conditions hold -- here the
+            # condition is headroom).
+            self.responses_suppressed += 1
+            self.broker.trace(
+                "discovery_response_suppressed",
+                request=request.uuid,
+                depth=str(self.broker.queue_depth),
+            )
             return
         response = DiscoveryResponse(
             request_uuid=request.uuid,

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
+from repro.core.metrics import OverloadStats
 from repro.experiments.stats import SummaryStats
 
-__all__ = ["metric_table", "percentage_table", "comparison_table"]
+__all__ = ["metric_table", "percentage_table", "comparison_table", "overload_table"]
 
 
 def metric_table(stats: SummaryStats, title: str, unit: str = "MilliSec") -> str:
@@ -58,4 +59,16 @@ def comparison_table(
             else:
                 cells.append(f"{'-':>14}")
         lines.append(f"{label:<24}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def overload_table(stats: OverloadStats, title: str) -> str:
+    """The overload-protection counters of one world, one row each.
+
+    ``stats`` usually comes from :meth:`OverloadStats.gather` over a
+    world's BDNs, brokers, responders and clients.
+    """
+    lines = [title, f"{'Counter':<26} {'Value':>10}"]
+    for label, value in stats.rows():
+        lines.append(f"{label:<26} {value:>10d}")
     return "\n".join(lines)

@@ -39,6 +39,7 @@ from repro.core.messages import (
 from repro.core.metrics import UsageMetrics
 from repro.simnet.network import Connection, Network
 from repro.simnet.node import Node
+from repro.simnet.service import IngressQueue
 from repro.simnet.trace import Tracer
 from repro.substrate.routing import FloodRouting, RoutingStrategy
 from repro.substrate.subscriptions import SubscriptionManager
@@ -119,6 +120,15 @@ class Broker(Node):
         self._retry_pending: set[str] = set()
         self._control_handlers: list[tuple[str, ControlHandler]] = []
         self._udp_handlers: dict[type, UdpHandler] = {}
+        # Optional service-time model for the UDP plane: datagrams wait
+        # in a bounded FIFO and are processed at service rate instead of
+        # instantly.  Built once so counters span restarts; None (the
+        # default) keeps the instant-processing behaviour.
+        self.ingress: IngressQueue | None = None
+        if self.config.service is not None:
+            self.ingress = IngressQueue(
+                self.sim, self._on_udp, self.config.service, trace=self.trace
+            )
         self.alive = False
         # Counters.
         self.events_routed = 0
@@ -151,7 +161,8 @@ class Broker(Node):
             return
         super().start()
         self.alive = True
-        self.network.bind_udp(self.udp_endpoint, self._on_udp)
+        udp_handler = self.ingress.deliver if self.ingress is not None else self._on_udp
+        self.network.bind_udp(self.udp_endpoint, udp_handler)
         self.network.listen_tcp(self.client_endpoint, self._accept_client)
         self.network.listen_tcp(self.link_endpoint, self._accept_link)
         if self.network.multicast_enabled(self.host):
@@ -173,6 +184,8 @@ class Broker(Node):
             return
         self.alive = False
         self.network.unbind_udp(self.udp_endpoint)
+        if self.ingress is not None:
+            self.ingress.reset()  # a crashed process loses its socket buffer
         self.network.stop_listening(self.client_endpoint)
         self.network.stop_listening(self.link_endpoint)
         if self.network.multicast_enabled(self.host):
@@ -538,4 +551,10 @@ class Broker(Node):
             num_links=self.link_count,
             num_connections=self.client_count,
             cpu_load=cpu,
+            queue_depth=self.ingress.depth if self.ingress is not None else 0,
         )
+
+    @property
+    def queue_depth(self) -> int:
+        """Current ingress-queue depth (0 without a service model)."""
+        return self.ingress.depth if self.ingress is not None else 0

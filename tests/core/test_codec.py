@@ -10,6 +10,7 @@ from repro.core.errors import CodecError
 from repro.core.messages import (
     Ack,
     BrokerAdvertisement,
+    DiscoveryBusy,
     DiscoveryRequest,
     DiscoveryResponse,
     Event,
@@ -34,18 +35,20 @@ _transports = st.lists(st.tuples(_text, _port), max_size=3).map(tuple)
 _strset = st.frozensets(_text, max_size=3)
 
 _metrics = st.builds(
-    lambda total, free_frac, links, conns, cpu: UsageMetrics(
+    lambda total, free_frac, links, conns, cpu, depth: UsageMetrics(
         free_memory=int(total * free_frac),
         total_memory=total,
         num_links=links,
         num_connections=conns,
         cpu_load=cpu,
+        queue_depth=depth,
     ),
     total=st.integers(min_value=1, max_value=2**40),
     free_frac=st.floats(min_value=0.0, max_value=1.0),
     links=st.integers(min_value=0, max_value=2**20),
     conns=st.integers(min_value=0, max_value=2**20),
     cpu=st.floats(min_value=0.0, max_value=1.0),
+    depth=st.integers(min_value=0, max_value=2**20),
 )
 
 _event = st.builds(
@@ -67,7 +70,7 @@ _ad = st.builds(
     region=_text,
     institution=_text,
     issued_at=_f,
-    ttl=_f,
+    ttl=st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
 )
 _request = st.builds(
     DiscoveryRequest,
@@ -90,6 +93,13 @@ _response = st.builds(
     issued_at=_f,
     metrics=_metrics,
 )
+_busy = st.builds(
+    DiscoveryBusy,
+    request_uuid=_text,
+    bdn=_text,
+    retry_after=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    queue_depth=st.integers(min_value=0, max_value=2**20),
+)
 _ping_req = st.builds(
     PingRequest, uuid=_text, sent_at=_f, reply_host=_text, reply_port=_port
 )
@@ -98,7 +108,16 @@ _subscribe = st.builds(Subscribe, uuid=_text, topic=_text, subscriber=_text)
 _unsubscribe = st.builds(Unsubscribe, uuid=_text, topic=_text, subscriber=_text)
 
 _any_message = st.one_of(
-    _event, _ack, _ad, _request, _response, _ping_req, _ping_resp, _subscribe, _unsubscribe
+    _event,
+    _ack,
+    _ad,
+    _request,
+    _response,
+    _busy,
+    _ping_req,
+    _ping_resp,
+    _subscribe,
+    _unsubscribe,
 )
 
 

@@ -7,12 +7,14 @@ surface as a typed protocol error, never as an uncontrolled exception
 
 from __future__ import annotations
 
+import struct
+
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.codec import decode_message, encode_message
 from repro.core.errors import CodecError
-from repro.core.messages import Ack, DiscoveryRequest
+from repro.core.messages import Ack, BrokerAdvertisement, DiscoveryRequest
 
 
 @given(buf=st.binary(max_size=600))
@@ -64,3 +66,32 @@ def test_property_appended_garbage_always_rejected(extra):
     buf = encode_message(Ack(uuid="u", acked_by="x"))
     with pytest.raises(CodecError):
         decode_message(buf + extra)
+
+
+@given(
+    bad_ttl=st.one_of(
+        st.floats(max_value=-1e-9, allow_nan=False),
+        st.just(float("nan")),
+        st.just(float("inf")),
+        st.just(float("-inf")),
+    )
+)
+def test_property_hostile_ttl_rejected_at_decode(bad_ttl):
+    """An advertisement whose wire ttl is negative or non-finite must be
+    a CodecError, not an immortal (ttl=-1 -> no expiry) or instantly
+    dead store entry."""
+    ad = BrokerAdvertisement(
+        broker_id="b0",
+        hostname="b0.host",
+        transports=(("tcp", 5045),),
+        logical_address="/lab/b0",
+        region="",
+        institution="",
+        issued_at=1.0,
+        ttl=6.0,
+    )
+    buf = bytearray(encode_message(ad))
+    # ttl is the advertisement's final field: the trailing f64.
+    buf[-8:] = struct.pack(">d", bad_ttl)
+    with pytest.raises(CodecError, match="invalid field values"):
+        decode_message(bytes(buf))

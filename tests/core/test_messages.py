@@ -6,10 +6,21 @@ import pytest
 
 from repro.core.messages import (
     BrokerAdvertisement,
+    DiscoveryBusy,
     DiscoveryRequest,
     Event,
 )
 from tests.conftest import make_response
+
+
+def make_ad(ttl: float = 0.0) -> BrokerAdvertisement:
+    return BrokerAdvertisement(
+        broker_id="b",
+        hostname="h",
+        transports=(("tcp", 5045), ("udp", 5046)),
+        logical_address="/x/b",
+        ttl=ttl,
+    )
 
 
 class TestEvent:
@@ -44,6 +55,41 @@ class TestAdvertisement:
         assert ad.port_for("tcp") == 5045
         assert ad.port_for("udp") == 5046
         assert ad.port_for("sctp") is None
+
+    def test_zero_ttl_means_no_lease_and_is_valid(self):
+        assert make_ad(ttl=0.0).ttl == 0.0
+
+    def test_positive_ttl_valid(self):
+        assert make_ad(ttl=6.0).ttl == 6.0
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError, match="ttl"):
+            make_ad(ttl=-1.0)
+
+    def test_non_finite_ttl_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="ttl"):
+                make_ad(ttl=bad)
+
+
+class TestDiscoveryBusy:
+    def test_valid_busy(self):
+        busy = DiscoveryBusy(request_uuid="u", bdn="d0", retry_after=0.5, queue_depth=9)
+        assert busy.retry_after == 0.5
+        assert busy.queue_depth == 9
+
+    def test_negative_retry_after_rejected(self):
+        with pytest.raises(ValueError, match="retry_after"):
+            DiscoveryBusy(request_uuid="u", bdn="d0", retry_after=-0.1)
+
+    def test_non_finite_retry_after_rejected(self):
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError, match="retry_after"):
+                DiscoveryBusy(request_uuid="u", bdn="d0", retry_after=bad)
+
+    def test_negative_queue_depth_rejected(self):
+        with pytest.raises(ValueError, match="queue_depth"):
+            DiscoveryBusy(request_uuid="u", bdn="d0", retry_after=1.0, queue_depth=-1)
 
 
 class TestDiscoveryRequest:

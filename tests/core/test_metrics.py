@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.metrics import UsageMetrics, WeightConfig, broker_weight
+from repro.core.metrics import OverloadStats, UsageMetrics, WeightConfig, broker_weight
 
 MB = 1024 * 1024
 
@@ -48,6 +48,13 @@ class TestUsageMetricsValidation:
     def test_fully_free_memory_allowed(self):
         m = UsageMetrics(MB, MB, 0, 0)
         assert m.memory_fraction_free == 1.0
+
+    def test_queue_depth_defaults_to_zero(self):
+        assert metrics().queue_depth == 0
+
+    def test_negative_queue_depth_rejected(self):
+        with pytest.raises(ValueError):
+            UsageMetrics(MB, MB, 0, 0, queue_depth=-1)
 
 
 class TestWeightConfigValidation:
@@ -104,6 +111,71 @@ class TestBrokerWeightFormula:
         fresh = metrics(free=480, links=1, conns=0, cpu=0.02)
         loaded = metrics(free=200, links=6, conns=80, cpu=0.6)
         assert broker_weight(fresh) > broker_weight(loaded)
+
+    def test_deeper_queue_scores_lower(self):
+        shallow = UsageMetrics(256 * MB, 512 * MB, 1, 0, queue_depth=0)
+        deep = UsageMetrics(256 * MB, 512 * MB, 1, 0, queue_depth=30)
+        assert broker_weight(shallow) > broker_weight(deep)
+
+    def test_queue_depth_factor_configurable(self):
+        m = UsageMetrics(256 * MB, 512 * MB, 1, 0, queue_depth=10)
+        heavy = WeightConfig(queue_depth=5.0)
+        light = WeightConfig(queue_depth=0.0)
+        assert broker_weight(m, light) - broker_weight(m, heavy) == pytest.approx(50.0)
+
+
+class _QueueStub:
+    def __init__(self, depth, max_depth, overflows, served):
+        self.depth = depth
+        self.max_depth = max_depth
+        self.overflows = overflows
+        self.served = served
+
+
+class _NodeStub:
+    def __init__(self, ingress=None, requests_shed=0):
+        self.ingress = ingress
+        self.requests_shed = requests_shed
+
+
+class _ClientStub:
+    def __init__(self, busy=0, trips=0, denied=0):
+        self.busy_received = busy
+        self.breaker_trips = trips
+        self.retries_denied = denied
+
+
+class TestOverloadStats:
+    def test_gather_sums_across_nodes(self):
+        stats = OverloadStats.gather(
+            bdns=[
+                _NodeStub(_QueueStub(2, 9, 3, 40), requests_shed=5),
+                _NodeStub(None, requests_shed=1),
+            ],
+            brokers=[_NodeStub(_QueueStub(1, 12, 0, 7))],
+            responders=[type("R", (), {"responses_suppressed": 4})()],
+            clients=[_ClientStub(busy=6, trips=2, denied=3)],
+        )
+        assert stats.queue_depth == 3
+        assert stats.queue_peak == 12
+        assert stats.queue_overflows == 3
+        assert stats.queue_served == 47
+        assert stats.requests_shed == 6
+        assert stats.responses_suppressed == 4
+        assert stats.busy_received == 6
+        assert stats.breaker_trips == 2
+        assert stats.retries_denied == 3
+
+    def test_gather_tolerates_plain_nodes(self):
+        stats = OverloadStats.gather(bdns=[object()], clients=[object()])
+        assert stats == OverloadStats()
+
+    def test_rows_cover_every_field(self):
+        stats = OverloadStats(queue_depth=1, breaker_trips=2)
+        rows = dict(stats.rows())
+        assert rows["queue depth (now)"] == 1
+        assert rows["breaker trips"] == 2
+        assert len(rows) == 9
 
 
 @given(

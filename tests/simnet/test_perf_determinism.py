@@ -77,3 +77,93 @@ def test_substrate_identical_with_and_without_optimizations():
     reference = _run_substrate_world(optimized=False)
     optimized = _run_substrate_world(optimized=True)
     assert optimized == reference
+
+
+def _run_overload_world(optimized: bool) -> tuple:
+    """An overload-protected world under a request storm.
+
+    Exercises the service-time queues, admission shedding, the client's
+    budgeted retries / breakers, and the storm injector -- all the new
+    machinery must schedule and draw identically either way.
+    """
+    import numpy as np
+
+    from repro.core.config import BDNConfig, ClientConfig, RetryPolicyConfig, ServiceConfig
+    from repro.discovery.advertisement import advertise_direct
+    from repro.discovery.bdn import BDN
+    from repro.discovery.faults import FaultInjector
+    from repro.discovery.requester import DiscoveryClient
+    from repro.discovery.responder import DiscoveryResponder
+    from repro.experiments.harness import run_discovery_once
+
+    net = BrokerNetwork(seed=21, keep_trace=True, optimized=optimized)
+    responders = []
+    for i in range(3):
+        broker = net.add_broker(f"b{i}", site=f"s{i}", realm="lab")
+        responders.append(DiscoveryResponder(broker))
+    bdn = BDN(
+        "d0",
+        "d0.host",
+        net.network,
+        np.random.default_rng(99),
+        config=BDNConfig(
+            injection="all",
+            service=ServiceConfig(
+                queue_capacity=8,
+                service_time=0.5,
+                service_times=(("BrokerAdvertisement", 0.001), ("PingResponse", 0.001)),
+            ),
+            admission_high_watermark=2,
+            busy_retry_after=0.5,
+        ),
+        site="bdn-site",
+        realm="lab",
+        tracer=net.tracer,
+    )
+    bdn.start()
+    for broker in net.brokers.values():
+        advertise_direct(broker, bdn.udp_endpoint)
+    net.settle(8.0)
+    client = DiscoveryClient(
+        "c0",
+        "c0.host",
+        net.network,
+        np.random.default_rng(77),
+        config=ClientConfig(
+            bdn_endpoints=(bdn.udp_endpoint,),
+            response_timeout=2.0,
+            retransmit_interval=2.0,
+            retry_policy=RetryPolicyConfig(
+                budget_capacity=2,
+                budget_refill_per_sec=0.5,
+                backoff_base=0.2,
+                backoff_cap=0.5,
+                breaker_failures=3,
+                breaker_cooldown=1.0,
+            ),
+        ),
+        site="client-site",
+        realm="lab",
+        tracer=net.tracer,
+    )
+    client.start()
+    net.sim.run_for(4.0)
+    injector = FaultInjector(net.network)
+    injector.request_storm(bdn.udp_endpoint, rate=15.0, start=net.sim.now + 0.1, duration=3.0)
+    net.sim.run_for(0.5)
+    outcomes = [run_discovery_once(client) for _ in range(2)]
+    net.sim.run_for(10.0)
+    return (
+        _trace_signature(net),
+        net.sim.events_processed,
+        net.sim.now,
+        [(o.success, o.total_time, o.via, o.transmissions) for o in outcomes],
+        (bdn.requests_shed, bdn.ingress.served, bdn.ingress.overflows),
+        (client.busy_received, client.retries_denied, client.bdn_skips),
+    )
+
+
+def test_overload_world_identical_with_and_without_optimizations():
+    reference = _run_overload_world(optimized=False)
+    optimized = _run_overload_world(optimized=True)
+    assert optimized == reference
