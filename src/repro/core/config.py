@@ -26,6 +26,7 @@ __all__ = [
     "BrokerConfig",
     "BDNConfig",
     "ClientConfig",
+    "RuntimeConfig",
 ]
 
 
@@ -433,3 +434,38 @@ class ClientConfig:
             raise ConfigError("min_responses must be >= 1")
         if self.ping_tie_relative < 0 or self.ping_tie_absolute < 0:
             raise ConfigError("ping tie tolerances must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class RuntimeConfig:
+    """Selects and parameterises the runtime a scenario executes on.
+
+    The same node classes run under either runtime
+    (:mod:`repro.runtime`); this record is how scenario drivers and
+    examples choose between them.
+
+    Attributes
+    ----------
+    kind:
+        ``"sim"`` for the deterministic discrete-event runtime,
+        ``"aio"`` for real asyncio UDP/TCP sockets on ``bind_ip``.
+    seed:
+        Root RNG seed for node clocks and protocol jitter.  Under
+        ``sim`` it also seeds the fabric's loss/latency draws; under
+        ``aio`` the network itself is real and the seed only shapes
+        node-local randomness.
+    bind_ip:
+        Interface real sockets bind to (``aio`` only).
+    """
+
+    kind: str = "sim"
+    seed: int = 0
+    bind_ip: str = "127.0.0.1"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("sim", "aio"):
+            raise ConfigError(f"runtime kind must be 'sim' or 'aio', got {self.kind!r}")
+        if self.seed < 0:
+            raise ConfigError("seed must be non-negative")
+        if not self.bind_ip:
+            raise ConfigError("bind_ip must be non-empty")

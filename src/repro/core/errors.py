@@ -37,6 +37,15 @@ class TransportError(ReproError):
     """
 
 
+class UnknownHostError(TransportError):
+    """Raised when a host name is not registered with the transport.
+
+    A distinct subclass so callers probing for registration (e.g. a
+    node deciding whether to self-register at construction) can catch
+    exactly this case without swallowing real transport bugs.
+    """
+
+
 class DiscoveryError(ReproError):
     """Raised when the discovery protocol cannot make progress.
 

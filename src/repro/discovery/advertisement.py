@@ -146,9 +146,32 @@ def start_periodic_advertisement(
             advertise_direct(broker, bdn_endpoint, region=region, ttl=lease)
 
     send()
-    for i in range(1, burst):
-        broker.sim.schedule(i * burst_spacing, send)
-    return broker.sim.call_every(interval, send)
+    handles = [broker.runtime.schedule(i * burst_spacing, send) for i in range(1, burst)]
+    handles.append(broker.runtime.call_every(interval, send))
+    return _HeartbeatHandle(handles)
+
+
+class _HeartbeatHandle:
+    """One cancellable handle over a heartbeat's burst + periodic timers.
+
+    Cancelling stops *everything* still pending -- including startup
+    burst sends that have not fired yet, so a heartbeat detached right
+    after starting goes completely silent.
+    """
+
+    __slots__ = ("cancelled", "_handles")
+
+    def __init__(self, handles: list) -> None:
+        self.cancelled = False
+        self._handles = handles
+
+    def cancel(self) -> None:
+        if self.cancelled:
+            return
+        self.cancelled = True
+        for handle in self._handles:
+            handle.cancel()
+        self._handles = []
 
 
 def enable_bdn_autoregistration(broker: Broker, region: str = "") -> None:

@@ -40,7 +40,7 @@ from repro.core.messages import (
     Message,
     PingResponse,
 )
-from repro.simnet.network import Network
+from repro.runtime.api import Runtime, TimerHandle
 from repro.simnet.node import Node
 from repro.simnet.service import IngressQueue
 from repro.simnet.trace import Tracer
@@ -69,7 +69,8 @@ class BDN(Node):
     Parameters
     ----------
     name, host, network, rng:
-        Standard node parameters.
+        Standard node parameters (``network`` is a
+        :class:`~repro.runtime.api.Runtime` or a simulated fabric).
     config:
         Injection strategy, interest regions, private-BDN credentials,
         ping sweep interval.
@@ -81,7 +82,7 @@ class BDN(Node):
         self,
         name: str,
         host: str,
-        network: Network,
+        network: Runtime | object,
         rng: np.random.Generator,
         config: BDNConfig | None = None,
         site: str | None = None,
@@ -96,6 +97,10 @@ class BDN(Node):
         self.alive = False
         self._registered_at: dict[str, float] = {}
         self._network_client: PubSubClient | None = None
+        # Outstanding timers, cancelled on stop() so a dead BDN leaves
+        # nothing ticking in the scheduler.
+        self._sweep_timer: TimerHandle | None = None
+        self._fanout_timers: set[TimerHandle] = set()
         # Optional service-time model: requests queue in a bounded FIFO
         # and, above the admission high-watermark, are refused with a
         # DiscoveryBusy instead of queued.  Built once so the counters
@@ -103,7 +108,7 @@ class BDN(Node):
         self.ingress: IngressQueue | None = None
         if self.config.service is not None:
             self.ingress = IngressQueue(
-                self.sim,
+                self.runtime,
                 self._on_udp,
                 self.config.service,
                 trace=self.trace,
@@ -135,14 +140,19 @@ class BDN(Node):
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Bind the UDP port and begin periodic distance sweeps."""
+        """Bind the UDP port and begin periodic distance sweeps.
+
+        Re-run after a fault-injected revival; each start arms exactly
+        one sweep series (the previous one is cancelled by
+        :meth:`stop`).
+        """
         if self.started:
             return
         super().start()
         self.alive = True
         handler = self.ingress.deliver if self.ingress is not None else self._on_udp
-        self.network.bind_udp(self.udp_endpoint, handler)
-        self.sim.call_every(self.config.ping_interval, self._sweep)
+        self.runtime.bind_udp(self.udp_endpoint, handler)
+        self._sweep_timer = self.runtime.call_every(self.config.ping_interval, self._sweep)
         self.trace("bdn_start")
 
     def stop(self) -> None:
@@ -150,7 +160,13 @@ class BDN(Node):
         if not self.alive:
             return
         self.alive = False
-        self.network.unbind_udp(self.udp_endpoint)
+        self.runtime.unbind_udp(self.udp_endpoint)
+        if self._sweep_timer is not None:
+            self._sweep_timer.cancel()
+            self._sweep_timer = None
+        for timer in self._fanout_timers:
+            timer.cancel()
+        self._fanout_timers.clear()
         if self.ingress is not None:
             self.ingress.reset()  # a dead process loses its socket buffer
         if self._network_client is not None:
@@ -167,7 +183,7 @@ class BDN(Node):
         substrate subscribe to").
         """
         client = PubSubClient(
-            f"{self.name}-feed", self.host, self.network, self.rng, tracer=self.tracer
+            f"{self.name}-feed", self.host, self.runtime, self.rng, tracer=self.tracer
         )
         # The client shares this BDN's host (already registered).
         client.start()
@@ -228,7 +244,7 @@ class BDN(Node):
             return True
         self.requests_shed += 1
         requester = Endpoint(message.requester_host, message.requester_port)
-        self.network.send_udp(
+        self.runtime.send_udp(
             self.udp_endpoint,
             requester,
             DiscoveryBusy(
@@ -258,8 +274,8 @@ class BDN(Node):
             self.trace("bdn_unknown_message", type=type(message).__name__)
 
     def _register(self, ad: BrokerAdvertisement) -> None:
-        if self.store.accept(ad, self.sim.now):
-            self._registered_at.setdefault(ad.broker_id, self.sim.now)
+        if self.store.accept(ad, self.runtime.now):
+            self._registered_at.setdefault(ad.broker_id, self.runtime.now)
             self.trace("bdn_registered", broker=ad.broker_id)
             # Measure the new broker's distance right away so the
             # closest/farthest injection has data to work with.
@@ -274,7 +290,7 @@ class BDN(Node):
         self.requests_received += 1
         requester = Endpoint(request.requester_host, request.requester_port)
         # Timely acknowledgement (section 3), even for duplicates.
-        self.network.send_udp(self.udp_endpoint, requester, Ack(uuid=request.uuid, acked_by=self.name))
+        self.runtime.send_udp(self.udp_endpoint, requester, Ack(uuid=request.uuid, acked_by=self.name))
         if self.dedup.seen((request.uuid, request.attempt)):
             return  # idempotent: duplicate of an already-disseminated copy
         if self.config.required_credentials and not (
@@ -290,7 +306,7 @@ class BDN(Node):
         # Defence in depth: _injection_targets already lease-filters, so
         # an expired target here means the filtering broke.  Count it
         # (the chaos invariants assert zero) and refuse to use it.
-        now = self.sim.now
+        now = self.runtime.now
         stale = [s for s in targets if s.is_expired(now)]
         if stale:
             self.stale_targets += len(stale)
@@ -302,15 +318,21 @@ class BDN(Node):
         forwarded = request.forwarded()
         # Sequential fan-out: each destination costs CPU at the BDN, so
         # O(N) distribution (unconnected topology) is visibly linear.
+        # Each pending send is tracked so stop() can cancel it -- a BDN
+        # killed mid-fan-out must not keep transmitting.
         for i, stored in enumerate(targets):
-            self.sim.schedule(
-                self.config.fanout_delay * (i + 1),
-                self.network.send_udp,
-                self.udp_endpoint,
-                stored.udp_endpoint,
-                forwarded,
+            self._schedule_fanout(
+                self.config.fanout_delay * (i + 1), stored.udp_endpoint, forwarded
             )
         self.trace("bdn_disseminate", request=request.uuid, targets=str(len(targets)))
+
+    def _schedule_fanout(self, delay: float, dst: Endpoint, message: Message) -> None:
+        def fire() -> None:
+            self._fanout_timers.discard(handle)
+            self.runtime.send_udp(self.udp_endpoint, dst, message)
+
+        handle = self.runtime.schedule(delay, fire)
+        self._fanout_timers.add(handle)
 
     def _injection_targets(self) -> list[StoredAdvertisement]:
         """Pick the brokers this BDN injects a request at.
@@ -325,7 +347,7 @@ class BDN(Node):
         Expired leases are filtered out here, so a stale broker is never
         disseminated to even between eviction sweeps.
         """
-        ads = self.store.all(self.sim.now)
+        ads = self.store.all(self.runtime.now)
         if not ads or self.config.injection == "all":
             return ads
         by_distance = sorted(
@@ -350,7 +372,7 @@ class BDN(Node):
         long-silent ones."""
         if not self.alive:
             return
-        now = self.sim.now
+        now = self.runtime.now
         for broker_id in self.store.evict_expired(now):
             self._registered_at.pop(broker_id, None)
             self.pinger.forget(broker_id)

@@ -40,7 +40,7 @@ class Pinger:
     Parameters
     ----------
     node:
-        The owning node; supplies the clock and network.
+        The owning node; supplies the clock and runtime.
     reply_endpoint:
         Endpoint ping responses should come back to.
     max_samples:
@@ -82,7 +82,7 @@ class Pinger:
 
     def _expire_outstanding(self) -> None:
         """Drop outstanding pings whose deadline has passed."""
-        now = self._node.sim.now
+        now = self._node.runtime.now
         while self._outstanding:
             uuid = next(iter(self._outstanding))
             if self._outstanding[uuid][1] > now:
@@ -99,7 +99,7 @@ class Pinger:
         """
         self._expire_outstanding()
         uuid = self._node.ids()
-        deadline = self._node.sim.now + self._outstanding_timeout
+        deadline = self._node.runtime.now + self._outstanding_timeout
         self._outstanding[uuid] = (key if key is not None else target.host, deadline)
         request = PingRequest(
             uuid=uuid,
@@ -107,7 +107,7 @@ class Pinger:
             reply_host=self._reply.host,
             reply_port=self._reply.port,
         )
-        self._node.network.send_udp(self._reply, target, request)
+        self._node.runtime.send_udp(self._reply, target, request)
         self.pings_sent += 1
         return uuid
 
@@ -129,7 +129,7 @@ class Pinger:
         samples.append(rtt)
         if len(samples) > self._max_samples:
             del samples[0]
-        self._last_heard[key] = self._node.sim.now
+        self._last_heard[key] = self._node.runtime.now
         self.pongs_received += 1
         if self.on_rtt is not None:
             self.on_rtt(key, rtt)
@@ -146,7 +146,7 @@ class Pinger:
         return len(self._samples.get(key, ()))
 
     def last_heard(self, key: str) -> float | None:
-        """Sim time the last response for ``key`` arrived (None if never)."""
+        """Runtime time the last response for ``key`` arrived (None if never)."""
         return self._last_heard.get(key)
 
     def known_keys(self) -> list[str]:

@@ -40,9 +40,8 @@ from repro.core.messages import (
     Message,
     PingResponse,
 )
-from repro.simnet.network import Network
+from repro.runtime.api import Runtime, TimerHandle
 from repro.simnet.node import Node
-from repro.simnet.simulator import ScheduledEvent
 from repro.simnet.trace import Tracer
 from repro.discovery.overload import CircuitBreaker, DecorrelatedJitterBackoff, TokenBucket
 from repro.discovery.phases import PhaseTimer
@@ -150,6 +149,7 @@ class _Run:
         "collection_timer",
         "ping_timer",
         "retry_timer",
+        "aux_timers",
         "extended",
     )
 
@@ -167,10 +167,13 @@ class _Run:
         self.retransmits_here = 0
         self.transmissions = 0
         self.on_complete = on_complete
-        self.ack_timer: ScheduledEvent | None = None
-        self.collection_timer: ScheduledEvent | None = None
-        self.ping_timer: ScheduledEvent | None = None
-        self.retry_timer: ScheduledEvent | None = None
+        self.ack_timer: TimerHandle | None = None
+        self.collection_timer: TimerHandle | None = None
+        self.ping_timer: TimerHandle | None = None
+        self.retry_timer: TimerHandle | None = None
+        # Short-lived scheduled work (selection/decision CPU cost, ping
+        # repeats); tracked so an aborted run leaves nothing pending.
+        self.aux_timers: set[TimerHandle] = set()
         self.extended = False
 
     def cancel_timers(self) -> None:
@@ -182,6 +185,9 @@ class _Run:
         ):
             if timer is not None:
                 timer.cancel()
+        for timer in self.aux_timers:
+            timer.cancel()
+        self.aux_timers.clear()
 
 
 class DiscoveryClient(Node):
@@ -193,7 +199,8 @@ class DiscoveryClient(Node):
     Parameters
     ----------
     name, host, network, rng:
-        Standard node parameters.
+        Standard node parameters (``network`` is a
+        :class:`~repro.runtime.api.Runtime` or a simulated fabric).
     config:
         Discovery behaviour (BDN list, timeout, N, |T|, ping repeats,
         fallbacks...).
@@ -203,7 +210,7 @@ class DiscoveryClient(Node):
         self,
         name: str,
         host: str,
-        network: Network,
+        network: Runtime | object,
         rng: np.random.Generator,
         config: ClientConfig | None = None,
         site: str | None = None,
@@ -227,6 +234,7 @@ class DiscoveryClient(Node):
         self.last_target_set: list[CachedTarget] = []
         self.last_selected: CachedTarget | None = None
         self._run: _Run | None = None
+        self._watch_timers: set[TimerHandle] = set()
         self.late_responses = 0
         # Adaptive retry machinery, active only with a RetryPolicyConfig
         # (the default None preserves the paper's fixed retransmit timer
@@ -238,7 +246,7 @@ class DiscoveryClient(Node):
         self._bdn_retry_at: dict[Endpoint, float] = {}
         if policy is not None:
             self.retry_budget = TokenBucket(
-                policy.budget_capacity, policy.budget_refill_per_sec, lambda: self.sim.now
+                policy.budget_capacity, policy.budget_refill_per_sec, lambda: self.runtime.now
             )
             self._backoff = DecorrelatedJitterBackoff(
                 policy.backoff_base, policy.backoff_cap, self.rng
@@ -263,7 +271,7 @@ class DiscoveryClient(Node):
         if breaker is None:
             policy = self.config.retry_policy
             breaker = CircuitBreaker(
-                policy.breaker_failures, policy.breaker_cooldown, lambda: self.sim.now
+                policy.breaker_failures, policy.breaker_cooldown, lambda: self.runtime.now
             )
             self._breakers[bdn] = breaker
         return breaker
@@ -273,7 +281,28 @@ class DiscoveryClient(Node):
         if self.started:
             return
         super().start()
-        self.network.bind_udp(self.udp_endpoint, self._on_udp)
+        self.runtime.bind_udp(self.udp_endpoint, self._on_udp)
+
+    def stop(self) -> None:
+        """Take the client offline; idempotent.
+
+        Any in-flight discovery fails immediately (its completion
+        callback fires with ``success=False``), every outstanding timer
+        -- run timers, scheduled CPU-cost callbacks, ping repeats and
+        broker watches -- is cancelled, and the UDP port is released.
+        Nothing this client scheduled remains pending afterwards.
+        """
+        if not self.started:
+            return
+        self._started = False
+        for series in self._watch_timers:
+            series.cancel()
+        self._watch_timers.clear()
+        run = self._run
+        if run is not None:
+            self._fail(run)
+        self.runtime.unbind_udp(self.udp_endpoint)
+        self.trace("client_stop")
 
     # ------------------------------------------------------------------
     # Public API
@@ -288,8 +317,8 @@ class DiscoveryClient(Node):
             raise DiscoveryError(f"client {self.name} already has a discovery in flight")
         if not self.started:
             raise DiscoveryError(f"client {self.name} must be started before discovering")
-        phases = PhaseTimer(lambda: self.sim.now)
-        run = _Run(self.ids(), phases, self.sim.now, on_complete)
+        phases = PhaseTimer(lambda: self.runtime.now)
+        run = _Run(self.ids(), phases, self.runtime.now, on_complete)
         self._run = run
         phases.begin("issue_request")
         if self._backoff is not None:
@@ -321,8 +350,8 @@ class DiscoveryClient(Node):
             raise DiscoveryError(
                 f"client {self.name} has no cached target set to reconnect with"
             )
-        phases = PhaseTimer(lambda: self.sim.now)
-        run = _Run(self.ids(), phases, self.sim.now, on_complete)
+        phases = PhaseTimer(lambda: self.runtime.now)
+        run = _Run(self.ids(), phases, self.runtime.now, on_complete)
         self._run = run
         phases.begin("issue_request")
         self.trace("rediscover_start", request=run.uuid)
@@ -357,20 +386,22 @@ class DiscoveryClient(Node):
             if self._run is not None:
                 return
             last = self.pinger.last_heard(key)
-            heard_recently = last is not None and self.sim.now - last <= interval
+            heard_recently = last is not None and self.runtime.now - last <= interval
             if state["pinged"] and not heard_recently:
                 state["missed"] += 1
             elif heard_recently:
                 state["missed"] = 0
             if state["missed"] >= max_missed:
                 series.cancel()
+                self._watch_timers.discard(series)
                 self.trace("watch_broker_lost", broker=target.broker_id)
                 self.rediscover(on_reconnect)
                 return
             state["pinged"] = True
             self.pinger.ping(target.udp_endpoint, key=key)
 
-        series = self.sim.call_every(interval, tick)
+        series = self.runtime.call_every(interval, tick)
+        self._watch_timers.add(series)
         return series
 
     # ------------------------------------------------------------------
@@ -391,7 +422,7 @@ class DiscoveryClient(Node):
     def _arm_collection_deadline(self, run: _Run) -> None:
         if run.collection_timer is not None:
             run.collection_timer.cancel()
-        run.collection_timer = self.sim.schedule(
+        run.collection_timer = self.runtime.schedule(
             self.config.response_timeout, self._on_collection_deadline, run
         )
 
@@ -406,11 +437,11 @@ class DiscoveryClient(Node):
         run.via = "bdn"
         request = self._request(run)
         run.transmissions += 1
-        self.network.send_udp(self.udp_endpoint, bdn, request)
+        self.runtime.send_udp(self.udp_endpoint, bdn, request)
         self._arm_collection_deadline(run)
         if run.ack_timer is not None:
             run.ack_timer.cancel()
-        run.ack_timer = self.sim.schedule(
+        run.ack_timer = self.runtime.schedule(
             self.config.retransmit_interval, self._on_silence, run
         )
         self.trace("request_sent", request=run.uuid, bdn=str(bdn))
@@ -458,7 +489,7 @@ class DiscoveryClient(Node):
             if self.retry_budget.try_acquire():
                 run.retransmits_here += 1
                 gate = self._bdn_retry_at.get(bdn, 0.0)
-                delay = max(self._backoff.next(), gate - self.sim.now)
+                delay = max(self._backoff.next(), gate - self.runtime.now)
                 self.trace(
                     "request_retransmit_budgeted", request=run.uuid, delay=f"{delay:.3f}"
                 )
@@ -484,7 +515,7 @@ class DiscoveryClient(Node):
         bdns = self.config.bdn_endpoints
         while run.bdn_index < len(bdns):
             bdn = bdns[run.bdn_index]
-            if self._bdn_retry_at.get(bdn, 0.0) > self.sim.now:
+            if self._bdn_retry_at.get(bdn, 0.0) > self.runtime.now:
                 self.bdn_skips += 1
                 self.trace("bdn_skipped_retry_after", request=run.uuid, bdn=str(bdn))
             elif not self._breaker(bdn).allow():
@@ -506,7 +537,7 @@ class DiscoveryClient(Node):
             run.ack_timer = None
         if run.retry_timer is not None:
             run.retry_timer.cancel()
-        run.retry_timer = self.sim.schedule(delay, self._retry_fire, run)
+        run.retry_timer = self.runtime.schedule(delay, self._retry_fire, run)
 
     def _retry_fire(self, run: _Run) -> None:
         run.retry_timer = None
@@ -518,14 +549,14 @@ class DiscoveryClient(Node):
         """Multicast the request to in-realm brokers (section 7)."""
         if not (
             self.config.use_multicast_fallback
-            and self.network.multicast_enabled(self.host)
+            and self.runtime.multicast_enabled(self.host)
         ):
             self._fallback_cached(run)
             return
         run.via = "multicast"
         request = self._request(run)
         run.transmissions += 1
-        reached = self.network.multicast(
+        reached = self.runtime.multicast(
             self.udp_endpoint, self.config.multicast_group, request
         )
         self.trace("request_multicast", request=run.uuid, reached=str(reached))
@@ -535,7 +566,7 @@ class DiscoveryClient(Node):
         self._arm_collection_deadline(run)
         if run.ack_timer is not None:
             run.ack_timer.cancel()
-        run.ack_timer = self.sim.schedule(
+        run.ack_timer = self.runtime.schedule(
             self.config.retransmit_interval, self._on_silence, run
         )
 
@@ -548,12 +579,12 @@ class DiscoveryClient(Node):
         request = self._request(run)
         run.transmissions += 1
         for target in self.last_target_set:
-            self.network.send_udp(self.udp_endpoint, target.udp_endpoint, request)
+            self.runtime.send_udp(self.udp_endpoint, target.udp_endpoint, request)
         self.trace("request_cached_targets", request=run.uuid, targets=str(len(self.last_target_set)))
         self._arm_collection_deadline(run)
         if run.ack_timer is not None:
             run.ack_timer.cancel()
-        run.ack_timer = self.sim.schedule(
+        run.ack_timer = self.runtime.schedule(
             self.config.retransmit_interval, self._on_silence, run
         )
 
@@ -605,7 +636,7 @@ class DiscoveryClient(Node):
             bdn=busy.bdn,
             retry_after=f"{busy.retry_after:.3f}",
         )
-        self._bdn_retry_at[src] = self.sim.now + busy.retry_after
+        self._bdn_retry_at[src] = self.runtime.now + busy.retry_after
         self._breaker(src).record_failure()
         if run.state != "ISSUING" or run.via != "bdn" or run.candidates:
             return
@@ -620,7 +651,7 @@ class DiscoveryClient(Node):
             return
         if self.retry_budget.try_acquire():
             earliest = min(self._bdn_retry_at.get(b, 0.0) for b in bdns)
-            delay = max(self._backoff.next(), earliest - self.sim.now)
+            delay = max(self._backoff.next(), earliest - self.runtime.now)
             run.bdn_index = 0
             run.retransmits_here = 0
             self.trace("request_rung_retry", request=run.uuid, delay=f"{delay:.3f}")
@@ -689,7 +720,7 @@ class DiscoveryClient(Node):
         run.state = "SELECTING"
         self.trace("collection_done", request=run.uuid, reason=reason, n=str(len(run.candidates)))
         cost = _SELECT_COST_BASE + _SELECT_COST_PER_CANDIDATE * len(run.candidates)
-        self.sim.schedule(cost, self._select_targets, run)
+        self._schedule_aux(run, cost, self._select_targets, run)
 
     #: Transports a shortlisted broker must offer: UDP for the ping
     #: phase, TCP for the eventual client connection.
@@ -721,13 +752,24 @@ class DiscoveryClient(Node):
         run.expected_pongs = len(run.target_set) * self.config.ping_repeats
         for target in run.target_set:
             for repeat in range(self.config.ping_repeats):
-                self.sim.schedule(
+                self._schedule_aux(
+                    run,
                     repeat * _PING_REPEAT_SPACING,
                     self._ping_target,
                     run,
                     target,
                 )
-        run.ping_timer = self.sim.schedule(self.config.ping_timeout, self._decide, run)
+        run.ping_timer = self.runtime.schedule(self.config.ping_timeout, self._decide, run)
+
+    def _schedule_aux(self, run: _Run, delay: float, fn, *args) -> None:
+        """Schedule run-scoped work whose handle dies with the run."""
+
+        def fire() -> None:
+            run.aux_timers.discard(handle)
+            fn(*args)
+
+        handle = self.runtime.schedule(delay, fire)
+        run.aux_timers.add(handle)
 
     def _ping_target(self, run: _Run, target: Candidate) -> None:
         if run.state != "PINGING":
@@ -750,7 +792,7 @@ class DiscoveryClient(Node):
         if all(self.pinger.sample_count(t.broker_id) > 0 for t in run.target_set):
             if run.ping_timer is not None:
                 run.ping_timer.cancel()
-            run.ping_timer = self.sim.schedule(self.config.ping_grace, self._decide, run)
+            run.ping_timer = self.runtime.schedule(self.config.ping_grace, self._decide, run)
 
     # ------------------------------------------------------------------
     # Decision
@@ -763,9 +805,10 @@ class DiscoveryClient(Node):
             run.ping_timer.cancel()
             run.ping_timer = None
         run.phases.begin("final_decision")
-        self.sim.schedule(_DECIDE_COST, self._complete, run)
+        self._schedule_aux(run, _DECIDE_COST, self._complete, run)
 
     def _complete(self, run: _Run) -> None:
+        run.cancel_timers()
         ping_rtts: dict[str, float] = {}
         for target in run.target_set:
             rtt = self.pinger.average_rtt(target.broker_id)
@@ -812,7 +855,7 @@ class DiscoveryClient(Node):
             target_set=run.target_set,
             ping_rtts=ping_rtts,
             phases=run.phases,
-            total_time=self.sim.now - run.started_at,
+            total_time=self.runtime.now - run.started_at,
             via=run.via,
             bdn_used=run.bdn_used,
             transmissions=run.transmissions,
@@ -848,7 +891,7 @@ class DiscoveryClient(Node):
             target_set=[],
             ping_rtts={},
             phases=run.phases,
-            total_time=self.sim.now - run.started_at,
+            total_time=self.runtime.now - run.started_at,
             via=run.via,
             bdn_used=run.bdn_used,
             transmissions=run.transmissions,

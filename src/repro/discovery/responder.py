@@ -29,8 +29,9 @@ from __future__ import annotations
 from repro.core.codec import decode_message, encode_message
 from repro.core.config import Endpoint
 from repro.core.dedup import DedupCache
-from repro.core.errors import CodecError
+from repro.core.errors import CodecError, UnknownHostError
 from repro.core.messages import DiscoveryRequest, DiscoveryResponse, Event
+from repro.runtime.api import TimerHandle
 from repro.substrate.broker import BROKER_TCP_PORT, BROKER_UDP_PORT, Broker
 
 __all__ = ["REQUEST_TOPIC", "DiscoveryResponder"]
@@ -65,6 +66,11 @@ class DiscoveryResponder:
     responses_suppressed:
         Responses withheld because the broker's ingress queue was at or
         above ``response_suppress_depth`` when the response came due.
+    active:
+        Whether the responder is answering requests.  Responders start
+        active; :meth:`stop` deactivates (and cancels every pending
+        response and heartbeat), :meth:`start` reactivates.  Both are
+        idempotent.
     """
 
     def __init__(self, broker: Broker) -> None:
@@ -74,9 +80,38 @@ class DiscoveryResponder:
         self.responses_sent = 0
         self.policy_rejections = 0
         self.responses_suppressed = 0
+        self.active = True
         self._heartbeats: list = []
+        self._response_timers: set[TimerHandle] = set()
         broker.add_udp_handler(DiscoveryRequest, self._on_udp_request)
         broker.add_control_handler(REQUEST_TOPIC, self._on_control_event)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """(Re)activate the responder; idempotent.
+
+        Heartbeats detached by :meth:`stop` are *not* re-armed here --
+        call :meth:`attach_heartbeat` again with the desired schedule.
+        """
+        self.active = True
+
+    def stop(self) -> None:
+        """Deactivate the responder; idempotent.
+
+        After this returns the responder sends nothing: new requests are
+        ignored, every not-yet-fired response timer is cancelled, and
+        every registration heartbeat is detached.
+        """
+        if not self.active:
+            return
+        self.active = False
+        for timer in self._response_timers:
+            timer.cancel()
+        self._response_timers.clear()
+        self.detach_heartbeat()
+        self.broker.trace("responder_stop")
 
     # ------------------------------------------------------------------
     # Registration heartbeats
@@ -151,7 +186,7 @@ class DiscoveryResponder:
         return (request.uuid, request.attempt)
 
     def _process(self, request: DiscoveryRequest, propagate: bool) -> None:
-        if not self.broker.alive:
+        if not self.active or not self.broker.alive:
             return
         if self.dedup.seen(self.request_key(request)):
             return
@@ -164,14 +199,22 @@ class DiscoveryResponder:
             self.broker.trace("discovery_policy_reject", request=request.uuid)
             return
         delay = float(self.broker.rng.uniform(*_PROCESS_DELAY_RANGE))
-        self.broker.sim.schedule(delay, self._respond, request)
+        self._schedule_response(delay, request)
+
+    def _schedule_response(self, delay: float, request: DiscoveryRequest) -> None:
+        def fire() -> None:
+            self._response_timers.discard(handle)
+            self._respond(request)
+
+        handle = self.broker.runtime.schedule(delay, fire)
+        self._response_timers.add(handle)
 
     def _requester_realm(self, request: DiscoveryRequest) -> str:
         if request.realm:
             return request.realm
         try:
-            return self.broker.network.realm_of(request.requester_host)
-        except Exception:
+            return self.broker.runtime.realm_of(request.requester_host)
+        except UnknownHostError:
             return ""
 
     def _propagate(self, request: DiscoveryRequest) -> None:
@@ -192,7 +235,7 @@ class DiscoveryResponder:
         self.broker.publish_local(event)
 
     def _respond(self, request: DiscoveryRequest) -> None:
-        if not self.broker.alive:
+        if not self.active or not self.broker.alive:
             return
         suppress_depth = self.broker.config.response_suppress_depth
         if suppress_depth > 0 and self.broker.queue_depth >= suppress_depth:

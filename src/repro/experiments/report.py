@@ -13,7 +13,13 @@ from collections.abc import Mapping, Sequence
 from repro.core.metrics import OverloadStats
 from repro.experiments.stats import SummaryStats
 
-__all__ = ["metric_table", "percentage_table", "comparison_table", "overload_table"]
+__all__ = [
+    "metric_table",
+    "percentage_table",
+    "comparison_table",
+    "overload_table",
+    "runtime_table",
+]
 
 
 def metric_table(stats: SummaryStats, title: str, unit: str = "MilliSec") -> str:
@@ -59,6 +65,46 @@ def comparison_table(
             else:
                 cells.append(f"{'-':>14}")
         lines.append(f"{label:<24}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def runtime_table(
+    sim: Mapping[str, object],
+    live: Mapping[str, object],
+    title: str = "Discovery latency: simulated vs live",
+) -> str:
+    """Sim-predicted vs live-measured discovery latency, phase by phase.
+
+    ``sim`` comes from
+    :func:`repro.experiments.runtime_compare.simulate_reference`;
+    ``live`` is the artifact JSON the loopback smoke run
+    (``examples/live_discovery.py --artifact``) writes.  Both carry a
+    ``phases`` mapping (seconds) and a ``total_time``; rows a runtime
+    never entered render as ``-``, and the ratio column shows how far
+    the live wall-clock measurement sits from the simulator's
+    prediction.
+    """
+    sim_phases: Mapping[str, float] = sim.get("phases", {})  # type: ignore[assignment]
+    live_phases: Mapping[str, float] = live.get("phases", {})  # type: ignore[assignment]
+    names = list(sim_phases) + [n for n in live_phases if n not in sim_phases]
+    rows = [(name, sim_phases.get(name), live_phases.get(name)) for name in names]
+    rows.append(("total", sim.get("total_time"), live.get("total_time")))
+
+    header = f"{'Phase':<24}{'Sim (ms)':>12}{'Live (ms)':>12}{'Live/Sim':>10}"
+    lines = [title, header]
+    for name, predicted, measured in rows:
+        cells = [f"{name:<24}"]
+        for value in (predicted, measured):
+            numeric = isinstance(value, (int, float))
+            cells.append(f"{value * 1e3:>12.2f}" if numeric else f"{'-':>12}")
+        both = isinstance(predicted, (int, float)) and isinstance(measured, (int, float))
+        if both and predicted > 0:
+            cells.append(f"{measured / predicted:>9.2f}x")
+        else:
+            cells.append(f"{'-':>10}")
+        lines.append("".join(cells))
+    selected = (sim.get("selected"), live.get("selected"))
+    lines.append(f"{'selected broker':<24}{str(selected[0]):>12}{str(selected[1]):>12}")
     return "\n".join(lines)
 
 

@@ -1,0 +1,153 @@
+"""Sim-predicted reference run for the live localhost smoke test.
+
+``examples/live_discovery.py`` boots a BDN, three brokers and a client
+on real asyncio sockets and writes its measured outcome to an artifact
+JSON.  :func:`simulate_reference` replays the *same* scenario -- same
+protocol classes, same seeds, same client configuration -- on the
+deterministic simulated runtime with loopback-scale latencies, so
+:func:`repro.experiments.report.runtime_table` can put the simulator's
+prediction next to the live measurement.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import BDNConfig, ClientConfig
+from repro.discovery.advertisement import advertise_direct
+from repro.discovery.bdn import BDN
+from repro.discovery.requester import DiscoveryClient, DiscoveryOutcome
+from repro.discovery.responder import DiscoveryResponder
+from repro.simnet.latency import UniformLatencyModel
+from repro.simnet.loss import NoLoss
+from repro.simnet.network import Network
+from repro.simnet.simulator import Simulator
+from repro.substrate.broker import Broker
+
+__all__ = ["REFERENCE_SCENARIO", "simulate_reference", "load_artifact"]
+
+#: Name stamped into the live artifact's ``sim_reference`` block.
+REFERENCE_SCENARIO = "star-3-brokers"
+
+
+def simulate_reference(seed: int = 5, base_latency: float = 0.0005) -> dict[str, Any]:
+    """Run the smoke-test scenario on the simulated runtime.
+
+    Mirrors ``examples/live_discovery.py`` node for node: one BDN with
+    ``injection="all"``, three registered brokers with responders, one
+    client issuing a single discovery.  ``base_latency`` models the
+    deployment's one-way propagation delay (default: loopback scale,
+    since the live smoke run binds every node to 127.0.0.1).
+
+    Returns the same keys the live artifact carries for comparison:
+    ``phases``, ``total_time``, ``selected``, ``selected_rtt``, ``via``,
+    ``transmissions`` and ``responses``.
+    """
+    sim = Simulator()
+    network = Network(
+        sim,
+        latency=UniformLatencyModel(base=base_latency),
+        loss=NoLoss(),
+        rng=np.random.default_rng(seed + 1),
+    )
+    root = np.random.default_rng(seed)
+
+    def rng() -> np.random.Generator:
+        return np.random.default_rng(root.integers(0, 2**63))
+
+    bdn = BDN(
+        "bdn0",
+        "bdn0.local",
+        network,
+        rng(),
+        config=BDNConfig(injection="all", ping_interval=0.5),
+        site="site0",
+        realm="lab",
+    )
+    brokers = [
+        Broker(f"b{i}", f"b{i}.local", network, rng(), site=f"site{i}", realm="lab")
+        for i in range(3)
+    ]
+    responders = [DiscoveryResponder(broker) for broker in brokers]
+    client = DiscoveryClient(
+        "client0",
+        "client0.local",
+        network,
+        rng(),
+        config=ClientConfig(
+            bdn_endpoints=(bdn.udp_endpoint,),
+            response_timeout=1.0,
+            retransmit_interval=1.0,
+            ping_timeout=1.0,
+        ),
+        site="site9",
+        realm="lab",
+    )
+
+    bdn.start()
+    for broker in brokers:
+        broker.start()
+    client.start()
+    sim.run_for(6.0)  # NTP settles; matches the live run's sync_now()
+    for broker in brokers:
+        advertise_direct(broker, bdn.udp_endpoint)
+    sim.run_for(0.5)
+
+    outcomes: list[DiscoveryOutcome] = []
+    client.discover(outcomes.append)
+    sim.run_for(10.0)
+    if not outcomes:
+        raise RuntimeError("reference simulation did not complete a discovery")
+    outcome = outcomes[0]
+    del responders  # kept alive until here so brokers keep answering
+    return {
+        "runtime": "sim",
+        "scenario": REFERENCE_SCENARIO,
+        "seed": seed,
+        "success": outcome.success,
+        "selected": outcome.selected.broker_id if outcome.selected else None,
+        "selected_rtt": outcome.selected_rtt,
+        "via": outcome.via,
+        "transmissions": outcome.transmissions,
+        "total_time": outcome.total_time,
+        "phases": dict(outcome.phases.durations()),
+        "responses": sorted(c.broker_id for c in outcome.candidates),
+    }
+
+
+def load_artifact(path: str | Path) -> dict[str, Any]:
+    """Read a live smoke-run artifact written by ``live_discovery.py``."""
+    with open(path, encoding="utf-8") as fh:
+        artifact = json.load(fh)
+    if "phases" not in artifact or "total_time" not in artifact:
+        raise ValueError(f"{path} is not a live-discovery artifact")
+    return artifact
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Print the sim-vs-live table for one smoke-run artifact.
+
+    Usage::
+
+        PYTHONPATH=src python -m repro.experiments.runtime_compare artifact.json
+    """
+    import argparse
+
+    from repro.experiments.report import runtime_table
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("artifact", help="JSON written by live_discovery.py --artifact")
+    args = parser.parse_args(argv)
+    live = load_artifact(args.artifact)
+    reference = live.get("sim_reference", {})
+    sim = simulate_reference(seed=int(reference.get("seed", 5)))
+    print(runtime_table(sim, live))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.simnet.simulator import Simulator
+from repro.runtime.api import Scheduler
 
 __all__ = ["Clock", "NTPService"]
 
@@ -41,7 +41,8 @@ class Clock:
     Parameters
     ----------
     sim:
-        The simulator supplying true time.
+        The scheduler supplying true time (any
+        :class:`~repro.runtime.api.Scheduler` -- virtual or wall-clock).
     offset:
         Constant offset in seconds (can be large; real hosts drift by
         seconds over weeks without NTP).
@@ -49,13 +50,13 @@ class Clock:
         Fractional rate error, e.g. ``50e-6`` for 50 ppm.
     """
 
-    def __init__(self, sim: Simulator, offset: float = 0.0, skew: float = 0.0) -> None:
+    def __init__(self, sim: Scheduler, offset: float = 0.0, skew: float = 0.0) -> None:
         self._sim = sim
         self.offset = offset
         self.skew = skew
 
     @classmethod
-    def random(cls, sim: Simulator, rng: np.random.Generator) -> "Clock":
+    def random(cls, sim: Scheduler, rng: np.random.Generator) -> "Clock":
         """A clock with offset in [-5, 5] s and skew within 100 ppm."""
         return cls(
             sim,
@@ -68,7 +69,7 @@ class Clock:
         return self._sim.now * (1.0 + self.skew) + self.offset
 
     def true_time(self) -> float:
-        """Simulated true time -- for assertions/tests only, never for protocol logic."""
+        """The scheduler's true time -- for assertions/tests only, never for protocol logic."""
         return self._sim.now
 
 
@@ -83,7 +84,7 @@ class NTPService:
     Parameters
     ----------
     sim, clock:
-        The simulator and the raw clock being disciplined.
+        The scheduler and the raw clock being disciplined.
     rng:
         Randomness for init delay and residual error.
     init_delay_range:
@@ -95,7 +96,7 @@ class NTPService:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Scheduler,
         clock: Clock,
         rng: np.random.Generator,
         init_delay_range: tuple[float, float] = (3.0, 5.0),

@@ -45,7 +45,7 @@ import numpy as np
 
 from repro.core.codec import wire_size
 from repro.core.config import Endpoint
-from repro.core.errors import TransportError
+from repro.core.errors import TransportError, UnknownHostError
 from repro.core.messages import Message
 from repro.simnet.latency import LatencyModel, UniformLatencyModel
 from repro.simnet.loss import LossModel, NoLoss
@@ -238,7 +238,7 @@ class Network:
     def _info(self, host: str) -> _HostInfo:
         info = self._hosts.get(host)
         if info is None:
-            raise TransportError(f"unknown host {host!r}")
+            raise UnknownHostError(f"unknown host {host!r}")
         return info
 
     # ------------------------------------------------------------------

@@ -1,10 +1,18 @@
-"""Base class for simulated processes.
+"""Base class for protocol processes.
 
 Brokers, BDNs and discovery clients all extend :class:`Node`.  A node
-owns a host (registered with the network fabric), a drifting clock, an
-NTP service, and a deterministic UUID generator.  Construction follows
-the paper's node-initialisation story: the NTP service is started at
-node start and takes 3-5 simulated seconds to compute offsets.
+owns a host (registered with the runtime's transport), a drifting
+clock, an NTP service, and a deterministic UUID generator.
+Construction follows the paper's node-initialisation story: the NTP
+service is started at node start and takes 3-5 seconds to compute
+offsets.
+
+Nodes are sans-IO: they speak only through the
+:class:`repro.runtime.api.Runtime` surface, so the same node classes
+run under the discrete-event simulator and under real asyncio sockets.
+For backwards compatibility the ``network`` constructor argument also
+accepts a bare :class:`~repro.simnet.network.Network`, which is wrapped
+via :func:`repro.runtime.api.as_runtime`.
 """
 
 from __future__ import annotations
@@ -12,9 +20,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import Endpoint
+from repro.core.errors import UnknownHostError
 from repro.core.ids import IdGenerator
+from repro.runtime.api import Runtime, as_runtime
 from repro.simnet.clock import Clock, NTPService
-from repro.simnet.network import Network
 from repro.simnet.simulator import Simulator
 from repro.simnet.trace import Tracer
 
@@ -22,7 +31,7 @@ __all__ = ["Node"]
 
 
 class Node:
-    """A simulated process bound to one host.
+    """A protocol process bound to one host.
 
     Parameters
     ----------
@@ -30,14 +39,16 @@ class Node:
         Unique human-readable node name (broker id, client id, ...).
     host:
         Hostname, already registered (or registered here) with the
-        network.
+        transport.
     network:
-        The fabric this node communicates through.
+        The runtime this node communicates through -- a
+        :class:`~repro.runtime.api.Runtime`, or a bare simulated
+        :class:`~repro.simnet.network.Network` (adapted automatically).
     rng:
         Node-private randomness; derive one per node from the master
         seed so nodes are statistically independent but reproducible.
     site / realm:
-        If ``host`` is not yet registered with the network, it is
+        If ``host`` is not yet registered with the transport, it is
         registered with these values (``site`` required in that case).
     multicast_enabled:
         Forwarded to host registration.
@@ -49,7 +60,7 @@ class Node:
         self,
         name: str,
         host: str,
-        network: Network,
+        network: object,
         rng: np.random.Generator,
         site: str | None = None,
         realm: str | None = None,
@@ -58,36 +69,57 @@ class Node:
     ) -> None:
         self.name = name
         self.host = host
-        self.network = network
+        self.runtime: Runtime = as_runtime(network)
         self.rng = rng
         self.tracer = tracer
         try:
-            network.site_of(host)
-        except Exception:
+            self.runtime.site_of(host)
+        except UnknownHostError:
             if site is None:
                 raise ValueError(
                     f"host {host!r} is not registered and no site was given"
                 ) from None
-            network.register_host(host, site, realm=realm, multicast_enabled=multicast_enabled)
-        self.clock = Clock.random(self.sim, rng)
-        self.ntp = NTPService(self.sim, self.clock, rng)
+            self.runtime.register_host(
+                host, site, realm=realm, multicast_enabled=multicast_enabled
+            )
+        self.clock = Clock.random(self.runtime, rng)
+        self.ntp = NTPService(self.runtime, self.clock, rng)
         self.ids = IdGenerator(np.random.default_rng(rng.integers(0, 2**63)))
         self._started = False
 
     @property
+    def network(self):
+        """The simulated fabric, when running under the sim runtime.
+
+        Harness/test convenience only -- protocol code goes through
+        :attr:`runtime`.  Raises under runtimes with no fabric.
+        """
+        fabric = getattr(self.runtime, "network", None)
+        if fabric is None:
+            raise AttributeError(f"runtime {self.runtime.kind!r} has no simulated network")
+        return fabric
+
+    @property
     def sim(self) -> Simulator:
-        """The simulator driving this node's network."""
-        return self.network.sim
+        """The simulator, when running under the sim runtime.
+
+        Harness/test convenience only -- protocol code uses
+        ``self.runtime`` for time and timers.
+        """
+        sim = getattr(self.runtime, "sim", None)
+        if sim is None:
+            raise AttributeError(f"runtime {self.runtime.kind!r} has no simulator")
+        return sim
 
     @property
     def site(self) -> str:
         """The site this node's host belongs to."""
-        return self.network.site_of(self.host)
+        return self.runtime.site_of(self.host)
 
     @property
     def realm(self) -> str:
         """The realm this node's host belongs to."""
-        return self.network.realm_of(self.host)
+        return self.runtime.realm_of(self.host)
 
     def endpoint(self, port: int) -> Endpoint:
         """An endpoint on this node's host."""

@@ -31,7 +31,7 @@ from collections.abc import Callable
 
 from repro.core.config import Endpoint, ServiceConfig
 from repro.core.messages import Message
-from repro.simnet.simulator import ScheduledEvent, Simulator
+from repro.runtime.api import Scheduler, TimerHandle
 
 __all__ = ["IngressQueue"]
 
@@ -53,7 +53,8 @@ class IngressQueue:
     Parameters
     ----------
     sim:
-        The owning node's simulator (virtual clock + scheduling).
+        The owning node's scheduler (clock + timers; any
+        :class:`~repro.runtime.api.Scheduler`).
     handler:
         The wrapped handler; invoked when a message *finishes* service.
     config:
@@ -93,7 +94,7 @@ class IngressQueue:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Scheduler,
         handler: Handler,
         config: ServiceConfig,
         trace: TraceFn | None = None,
@@ -106,7 +107,7 @@ class IngressQueue:
         self._trace = trace
         self._waiting: deque[tuple[Message, Endpoint]] = deque()
         self._in_service = False
-        self._service_event: ScheduledEvent | None = None
+        self._service_event: TimerHandle | None = None
         self.served = 0
         self.overflows = 0
         self.shed = 0

@@ -37,7 +37,7 @@ from repro.core.messages import (
     Unsubscribe,
 )
 from repro.core.metrics import UsageMetrics
-from repro.simnet.network import Connection, Network
+from repro.runtime.api import Link, Runtime
 from repro.simnet.node import Node
 from repro.simnet.service import IngressQueue
 from repro.simnet.trace import Tracer
@@ -70,9 +70,9 @@ class Broker(Node):
     name:
         Unique broker identifier (also its routing address).
     host:
-        Hostname; registered with the network if new.
+        Hostname; registered with the transport if new.
     network, rng:
-        Fabric and node-private randomness.
+        Runtime (or simulated fabric) and node-private randomness.
     config:
         Static broker configuration.
     site, realm, multicast_enabled, tracer:
@@ -83,7 +83,7 @@ class Broker(Node):
         self,
         name: str,
         host: str,
-        network: Network,
+        network: Runtime | object,
         rng: np.random.Generator,
         config: BrokerConfig | None = None,
         site: str | None = None,
@@ -114,8 +114,8 @@ class Broker(Node):
         self._peers_cache: frozenset[str] | None = None
         self._targets_cache: dict[str | None, tuple[int, tuple[str, ...]]] = {}
         self.routing = FloodRouting()
-        self._links: dict[str, Connection] = {}
-        self._clients: dict[str, Connection] = {}
+        self._links: dict[str, Link] = {}
+        self._clients: dict[str, Link] = {}
         self._neighbors: dict[str, "Broker"] = {}
         self._retry_pending: set[str] = set()
         self._control_handlers: list[tuple[str, ControlHandler]] = []
@@ -127,7 +127,7 @@ class Broker(Node):
         self.ingress: IngressQueue | None = None
         if self.config.service is not None:
             self.ingress = IngressQueue(
-                self.sim, self._on_udp, self.config.service, trace=self.trace
+                self.runtime, self._on_udp, self.config.service, trace=self.trace
             )
         self.alive = False
         # Counters.
@@ -162,12 +162,12 @@ class Broker(Node):
         super().start()
         self.alive = True
         udp_handler = self.ingress.deliver if self.ingress is not None else self._on_udp
-        self.network.bind_udp(self.udp_endpoint, udp_handler)
-        self.network.listen_tcp(self.client_endpoint, self._accept_client)
-        self.network.listen_tcp(self.link_endpoint, self._accept_link)
-        if self.network.multicast_enabled(self.host):
+        self.runtime.bind_udp(self.udp_endpoint, udp_handler)
+        self.runtime.listen_tcp(self.client_endpoint, self._accept_client)
+        self.runtime.listen_tcp(self.link_endpoint, self._accept_link)
+        if self.runtime.multicast_enabled(self.host):
             for group in self.config.multicast_groups:
-                self.network.join_multicast(group, self.udp_endpoint)
+                self.runtime.join_multicast(group, self.udp_endpoint)
         # A revived broker re-establishes its persistent neighbourhood.
         for peer_id in sorted(self._neighbors):
             if peer_id not in self._links:
@@ -183,14 +183,14 @@ class Broker(Node):
         if not self.alive:
             return
         self.alive = False
-        self.network.unbind_udp(self.udp_endpoint)
+        self.runtime.unbind_udp(self.udp_endpoint)
         if self.ingress is not None:
             self.ingress.reset()  # a crashed process loses its socket buffer
-        self.network.stop_listening(self.client_endpoint)
-        self.network.stop_listening(self.link_endpoint)
-        if self.network.multicast_enabled(self.host):
+        self.runtime.stop_listening(self.client_endpoint)
+        self.runtime.stop_listening(self.link_endpoint)
+        if self.runtime.multicast_enabled(self.host):
             for group in self.config.multicast_groups:
-                self.network.leave_multicast(group, self.udp_endpoint)
+                self.runtime.leave_multicast(group, self.udp_endpoint)
         for conn in list(self._links.values()):
             conn.close()
         for conn in list(self._clients.values()):
@@ -214,7 +214,7 @@ class Broker(Node):
 
     def send_udp(self, dst: Endpoint, message: Message) -> None:
         """Send one datagram from this broker's UDP endpoint."""
-        self.network.send_udp(self.udp_endpoint, dst, message)
+        self.runtime.send_udp(self.udp_endpoint, dst, message)
 
     def _on_udp(self, message: Message, src: Endpoint) -> None:
         if not self.alive:
@@ -305,7 +305,7 @@ class Broker(Node):
         if other.name in self._links:
             return
 
-        def connected(conn: Connection) -> None:
+        def connected(conn: Link) -> None:
             if other.name in self._links or not self.alive:
                 # A concurrent accept (or our own death) won the race.
                 conn.close()
@@ -320,7 +320,7 @@ class Broker(Node):
                 on_ready()
 
         try:
-            self.network.connect_tcp(self.link_endpoint, other.link_endpoint, connected)
+            self.runtime.connect_tcp(self.link_endpoint, other.link_endpoint, connected)
         except TransportError:
             # Peer not listening (dead).  A persistent neighbour gets a
             # retry loop; a one-shot link propagates the failure.
@@ -333,7 +333,7 @@ class Broker(Node):
             # retry probe is a no-op if the link is up by then.
             self._schedule_link_retry(other.name)
 
-    def _accept_link(self, conn: Connection) -> None:
+    def _accept_link(self, conn: Link) -> None:
         # The peer's first message is its hello; register the link then.
         def first_message(msg: Message, src: Endpoint) -> None:
             if not isinstance(msg, Ack):
@@ -363,7 +363,7 @@ class Broker(Node):
         if peer_id in self._retry_pending:
             return
         self._retry_pending.add(peer_id)
-        self.sim.schedule(self.config.link_retry_interval, self._retry_link, peer_id)
+        self.runtime.schedule(self.config.link_retry_interval, self._retry_link, peer_id)
 
     def _retry_link(self, peer_id: str) -> None:
         self._retry_pending.discard(peer_id)
@@ -406,7 +406,7 @@ class Broker(Node):
         """Active concurrent client connections."""
         return len(self._clients)
 
-    def _accept_client(self, conn: Connection) -> None:
+    def _accept_client(self, conn: Link) -> None:
         state = {"client_id": None}
 
         def on_message(msg: Message, src: Endpoint) -> None:
@@ -442,7 +442,7 @@ class Broker(Node):
         conn.on_receive = on_message
         conn.on_close = on_close
 
-    def _register_client(self, state: dict, client_id: str, conn: Connection) -> None:
+    def _register_client(self, state: dict, client_id: str, conn: Link) -> None:
         if state["client_id"] is None:
             state["client_id"] = client_id
             self._clients[client_id] = conn

@@ -20,7 +20,7 @@ import numpy as np
 from repro.core.config import Endpoint
 from repro.core.errors import TransportError
 from repro.core.messages import Ack, Event, Message, Subscribe, Unsubscribe
-from repro.simnet.network import Connection, Network
+from repro.runtime.api import Link, Runtime
 from repro.simnet.node import Node
 from repro.simnet.trace import Tracer
 from repro.substrate.topics import topic_matches, validate_pattern, validate_topic
@@ -49,14 +49,14 @@ class PubSubClient(Node):
         self,
         name: str,
         host: str,
-        network: Network,
+        network: Runtime | object,
         rng: np.random.Generator,
         site: str | None = None,
         realm: str | None = None,
         tracer: Tracer | None = None,
     ) -> None:
         super().__init__(name, host, network, rng, site=site, realm=realm, tracer=tracer)
-        self._conn: Connection | None = None
+        self._conn: Link | None = None
         self._callbacks: dict[str, list[EventCallback]] = {}
         self.received: list[Event] = []
         self.events_published = 0
@@ -80,7 +80,7 @@ class PubSubClient(Node):
         if self.connected:
             raise TransportError(f"client {self.name} is already connected")
 
-        def established(conn: Connection) -> None:
+        def established(conn: Link) -> None:
             self._conn = conn
             conn.on_receive = self._on_message
             conn.on_close = self._on_disconnected
@@ -91,7 +91,7 @@ class PubSubClient(Node):
             if on_connected is not None:
                 on_connected()
 
-        self.network.connect_tcp(self.endpoint(0), broker_endpoint, established)
+        self.runtime.connect_tcp(self.endpoint(0), broker_endpoint, established)
 
     def disconnect(self) -> None:
         """Close the broker connection (idempotent)."""

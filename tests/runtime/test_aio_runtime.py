@@ -1,0 +1,315 @@
+"""The asyncio runtime: real sockets, wall-clock timers, same contract.
+
+Every test runs a short asyncio scenario on localhost.  Latencies are
+loopback (sub-millisecond), so settle times are generous multiples.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.config import Endpoint
+from repro.core.messages import Ack, PingRequest
+from repro.core.errors import TransportError, UnknownHostError
+from repro.runtime.aio import AioRuntime
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def settle(seconds: float = 0.15) -> None:
+    await asyncio.sleep(seconds)
+
+
+class TestHostRegistry:
+    def test_register_and_query(self):
+        async def scenario():
+            rt = AioRuntime()
+            rt.register_host("a.local", "site-a", realm="lab", multicast_enabled=False)
+            assert rt.site_of("a.local") == "site-a"
+            assert rt.realm_of("a.local") == "lab"
+            assert rt.multicast_enabled("a.local") is False
+            with pytest.raises(UnknownHostError):
+                rt.site_of("ghost.local")
+            with pytest.raises(TransportError):
+                rt.register_host("a.local", "elsewhere")
+
+        run(scenario())
+
+    def test_realm_defaults_to_site(self):
+        async def scenario():
+            rt = AioRuntime()
+            rt.register_host("a.local", "site-a")
+            assert rt.realm_of("a.local") == "site-a"
+
+        run(scenario())
+
+
+class TestScheduler:
+    def test_now_is_monotone_and_starts_near_zero(self):
+        async def scenario():
+            rt = AioRuntime()
+            first = rt.now
+            assert first < 1.0
+            await asyncio.sleep(0.05)
+            assert rt.now > first
+
+        run(scenario())
+
+    def test_schedule_and_cancel(self):
+        async def scenario():
+            rt = AioRuntime()
+            fired = []
+            rt.schedule(0.02, fired.append, "kept")
+            doomed = rt.schedule(0.02, fired.append, "cancelled")
+            doomed.cancel()
+            assert doomed.cancelled
+            await settle(0.1)
+            assert fired == ["kept"]
+
+        run(scenario())
+
+    def test_schedule_rejects_negative_delay(self):
+        async def scenario():
+            rt = AioRuntime()
+            with pytest.raises(ValueError):
+                rt.schedule(-0.1, lambda: None)
+
+        run(scenario())
+
+    def test_call_every_survives_exceptions_until_cancelled(self):
+        async def scenario():
+            rt = AioRuntime()
+            ticks = []
+
+            def tick():
+                ticks.append(rt.now)
+                raise RuntimeError("boom")
+
+            series = rt.call_every(0.02, tick)
+            await settle(0.11)
+            series.cancel()
+            count = len(ticks)
+            assert count >= 3  # the raising tick kept re-arming
+            assert len(rt.errors) == count
+            await settle(0.08)
+            assert len(ticks) == count  # cancelled: no further ticks
+
+        run(scenario())
+
+    def test_schedule_at_absolute_time(self):
+        async def scenario():
+            rt = AioRuntime()
+            fired = []
+            rt.schedule_at(rt.now + 0.03, fired.append, "x")
+            await settle(0.1)
+            assert fired == ["x"]
+
+        run(scenario())
+
+
+class TestUdp:
+    def test_round_trip_with_symbolic_source(self):
+        async def scenario():
+            rt = AioRuntime()
+            rt.register_host("a.local", "sa")
+            rt.register_host("b.local", "sb")
+            a, b = Endpoint("a.local", 100), Endpoint("b.local", 200)
+            seen = []
+            rt.bind_udp(a, lambda m, src: seen.append((m, src)))
+            rt.bind_udp(b, lambda m, src: seen.append((m, src)))
+            await rt.ready()
+            rt.send_udp(a, b, Ack(uuid="u1", acked_by="a"))
+            await settle()
+            assert len(seen) == 1
+            message, src = seen[0]
+            assert isinstance(message, Ack) and message.uuid == "u1"
+            assert src == a  # real source address mapped back to the symbolic endpoint
+            assert rt.datagrams_delivered == 1
+            await rt.aclose()
+
+        run(scenario())
+
+    def test_send_to_unbound_destination_is_a_drop(self):
+        async def scenario():
+            rt = AioRuntime()
+            rt.register_host("a.local", "sa")
+            a = Endpoint("a.local", 100)
+            rt.bind_udp(a, lambda m, s: None)
+            rt.send_udp(a, Endpoint("dead.local", 1), Ack(uuid="u", acked_by="a"))
+            assert rt.datagrams_sent == 1
+            assert rt.datagrams_dropped == 1
+            await rt.aclose()
+
+        run(scenario())
+
+    def test_unbind_is_idempotent_and_silences_the_port(self):
+        async def scenario():
+            rt = AioRuntime()
+            rt.register_host("a.local", "sa")
+            a = Endpoint("a.local", 100)
+            box = []
+            rt.bind_udp(a, box.append)
+            await rt.ready()
+            rt.unbind_udp(a)
+            rt.unbind_udp(a)
+            rt.send_udp(a, a, Ack(uuid="u", acked_by="a"))
+            await settle(0.05)
+            assert box == []
+            await rt.aclose()
+
+        run(scenario())
+
+    def test_double_bind_rejected(self):
+        async def scenario():
+            rt = AioRuntime()
+            rt.register_host("a.local", "sa")
+            a = Endpoint("a.local", 100)
+            rt.bind_udp(a, lambda m, s: None)
+            with pytest.raises(TransportError):
+                rt.bind_udp(a, lambda m, s: None)
+            await rt.aclose()
+
+        run(scenario())
+
+    def test_handler_exception_is_recorded_not_fatal(self):
+        async def scenario():
+            rt = AioRuntime()
+            rt.register_host("a.local", "sa")
+            a = Endpoint("a.local", 100)
+
+            def explode(m, s):
+                raise RuntimeError("handler bug")
+
+            rt.bind_udp(a, explode)
+            await rt.ready()
+            rt.send_udp(a, a, Ack(uuid="u", acked_by="a"))
+            await settle()
+            assert len(rt.errors) == 1
+            assert rt.datagrams_delivered == 1
+            await rt.aclose()
+
+        run(scenario())
+
+
+class TestMulticast:
+    def test_realm_scoped_fanout(self):
+        async def scenario():
+            rt = AioRuntime()
+            rt.register_host("a.local", "sa", realm="lab")
+            rt.register_host("b.local", "sb", realm="lab")
+            rt.register_host("c.local", "sc", realm="other-lab")
+            endpoints = {
+                name: Endpoint(f"{name}.local", 10) for name in ("a", "b", "c")
+            }
+            boxes = {name: [] for name in endpoints}
+            for name, ep in endpoints.items():
+                rt.bind_udp(ep, lambda m, s, name=name: boxes[name].append(m))
+                rt.join_multicast("g", ep)
+            await rt.ready()
+            reached = rt.multicast(endpoints["a"], "g", Ack(uuid="m", acked_by="a"))
+            await settle()
+            assert reached == 1  # b only: same realm, sender excluded
+            assert len(boxes["b"]) == 1
+            assert boxes["a"] == [] and boxes["c"] == []
+            await rt.aclose()
+
+        run(scenario())
+
+    def test_multicast_requires_capability_and_binding(self):
+        async def scenario():
+            rt = AioRuntime()
+            rt.register_host("nomc.local", "s", multicast_enabled=False)
+            ep = Endpoint("nomc.local", 10)
+            rt.bind_udp(ep, lambda m, s: None)
+            with pytest.raises(TransportError):
+                rt.join_multicast("g", ep)
+            with pytest.raises(TransportError):
+                rt.multicast(ep, "g", Ack(uuid="m", acked_by="x"))
+            unbound = Endpoint("nomc.local", 99)
+            with pytest.raises(TransportError):
+                rt.join_multicast("g", unbound)
+            await rt.aclose()
+
+        run(scenario())
+
+
+class TestTcpLinks:
+    def test_connect_send_both_ways_and_close(self):
+        async def scenario():
+            rt = AioRuntime()
+            rt.register_host("srv.local", "s")
+            rt.register_host("cli.local", "s")
+            srv, cli = Endpoint("srv.local", 500), Endpoint("cli.local", 501)
+            accepted, server_got, client_got = [], [], []
+
+            def on_accept(conn):
+                accepted.append(conn)
+                conn.on_receive = lambda m, src: server_got.append((m, src))
+
+            rt.listen_tcp(srv, on_accept)
+            await rt.ready()
+            links = []
+
+            def on_connected(conn):
+                links.append(conn)
+                conn.on_receive = lambda m, src: client_got.append(m)
+                conn.send(PingRequest(uuid="p1", sent_at=1.0, reply_host="cli.local", reply_port=501))
+
+            rt.connect_tcp(cli, srv, on_connected)
+            await settle()
+            assert len(accepted) == 1 and len(links) == 1
+            # Symbolic endpoints survive the preamble handshake.
+            assert accepted[0].remote == cli and accepted[0].local == srv
+            assert links[0].local == cli and links[0].remote == srv
+            assert len(server_got) == 1
+            message, src = server_got[0]
+            assert message.uuid == "p1" and src == cli
+            accepted[0].send(Ack(uuid="p1-ack", acked_by="srv"))
+            await settle()
+            assert len(client_got) == 1 and client_got[0].acked_by == "srv"
+            # Closing one side closes the other (EOF -> on_close).
+            closed = []
+            links[0].on_close = lambda: closed.append("client")
+            accepted[0].on_close = lambda: closed.append("server")
+            links[0].close()
+            await settle()
+            assert "client" in closed and "server" in closed
+            assert not accepted[0].open
+            with pytest.raises(TransportError):
+                links[0].send(Ack(uuid="late", acked_by="cli"))
+            assert rt.errors == []
+            await rt.aclose()
+
+        run(scenario())
+
+    def test_connect_to_silent_endpoint_raises(self):
+        async def scenario():
+            rt = AioRuntime()
+            rt.register_host("cli.local", "s")
+            with pytest.raises(TransportError):
+                rt.connect_tcp(
+                    Endpoint("cli.local", 1), Endpoint("ghost.local", 2), lambda c: None
+                )
+            await rt.aclose()
+
+        run(scenario())
+
+    def test_stop_listening_refuses_new_connections(self):
+        async def scenario():
+            rt = AioRuntime()
+            rt.register_host("srv.local", "s")
+            rt.register_host("cli.local", "s")
+            srv = Endpoint("srv.local", 500)
+            rt.listen_tcp(srv, lambda c: None)
+            await rt.ready()
+            rt.stop_listening(srv)
+            rt.stop_listening(srv)  # idempotent
+            with pytest.raises(TransportError):
+                rt.connect_tcp(Endpoint("cli.local", 1), srv, lambda c: None)
+            await rt.aclose()
+
+        run(scenario())

@@ -11,6 +11,10 @@ or RNG draw order -- a correctness bug, not a perf trade-off.
 
 from __future__ import annotations
 
+import hashlib
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.core.messages import Event
@@ -167,3 +171,47 @@ def test_overload_world_identical_with_and_without_optimizations():
     reference = _run_overload_world(optimized=False)
     optimized = _run_overload_world(optimized=True)
     assert optimized == reference
+
+
+# ----------------------------------------------------------------------
+# Golden traces: the sim runtime adapter must be bit-for-bit invisible
+# ----------------------------------------------------------------------
+#
+# tests/simnet/golden_traces.json holds sha256 digests of the full
+# results (trace signature, event counts, virtual end time, outcomes)
+# of these worlds captured BEFORE the engines were refactored
+# onto the repro.runtime abstraction (when they still called the
+# Simulator and Network directly).  Matching them proves the runtime
+# split changed nothing observable: same trace records at the same
+# virtual times, same event ordering, same RNG draw order.
+
+_GOLDEN_PATH = Path(__file__).parent / "golden_traces.json"
+
+
+def _digest(result: tuple) -> str:
+    return hashlib.sha256(repr(result).encode("utf-8")).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict[str, str]:
+    with open(_GOLDEN_PATH, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize("topology", ["star", "linear"])
+@pytest.mark.parametrize("optimized", [False, True])
+def test_discovery_traces_match_pre_refactor_golden(golden, topology, optimized):
+    result = _run_discovery_world(topology, optimized=optimized)
+    assert _digest(result) == golden[f"discovery_{topology}_opt{optimized}"]
+
+
+@pytest.mark.parametrize("optimized", [False, True])
+def test_substrate_traces_match_pre_refactor_golden(golden, optimized):
+    result = _run_substrate_world(optimized=optimized)
+    assert _digest(result) == golden[f"substrate_opt{optimized}"]
+
+
+@pytest.mark.parametrize("optimized", [False, True])
+def test_overload_traces_match_pre_refactor_golden(golden, optimized):
+    result = _run_overload_world(optimized=optimized)
+    assert _digest(result) == golden[f"overload_opt{optimized}"]

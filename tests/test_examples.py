@@ -24,6 +24,11 @@ CASES = [
     ("substrate_services.py", []),
 ]
 
+#: Examples that bind real sockets and run on wall-clock time.  They are
+#: exercised by the CI ``live-smoke`` job with a hard timeout, not here:
+#: tier-1 stays deterministic and loopback-free.
+LIVE_ONLY = {"live_discovery.py"}
+
 
 @pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
 def test_example_runs_clean(script, args):
@@ -45,4 +50,4 @@ def test_example_runs_clean(script, args):
 def test_every_example_file_is_listed():
     on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
     listed = {script for script, _ in CASES}
-    assert on_disk == listed, "update CASES when adding/removing examples"
+    assert on_disk == listed | LIVE_ONLY, "update CASES when adding/removing examples"
