@@ -17,6 +17,11 @@ Flow:
 4. The outcome (and sim-vs-live comparison inputs) is written as JSON
    to ``--artifact`` for the CI smoke job and
    :func:`repro.experiments.report.runtime_table`.
+5. With ``--telemetry PATH``, the run is traced end to end: every node
+   shares one :class:`repro.obs.Observability`, the runtime freezes the
+   final metrics + flight-recorder snapshot on ``aclose()``, and the
+   snapshot (plus the reconstructed request timeline summary) lands at
+   ``PATH`` -- the live telemetry artifact CI asserts over.
 
 Exit status is non-zero unless a broker was selected over real sockets.
 
@@ -39,6 +44,8 @@ from repro.discovery.advertisement import advertise_direct
 from repro.discovery.bdn import BDN
 from repro.discovery.requester import DiscoveryClient, DiscoveryOutcome
 from repro.discovery.responder import DiscoveryResponder
+from repro.obs import Observability
+from repro.obs.timeline import assemble_from_snapshot, complete_request_ids, phase_agreement
 from repro.runtime import create_runtime
 from repro.substrate.broker import Broker
 
@@ -48,8 +55,17 @@ from repro.substrate.broker import Broker
 _SIM_PREDICTION = {"scenario": "star-3-brokers", "seed": 5}
 
 
-async def run(config: RuntimeConfig, artifact_path: str | None, timeout: float) -> int:
+async def run(
+    config: RuntimeConfig,
+    artifact_path: str | None,
+    timeout: float,
+    telemetry_path: str | None = None,
+) -> int:
     rt = create_runtime(config.kind, bind_ip=config.bind_ip)
+    obs: Observability | None = None
+    if telemetry_path:
+        obs = Observability.for_runtime(rt)
+        rt.attach_observability(obs)
     root = np.random.default_rng(config.seed)
 
     def rng() -> np.random.Generator:
@@ -64,11 +80,14 @@ async def run(config: RuntimeConfig, artifact_path: str | None, timeout: float) 
         config=BDNConfig(injection="all", ping_interval=0.5),
         site="site0",
         realm="lab",
+        obs=obs,
     )
     brokers: list[Broker] = []
     responders: list[DiscoveryResponder] = []
     for i in range(3):
-        broker = Broker(f"b{i}", f"b{i}.local", rt, rng(), site=f"site{i}", realm="lab")
+        broker = Broker(
+            f"b{i}", f"b{i}.local", rt, rng(), site=f"site{i}", realm="lab", obs=obs
+        )
         brokers.append(broker)
         responders.append(DiscoveryResponder(broker))
     client = DiscoveryClient(
@@ -84,6 +103,7 @@ async def run(config: RuntimeConfig, artifact_path: str | None, timeout: float) 
         ),
         site="site9",
         realm="lab",
+        obs=obs,
     )
 
     bdn.start()
@@ -137,6 +157,31 @@ async def run(config: RuntimeConfig, artifact_path: str | None, timeout: float) 
             json.dump(result, fh, indent=2)
 
     await rt.aclose()
+    if telemetry_path and rt.telemetry is not None:
+        snapshot = dict(rt.telemetry)
+        complete = complete_request_ids(snapshot)
+        timelines = {}
+        for trace_id in complete:
+            timeline = assemble_from_snapshot(snapshot, trace_id)
+            timelines[trace_id] = {
+                "events": len(timeline),
+                "nodes": list(timeline.nodes()),
+                "phase_percentages": timeline.phase_percentages(),
+                "response_fates": timeline.response_fates(),
+            }
+        snapshot["complete_request_ids"] = list(complete)
+        snapshot["timelines"] = timelines
+        if outcome.request_uuid in timelines:
+            snapshot["phase_agreement"] = phase_agreement(
+                assemble_from_snapshot(snapshot, outcome.request_uuid),
+                outcome.phases.percentages(),
+            )
+        with open(telemetry_path, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, indent=2)
+        print(
+            f"telemetry: {len(complete)} complete request timeline(s)"
+            f" -> {telemetry_path}"
+        )
     if rt.errors:
         print("FAIL: handler errors:", rt.errors, file=sys.stderr)
         return 3
@@ -150,11 +195,14 @@ async def run(config: RuntimeConfig, artifact_path: str | None, timeout: float) 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--artifact", help="write the outcome JSON here", default=None)
+    parser.add_argument(
+        "--telemetry", help="trace the run and write the telemetry JSON here", default=None
+    )
     parser.add_argument("--timeout", type=float, default=15.0)
     parser.add_argument("--seed", type=int, default=5)
     args = parser.parse_args()
     config = RuntimeConfig(kind="aio", seed=args.seed)
-    return asyncio.run(run(config, args.artifact, args.timeout))
+    return asyncio.run(run(config, args.artifact, args.timeout, args.telemetry))
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ the wire format auditable.
 from __future__ import annotations
 
 import struct
+from dataclasses import replace
 from functools import lru_cache
 
 from repro.core.errors import CodecError
@@ -39,6 +40,26 @@ from repro.core.metrics import UsageMetrics
 __all__ = ["encode_message", "decode_message", "wire_size"]
 
 _MAGIC = 0x4E42  # "NB" in ASCII.
+
+# Trace-context trailer: appended after the message body only when the
+# message's ``trace_flag`` is set, so untraced messages stay
+# byte-identical to the pre-observability wire format (the simulator
+# charges delay by byte length, and the golden trace digests pin it).
+# Layout: marker byte, then the hop counter as u16.
+_TRACE_MARKER = 0x54  # "T"
+_TRACE_TRAILER_LEN = 3
+
+#: Message kinds allowed to carry the trace trailer.
+_TRACEABLE_KINDS = frozenset(
+    {
+        BrokerAdvertisement.kind,
+        DiscoveryRequest.kind,
+        DiscoveryResponse.kind,
+        DiscoveryBusy.kind,
+        PingRequest.kind,
+        PingResponse.kind,
+    }
+)
 
 
 class _Writer:
@@ -85,6 +106,9 @@ class _Reader:
     def __init__(self, buf: bytes) -> None:
         self._buf = buf
         self._pos = 0
+
+    def remaining(self) -> int:
+        return len(self._buf) - self._pos
 
     def _take(self, n: int) -> bytes:
         if self._pos + n > len(self._buf):
@@ -368,6 +392,9 @@ def encode_message(message: Message) -> bytes:
     w.u16(_MAGIC)
     w.u8(type(message).kind)
     encoder(w, message)
+    if getattr(message, "trace_flag", False):
+        w.u8(_TRACE_MARKER)
+        w.u16(message.trace_hop)
     return w.getvalue()
 
 
@@ -397,6 +424,12 @@ def decode_message(buf: bytes) -> Message:
         # corrupted buffer is a protocol error, not a caller bug.
         raise CodecError(f"invalid field values in message: {exc}") from exc
     if not r.done():
+        if tag in _TRACEABLE_KINDS and r.remaining() == _TRACE_TRAILER_LEN:
+            marker = r.u8()
+            if marker != _TRACE_MARKER:
+                raise CodecError("trailing bytes after message body")
+            hop = r.u16()
+            return replace(message, trace_flag=True, trace_hop=hop)
         raise CodecError("trailing bytes after message body")
     return message
 

@@ -22,6 +22,18 @@ All messages are frozen dataclasses: forwarding mutations (hop counts,
 re-timestamping) go through :func:`dataclasses.replace`, which keeps the
 simulator free of aliasing bugs when one message object fans out to many
 recipients.
+
+Trace context
+-------------
+The discovery-path messages (request/response/busy, ping/pong, and
+advertisements) carry two optional observability fields: ``trace_flag``
+marks the message as participating in a distributed trace (the request
+UUID doubles as the trace id) and ``trace_hop`` counts engine hops.
+Both default to off and are encoded as an *optional trailer* by the
+codec: an untraced message is byte-identical to one from a build that
+predates the fields, which is what keeps the golden trace digests (and
+the byte-length-driven simulated transmission delays) unchanged when
+observability is disabled.  Use :func:`traced` to flag a message.
 """
 
 from __future__ import annotations
@@ -45,6 +57,7 @@ __all__ = [
     "Unsubscribe",
     "PingRequest",
     "PingResponse",
+    "traced",
 ]
 
 
@@ -150,6 +163,8 @@ class BrokerAdvertisement(Message):
     institution: str = ""
     issued_at: float = 0.0
     ttl: float = 0.0
+    trace_flag: bool = False
+    trace_hop: int = 0
 
     def __post_init__(self) -> None:
         if not math.isfinite(self.ttl) or self.ttl < 0:
@@ -203,9 +218,17 @@ class DiscoveryRequest(Message):
     issued_at: float = 0.0
     hop_count: int = 0
     attempt: int = 0
+    trace_flag: bool = False
+    trace_hop: int = 0
 
     def forwarded(self) -> "DiscoveryRequest":
-        """Copy of this request with the hop count incremented."""
+        """Copy of this request with the hop count incremented.
+
+        A traced copy also advances its trace hop, so flight-recorder
+        spans downstream can tell fan-out tiers apart.
+        """
+        if self.trace_flag:
+            return replace(self, hop_count=self.hop_count + 1, trace_hop=self.trace_hop + 1)
         return replace(self, hop_count=self.hop_count + 1)
 
     def retransmission(self) -> "DiscoveryRequest":
@@ -243,6 +266,8 @@ class DiscoveryResponse(Message):
     transports: tuple[tuple[str, int], ...]
     issued_at: float
     metrics: UsageMetrics
+    trace_flag: bool = False
+    trace_hop: int = 0
 
     def port_for(self, protocol: str) -> int | None:
         """Return the advertised port for ``protocol``, if any."""
@@ -281,6 +306,8 @@ class DiscoveryBusy(Message):
     bdn: str
     retry_after: float
     queue_depth: int = 0
+    trace_flag: bool = False
+    trace_hop: int = 0
 
     def __post_init__(self) -> None:
         if not math.isfinite(self.retry_after) or self.retry_after < 0:
@@ -334,6 +361,8 @@ class PingRequest(Message):
     sent_at: float
     reply_host: str
     reply_port: int
+    trace_flag: bool = False
+    trace_hop: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -345,3 +374,18 @@ class PingResponse(Message):
     uuid: str
     sent_at: float
     broker_id: str
+    trace_flag: bool = False
+    trace_hop: int = 0
+
+
+def traced(message: Message, hop: int | None = None) -> Message:
+    """Copy of ``message`` marked as participating in a trace.
+
+    ``hop`` overrides the hop counter (e.g. a response echoes the
+    request's hop plus one); omitted, the current value is kept.
+    """
+    if not hasattr(message, "trace_flag"):
+        raise TypeError(f"{type(message).__name__} does not carry trace context")
+    if hop is None:
+        return replace(message, trace_flag=True)
+    return replace(message, trace_flag=True, trace_hop=hop)

@@ -174,9 +174,13 @@ class OverloadStats:
 
     One row set for the experiments harness and report: how deep queues
     got, what was dropped or shed, how often requesters were told to
-    back off, and how often circuit breakers tripped.  Gathered by duck
-    typing so this module stays free of simnet/discovery imports --
-    any object exposing the relevant counters contributes.
+    back off, and how often circuit breakers tripped.  Collection goes
+    through a :class:`~repro.obs.registry.MetricsRegistry`: every
+    contribution is published as an ``overload.*`` gauge and the row
+    set is read *back* strictly, so a misspelled metric name raises
+    instead of reading zero forever (this module still stays free of
+    simnet/discovery imports -- nodes are plain objects exposing the
+    expected counters, and a missing counter raises ``AttributeError``).
 
     Attributes
     ----------
@@ -211,31 +215,61 @@ class OverloadStats:
     retries_denied: int = 0
 
     @classmethod
-    def gather(cls, bdns=(), brokers=(), responders=(), clients=()) -> "OverloadStats":
-        """Collect the counters from live nodes (missing attributes read 0)."""
-        depth = peak = overflows = served = shed = 0
+    def gather(
+        cls, bdns=(), brokers=(), responders=(), clients=(), registry=None
+    ) -> "OverloadStats":
+        """Collect the counters from live nodes through a metrics registry.
+
+        Node counters are read with plain attribute access (a node
+        missing an expected counter raises ``AttributeError``), published
+        into ``registry`` -- a private
+        :class:`~repro.obs.registry.MetricsRegistry` when not given --
+        as ``overload.*`` gauges, and the stats are then assembled by
+        :meth:`from_registry`'s strict reads.  Pass a world's shared
+        registry to make the totals visible to the exporters too.
+        """
+        from repro.obs.registry import MetricsRegistry
+
+        reg = registry if registry is not None else MetricsRegistry()
+        depth = peak = overflows = served = 0
         for node in (*bdns, *brokers):
-            queue = getattr(node, "ingress", None)
+            queue = node.ingress
             if queue is not None:
                 depth += queue.depth
                 peak = max(peak, queue.max_depth)
                 overflows += queue.overflows
                 served += queue.served
-            shed += getattr(node, "requests_shed", 0)
-        suppressed = sum(getattr(r, "responses_suppressed", 0) for r in responders)
-        busy = sum(getattr(c, "busy_received", 0) for c in clients)
-        trips = sum(getattr(c, "breaker_trips", 0) for c in clients)
-        denied = sum(getattr(c, "retries_denied", 0) for c in clients)
+        reg.gauge("overload.queue_depth").set(depth)
+        reg.gauge("overload.queue_peak").set(peak)
+        reg.gauge("overload.queue_overflows").set(overflows)
+        reg.gauge("overload.queue_served").set(served)
+        reg.gauge("overload.requests_shed").set(sum(b.requests_shed for b in bdns))
+        reg.gauge("overload.responses_suppressed").set(
+            sum(r.responses_suppressed for r in responders)
+        )
+        reg.gauge("overload.busy_received").set(sum(c.busy_received for c in clients))
+        reg.gauge("overload.breaker_trips").set(sum(c.breaker_trips for c in clients))
+        reg.gauge("overload.retries_denied").set(sum(c.retries_denied for c in clients))
+        return cls.from_registry(reg)
+
+    @classmethod
+    def from_registry(cls, registry) -> "OverloadStats":
+        """Build the row set by strict reads of the ``overload.*`` gauges.
+
+        ``registry.read`` raises ``KeyError`` for any name that was
+        never published -- the loud-failure contract that replaced the
+        old duck-typed zero-default.
+        """
         return cls(
-            queue_depth=depth,
-            queue_peak=peak,
-            queue_overflows=overflows,
-            queue_served=served,
-            requests_shed=shed,
-            responses_suppressed=suppressed,
-            busy_received=busy,
-            breaker_trips=trips,
-            retries_denied=denied,
+            queue_depth=int(registry.read("overload.queue_depth")),
+            queue_peak=int(registry.read("overload.queue_peak")),
+            queue_overflows=int(registry.read("overload.queue_overflows")),
+            queue_served=int(registry.read("overload.queue_served")),
+            requests_shed=int(registry.read("overload.requests_shed")),
+            responses_suppressed=int(registry.read("overload.responses_suppressed")),
+            busy_received=int(registry.read("overload.busy_received")),
+            breaker_trips=int(registry.read("overload.breaker_trips")),
+            retries_denied=int(registry.read("overload.retries_denied")),
         )
 
     def rows(self) -> list[tuple[str, int]]:

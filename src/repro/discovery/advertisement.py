@@ -61,7 +61,10 @@ def build_advertisement(
     """
     if ttl < 0:
         raise ValueError(f"ttl must be non-negative, got {ttl}")
+    # A broker with a flight recorder marks its advertisements so BDN
+    # registration shows up under the "ad:<broker_id>" trace id.
     return BrokerAdvertisement(
+        trace_flag=broker._recorder is not None,
         broker_id=broker.name,
         hostname=broker.host,
         transports=(("tcp", BROKER_TCP_PORT), ("udp", BROKER_UDP_PORT)),
@@ -89,6 +92,8 @@ def advertise_direct(
     notes the scheme tolerates lost advertisements.
     """
     ad = build_advertisement(broker, region=region, ttl=ttl)
+    if ad.trace_flag:
+        broker.span("send", f"ad:{broker.name}", kind="BrokerAdvertisement", bdn=bdn_endpoint)
     broker.send_udp(bdn_endpoint, ad)
     return ad
 
@@ -196,7 +201,7 @@ def enable_bdn_autoregistration(broker: Broker, region: str = "") -> None:
             broker.trace("bdn_announce_malformed", uuid=event.uuid)
             return
         advertise_direct(broker, endpoint, region=region)
-        broker.trace("bdn_autoregistered", bdn=str(endpoint))
+        broker.trace("bdn_autoregistered", bdn=endpoint)
 
     broker.add_control_handler(BDN_ANNOUNCE_TOPIC, on_announce)
 

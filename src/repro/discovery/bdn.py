@@ -40,6 +40,7 @@ from repro.core.messages import (
     Message,
     PingResponse,
 )
+from repro.obs import trace_context
 from repro.runtime.api import Runtime, TimerHandle
 from repro.simnet.node import Node
 from repro.simnet.service import IngressQueue
@@ -74,7 +75,7 @@ class BDN(Node):
     config:
         Injection strategy, interest regions, private-BDN credentials,
         ping sweep interval.
-    site, realm, tracer:
+    site, realm, tracer, obs:
         Forwarded to :class:`~repro.simnet.node.Node`.
     """
 
@@ -88,8 +89,11 @@ class BDN(Node):
         site: str | None = None,
         realm: str | None = None,
         tracer: Tracer | None = None,
+        obs=None,
     ) -> None:
-        super().__init__(name, host, network, rng, site=site, realm=realm, tracer=tracer)
+        super().__init__(
+            name, host, network, rng, site=site, realm=realm, tracer=tracer, obs=obs
+        )
         self.config = config if config is not None else BDNConfig()
         self.store = AdvertisementStore(self.config.interest_regions)
         self.pinger = Pinger(self, self.endpoint(BDN_UDP_PORT))
@@ -113,6 +117,7 @@ class BDN(Node):
                 self.config.service,
                 trace=self.trace,
                 admit=self._admit,
+                span=self._queue_span if self._recorder is not None else None,
             )
         # Counters.
         self.requests_received = 0
@@ -244,18 +249,26 @@ class BDN(Node):
             return True
         self.requests_shed += 1
         requester = Endpoint(message.requester_host, message.requester_port)
-        self.runtime.send_udp(
-            self.udp_endpoint,
-            requester,
-            DiscoveryBusy(
-                request_uuid=message.uuid,
-                bdn=self.name,
-                retry_after=self.config.busy_retry_after,
-                queue_depth=self.queue_depth,
-            ),
+        busy = DiscoveryBusy(
+            request_uuid=message.uuid,
+            bdn=self.name,
+            retry_after=self.config.busy_retry_after,
+            queue_depth=self.queue_depth,
+            trace_flag=message.trace_flag,
+            trace_hop=message.trace_hop + 1 if message.trace_flag else 0,
         )
-        self.trace("bdn_busy", request=message.uuid, depth=str(self.queue_depth))
+        self.runtime.send_udp(self.udp_endpoint, requester, busy)
+        if message.trace_flag:
+            self.span("shed", message.uuid, hop=message.trace_hop, depth=self.queue_depth)
+            self.span("busy", message.uuid, hop=busy.trace_hop, retry_after=busy.retry_after)
+        self.trace("bdn_busy", request=message.uuid, depth=self.queue_depth)
         return False
+
+    def _queue_span(self, event: str, message: Message) -> None:
+        """Ingress-queue hook: record enqueue/dequeue of traced messages."""
+        ctx = trace_context(message)
+        if ctx is not None:
+            self.span(event, ctx[0], hop=ctx[1], kind=type(message).__name__)
 
     def _on_udp(self, message: Message, src: Endpoint) -> None:
         if not self.alive:
@@ -274,6 +287,8 @@ class BDN(Node):
             self.trace("bdn_unknown_message", type=type(message).__name__)
 
     def _register(self, ad: BrokerAdvertisement) -> None:
+        if ad.trace_flag and self._recorder is not None:
+            self.span("recv", f"ad:{ad.broker_id}", hop=ad.trace_hop, kind="BrokerAdvertisement")
         if self.store.accept(ad, self.runtime.now):
             self._registered_at.setdefault(ad.broker_id, self.runtime.now)
             self.trace("bdn_registered", broker=ad.broker_id)
@@ -288,10 +303,17 @@ class BDN(Node):
     # ------------------------------------------------------------------
     def _handle_request(self, request: DiscoveryRequest) -> None:
         self.requests_received += 1
+        traced_req = request.trace_flag and self._recorder is not None
+        if traced_req:
+            self.span("recv", request.uuid, hop=request.trace_hop, kind="DiscoveryRequest")
         requester = Endpoint(request.requester_host, request.requester_port)
         # Timely acknowledgement (section 3), even for duplicates.
         self.runtime.send_udp(self.udp_endpoint, requester, Ack(uuid=request.uuid, acked_by=self.name))
+        if traced_req:
+            self.span("send", request.uuid, hop=request.trace_hop, kind="Ack")
         if self.dedup.seen((request.uuid, request.attempt)):
+            if traced_req:
+                self.span("dup_suppressed", request.uuid, hop=request.trace_hop, kind="DiscoveryRequest")
             return  # idempotent: duplicate of an already-disseminated copy
         if self.config.required_credentials and not (
             request.credentials & self.config.required_credentials
@@ -322,13 +344,21 @@ class BDN(Node):
         # killed mid-fan-out must not keep transmitting.
         for i, stored in enumerate(targets):
             self._schedule_fanout(
-                self.config.fanout_delay * (i + 1), stored.udp_endpoint, forwarded
+                self.config.fanout_delay * (i + 1),
+                stored.udp_endpoint,
+                forwarded,
+                broker_id=stored.broker_id,
             )
-        self.trace("bdn_disseminate", request=request.uuid, targets=str(len(targets)))
+        self.trace("bdn_disseminate", request=request.uuid, targets=len(targets))
 
-    def _schedule_fanout(self, delay: float, dst: Endpoint, message: Message) -> None:
+    def _schedule_fanout(
+        self, delay: float, dst: Endpoint, message: Message, broker_id: str | None = None
+    ) -> None:
         def fire() -> None:
             self._fanout_timers.discard(handle)
+            ctx = trace_context(message) if self._recorder is not None else None
+            if ctx is not None:
+                self.span("inject", ctx[0], hop=ctx[1], broker=broker_id or str(dst))
             self.runtime.send_udp(self.udp_endpoint, dst, message)
 
         handle = self.runtime.schedule(delay, fire)

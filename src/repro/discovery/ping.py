@@ -69,10 +69,10 @@ class Pinger:
         self._reply = reply_endpoint
         self._max_samples = max_samples
         self._outstanding_timeout = outstanding_timeout
-        # ping uuid -> (target key, expiry deadline).  Insertion order is
-        # deadline order (the timeout is constant), so expiry only ever
-        # needs to pop from the front.
-        self._outstanding: dict[str, tuple[str, float]] = {}
+        # ping uuid -> (target key, expiry deadline, trace id).  Insertion
+        # order is deadline order (the timeout is constant), so expiry
+        # only ever needs to pop from the front.
+        self._outstanding: dict[str, tuple[str, float, str | None]] = {}
         self._samples: dict[str, list[float]] = {}
         self._last_heard: dict[str, float] = {}
         self.on_rtt: RttCallback | None = None
@@ -90,25 +90,35 @@ class Pinger:
             del self._outstanding[uuid]
             self.pings_expired += 1
 
-    def ping(self, target: Endpoint, key: str | None = None) -> str:
+    def ping(
+        self, target: Endpoint, key: str | None = None, trace_id: str | None = None
+    ) -> str:
         """Send one ping to ``target``; returns the ping UUID.
 
         ``key`` is the aggregation bucket (defaults to the target's
         host); pass the broker id when known so RTTs can be looked up
-        by broker.
+        by broker.  ``trace_id`` (with observability attached to the
+        owning node) marks the ping on the wire and emits ``send`` /
+        ``recv`` spans, so a discovery request's ping phase appears in
+        its flight-recorder timeline.
         """
         self._expire_outstanding()
         uuid = self._node.ids()
         deadline = self._node.runtime.now + self._outstanding_timeout
-        self._outstanding[uuid] = (key if key is not None else target.host, deadline)
+        resolved_key = key if key is not None else target.host
+        traced = trace_id is not None and self._node._recorder is not None
+        self._outstanding[uuid] = (resolved_key, deadline, trace_id if traced else None)
         request = PingRequest(
             uuid=uuid,
             sent_at=self._node.clock.raw(),
             reply_host=self._reply.host,
             reply_port=self._reply.port,
+            trace_flag=traced,
         )
         self._node.runtime.send_udp(self._reply, target, request)
         self.pings_sent += 1
+        if traced:
+            self._node.span("send", trace_id, kind="PingRequest", broker=resolved_key)
         return uuid
 
     def on_response(self, response: PingResponse, src: Endpoint) -> None:
@@ -121,10 +131,14 @@ class Pinger:
         entry = self._outstanding.pop(response.uuid, None)
         if entry is None:
             return
-        key = entry[0]
+        key, _, trace_id = entry
         rtt = self._node.clock.raw() - response.sent_at
         if rtt < 0:
             return  # clock was stepped mid-flight; drop the sample
+        if trace_id is not None:
+            self._node.span(
+                "recv", trace_id, hop=response.trace_hop, kind="PingResponse", broker=key
+            )
         samples = self._samples.setdefault(key, [])
         samples.append(rtt)
         if len(samples) > self._max_samples:

@@ -217,6 +217,7 @@ class DiscoveryClient(Node):
         realm: str | None = None,
         multicast_enabled: bool = True,
         tracer: Tracer | None = None,
+        obs=None,
     ) -> None:
         super().__init__(
             name,
@@ -227,6 +228,7 @@ class DiscoveryClient(Node):
             realm=realm,
             multicast_enabled=multicast_enabled,
             tracer=tracer,
+            obs=obs,
         )
         self.config = config if config is not None else ClientConfig()
         self.pinger = Pinger(self, self.endpoint(CLIENT_UDP_PORT))
@@ -320,7 +322,7 @@ class DiscoveryClient(Node):
         phases = PhaseTimer(lambda: self.runtime.now)
         run = _Run(self.ids(), phases, self.runtime.now, on_complete)
         self._run = run
-        phases.begin("issue_request")
+        self._begin_phase(run, "issue_request")
         if self._backoff is not None:
             self._backoff.reset()  # each run starts its backoff sequence fresh
         self.trace("discover_start", request=run.uuid)
@@ -353,7 +355,7 @@ class DiscoveryClient(Node):
         phases = PhaseTimer(lambda: self.runtime.now)
         run = _Run(self.ids(), phases, self.runtime.now, on_complete)
         self._run = run
-        phases.begin("issue_request")
+        self._begin_phase(run, "issue_request")
         self.trace("rediscover_start", request=run.uuid)
         self._fallback_cached(run)
         return run.uuid
@@ -407,6 +409,17 @@ class DiscoveryClient(Node):
     # ------------------------------------------------------------------
     # Request transmission and the fallback chain
     # ------------------------------------------------------------------
+    def _begin_phase(self, run: _Run, name: str) -> None:
+        """Advance the PhaseTimer and mirror it into the flight recorder.
+
+        The span is emitted at the same call site, off the same runtime
+        clock, as :meth:`PhaseTimer.begin`, which is what makes the
+        assembled timeline's per-phase shares agree with
+        :meth:`PhaseTimer.percentages`.
+        """
+        run.phases.begin(name)
+        self.span("phase", run.uuid, phase=name)
+
     def _request(self, run: _Run) -> DiscoveryRequest:
         return DiscoveryRequest(
             uuid=run.uuid,
@@ -417,6 +430,10 @@ class DiscoveryClient(Node):
             realm=self.realm,
             issued_at=self.utc(),
             attempt=run.transmissions,  # each transmission is a fresh attempt
+            # The request UUID doubles as the trace id; flag it on the
+            # wire whenever this client records flight spans, so every
+            # downstream engine can annotate the same trace.
+            trace_flag=self._recorder is not None,
         )
 
     def _arm_collection_deadline(self, run: _Run) -> None:
@@ -437,6 +454,7 @@ class DiscoveryClient(Node):
         run.via = "bdn"
         request = self._request(run)
         run.transmissions += 1
+        self.span("send", run.uuid, kind="DiscoveryRequest", bdn=bdn, attempt=request.attempt)
         self.runtime.send_udp(self.udp_endpoint, bdn, request)
         self._arm_collection_deadline(run)
         if run.ack_timer is not None:
@@ -444,7 +462,7 @@ class DiscoveryClient(Node):
         run.ack_timer = self.runtime.schedule(
             self.config.retransmit_interval, self._on_silence, run
         )
-        self.trace("request_sent", request=run.uuid, bdn=str(bdn))
+        self.trace("request_sent", request=run.uuid, bdn=bdn)
 
     def _on_silence(self, run: _Run) -> None:
         """A silence timer fired with no responses collected yet.
@@ -517,10 +535,10 @@ class DiscoveryClient(Node):
             bdn = bdns[run.bdn_index]
             if self._bdn_retry_at.get(bdn, 0.0) > self.runtime.now:
                 self.bdn_skips += 1
-                self.trace("bdn_skipped_retry_after", request=run.uuid, bdn=str(bdn))
+                self.trace("bdn_skipped_retry_after", request=run.uuid, bdn=bdn)
             elif not self._breaker(bdn).allow():
                 self.bdn_skips += 1
-                self.trace("bdn_skipped_breaker", request=run.uuid, bdn=str(bdn))
+                self.trace("bdn_skipped_breaker", request=run.uuid, bdn=bdn)
             else:
                 return True
             run.bdn_index += 1
@@ -556,10 +574,11 @@ class DiscoveryClient(Node):
         run.via = "multicast"
         request = self._request(run)
         run.transmissions += 1
+        self.span("send", run.uuid, kind="DiscoveryRequest", via="multicast")
         reached = self.runtime.multicast(
             self.udp_endpoint, self.config.multicast_group, request
         )
-        self.trace("request_multicast", request=run.uuid, reached=str(reached))
+        self.trace("request_multicast", request=run.uuid, reached=reached)
         if reached == 0:
             self._fallback_cached(run)
             return
@@ -578,9 +597,13 @@ class DiscoveryClient(Node):
         run.via = "cached"
         request = self._request(run)
         run.transmissions += 1
+        self.span(
+            "send", run.uuid, kind="DiscoveryRequest", via="cached",
+            targets=len(self.last_target_set),
+        )
         for target in self.last_target_set:
             self.runtime.send_udp(self.udp_endpoint, target.udp_endpoint, request)
-        self.trace("request_cached_targets", request=run.uuid, targets=str(len(self.last_target_set)))
+        self.trace("request_cached_targets", request=run.uuid, targets=len(self.last_target_set))
         self._arm_collection_deadline(run)
         if run.ack_timer is not None:
             run.ack_timer.cancel()
@@ -599,6 +622,11 @@ class DiscoveryClient(Node):
         if run is None:
             if isinstance(message, DiscoveryResponse):
                 self.late_responses += 1
+                if message.trace_flag:
+                    self.span(
+                        "late", message.request_uuid, hop=message.trace_hop,
+                        kind="DiscoveryResponse", broker=message.broker_id,
+                    )
             return
         if isinstance(message, Ack) and message.uuid == run.uuid:
             self._on_ack(run, src)
@@ -606,6 +634,11 @@ class DiscoveryClient(Node):
             self._on_response(run, message)
         elif isinstance(message, DiscoveryResponse):
             self.late_responses += 1
+            if message.trace_flag:
+                self.span(
+                    "late", message.request_uuid, hop=message.trace_hop,
+                    kind="DiscoveryResponse", broker=message.broker_id,
+                )
         elif isinstance(message, DiscoveryBusy) and message.request_uuid == run.uuid:
             self._on_busy(run, message, src)
 
@@ -615,6 +648,7 @@ class DiscoveryClient(Node):
         if self.config.retry_policy is not None:
             self._breaker(src).record_success()
         run.bdn_used = src
+        self.span("recv", run.uuid, kind="Ack", bdn=src)
         self._enter_collecting(run)
 
     def _on_busy(self, run: _Run, busy: DiscoveryBusy, src: Endpoint) -> None:
@@ -630,6 +664,7 @@ class DiscoveryClient(Node):
         if self.config.retry_policy is None:
             return  # no policy: treat like any stray datagram
         self.busy_received += 1
+        self.span("recv", run.uuid, hop=busy.trace_hop, kind="DiscoveryBusy", bdn=busy.bdn)
         self.trace(
             "bdn_busy_received",
             request=run.uuid,
@@ -663,7 +698,7 @@ class DiscoveryClient(Node):
 
     def _enter_collecting(self, run: _Run) -> None:
         run.state = "COLLECTING"
-        run.phases.begin("wait_initial_responses")
+        self._begin_phase(run, "wait_initial_responses")
         if run.ack_timer is not None:
             run.ack_timer.cancel()
             run.ack_timer = None
@@ -675,12 +710,27 @@ class DiscoveryClient(Node):
             self._enter_collecting(run)
         if run.state != "COLLECTING":
             self.late_responses += 1
+            if response.trace_flag:
+                self.span(
+                    "late", run.uuid, hop=response.trace_hop,
+                    kind="DiscoveryResponse", broker=response.broker_id,
+                )
             return
         if response.broker_id in run.candidates:
+            if response.trace_flag:
+                self.span(
+                    "dup_suppressed", run.uuid, hop=response.trace_hop,
+                    kind="DiscoveryResponse", broker=response.broker_id,
+                )
             return  # duplicate (e.g. answer to a retransmission)
         run.candidates[response.broker_id] = make_candidate(
             response, self.utc(), self.config.weights
         )
+        if response.trace_flag:
+            self.span(
+                "recv", run.uuid, hop=response.trace_hop,
+                kind="DiscoveryResponse", broker=response.broker_id,
+            )
         self.trace("response_received", request=run.uuid, broker=response.broker_id)
         if len(run.candidates) >= self.config.max_responses:
             self._end_collection(run, reason="max_responses")
@@ -715,10 +765,10 @@ class DiscoveryClient(Node):
         run.cancel_timers()
         if run.phases.open_phase == "issue_request":
             # Degenerate: responses arrived before any ack transition.
-            run.phases.begin("wait_initial_responses")
-        run.phases.begin("process_responses")
+            self._begin_phase(run, "wait_initial_responses")
+        self._begin_phase(run, "process_responses")
         run.state = "SELECTING"
-        self.trace("collection_done", request=run.uuid, reason=reason, n=str(len(run.candidates)))
+        self.trace("collection_done", request=run.uuid, reason=reason, n=len(run.candidates))
         cost = _SELECT_COST_BASE + _SELECT_COST_PER_CANDIDATE * len(run.candidates)
         self._schedule_aux(run, cost, self._select_targets, run)
 
@@ -746,7 +796,7 @@ class DiscoveryClient(Node):
             self.config.target_set_size,
             required_transports=self._REQUIRED_TRANSPORTS,
         )
-        run.phases.begin("ping_target_set")
+        self._begin_phase(run, "ping_target_set")
         run.state = "PINGING"
         self.pinger.clear_samples()
         run.expected_pongs = len(run.target_set) * self.config.ping_repeats
@@ -774,7 +824,7 @@ class DiscoveryClient(Node):
     def _ping_target(self, run: _Run, target: Candidate) -> None:
         if run.state != "PINGING":
             return
-        self.pinger.ping(target.udp_endpoint, key=target.broker_id)
+        self.pinger.ping(target.udp_endpoint, key=target.broker_id, trace_id=run.uuid)
 
     def _on_ping_rtt(self, key: str, rtt: float) -> None:
         run = self._run
@@ -804,7 +854,7 @@ class DiscoveryClient(Node):
         if run.ping_timer is not None:
             run.ping_timer.cancel()
             run.ping_timer = None
-        run.phases.begin("final_decision")
+        self._begin_phase(run, "final_decision")
         self._schedule_aux(run, _DECIDE_COST, self._complete, run)
 
     def _complete(self, run: _Run) -> None:
@@ -877,7 +927,8 @@ class DiscoveryClient(Node):
             )
         run.state = "DONE" if outcome.success else "FAILED"
         self._run = None
-        self.trace("discover_done", request=run.uuid, success=str(outcome.success))
+        self._record_outcome(run, outcome)
+        self.trace("discover_done", request=run.uuid, success=outcome.success)
         run.on_complete(outcome)
 
     def _fail(self, run: _Run) -> None:
@@ -899,5 +950,23 @@ class DiscoveryClient(Node):
         )
         run.state = "FAILED"
         self._run = None
+        self._record_outcome(run, outcome)
         self.trace("discover_failed", request=run.uuid)
         run.on_complete(outcome)
+
+    def _record_outcome(self, run: _Run, outcome: DiscoveryOutcome) -> None:
+        """Close the run's flight-recorder trace and publish metrics.
+
+        The ``done`` span carries the run's terminal state; the metrics
+        registry (when observability is attached) accumulates outcome
+        counters and latency histograms across runs.
+        """
+        self.span("done", run.uuid, success=outcome.success, via=run.via)
+        if self.obs is None:
+            return
+        registry = self.obs.registry
+        name = "discovery.completed" if outcome.success else "discovery.failed"
+        registry.counter(name).inc()
+        registry.histogram("discovery.total_time").observe(outcome.total_time)
+        for phase, duration in run.phases.durations().items():
+            registry.histogram(f"discovery.phase.{phase}").observe(duration)

@@ -188,7 +188,20 @@ class DiscoveryResponder:
     def _process(self, request: DiscoveryRequest, propagate: bool) -> None:
         if not self.active or not self.broker.alive:
             return
+        traced = request.trace_flag and self.broker._recorder is not None
+        if traced:
+            self.broker.span(
+                "recv",
+                request.uuid,
+                hop=request.trace_hop,
+                kind="DiscoveryRequest",
+                via="udp" if propagate else "topic",
+            )
         if self.dedup.seen(self.request_key(request)):
+            if traced:
+                self.broker.span(
+                    "dup_suppressed", request.uuid, hop=request.trace_hop, kind="DiscoveryRequest"
+                )
             return
         self.requests_processed += 1
         if propagate:
@@ -232,6 +245,8 @@ class DiscoveryResponder:
             source=self.broker.name,
             issued_at=self.broker.utc(),
         )
+        if request.trace_flag:
+            self.broker.span("inject", request.uuid, hop=forwarded.trace_hop, via="topic")
         self.broker.publish_local(event)
 
     def _respond(self, request: DiscoveryRequest) -> None:
@@ -245,10 +260,18 @@ class DiscoveryResponder:
             # responses be issued only if" conditions hold -- here the
             # condition is headroom).
             self.responses_suppressed += 1
+            if request.trace_flag:
+                self.broker.span(
+                    "suppressed",
+                    request.uuid,
+                    hop=request.trace_hop,
+                    broker=self.broker.name,
+                    depth=self.broker.queue_depth,
+                )
             self.broker.trace(
                 "discovery_response_suppressed",
                 request=request.uuid,
-                depth=str(self.broker.queue_depth),
+                depth=self.broker.queue_depth,
             )
             return
         response = DiscoveryResponse(
@@ -258,9 +281,15 @@ class DiscoveryResponder:
             transports=(("tcp", BROKER_TCP_PORT), ("udp", BROKER_UDP_PORT)),
             issued_at=self.broker.utc(),
             metrics=self.broker.usage_metrics(),
+            trace_flag=request.trace_flag,
+            trace_hop=request.trace_hop + 1 if request.trace_flag else 0,
         )
         self.broker.send_udp(
             Endpoint(request.requester_host, request.requester_port), response
         )
         self.responses_sent += 1
+        if request.trace_flag:
+            self.broker.span(
+                "respond", request.uuid, hop=response.trace_hop, broker=self.broker.name
+            )
         self.broker.trace("discovery_response", request=request.uuid)

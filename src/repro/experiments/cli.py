@@ -131,7 +131,9 @@ def _crypto(which: str, runs: int, seed: int) -> str:
     return metric_table(summarize(paper_sample(samples, keep=100)), title)
 
 
-TARGETS = ("table1", "fig2", "fig3-7", "fig9", "fig11", "fig12", "fig13", "fig14", "all")
+TARGETS = (
+    "table1", "fig2", "fig3-7", "fig9", "fig11", "fig12", "fig13", "fig14", "trace", "all"
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -143,9 +145,35 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("target", choices=TARGETS, help="which artifact to regenerate")
     parser.add_argument("--runs", type=int, default=120, help="discovery runs per experiment")
     parser.add_argument("--seed", type=int, default=42, help="master seed")
+    trace_group = parser.add_argument_group("trace target")
+    trace_group.add_argument(
+        "--trace-runtime",
+        choices=("sim", "aio", "both"),
+        default="sim",
+        help="which runtime(s) to reconstruct the traced request under",
+    )
+    trace_group.add_argument(
+        "--topology",
+        choices=("unconnected", "star", "linear"),
+        default="star",
+        help="simulated topology for the traced discovery",
+    )
+    trace_group.add_argument(
+        "--prom-out", default=None, help="write Prometheus text metrics here"
+    )
     args = parser.parse_args(argv)
     if args.runs < 1:
         parser.error("--runs must be >= 1")
+
+    if args.target == "trace":
+        from repro.experiments.trace_cli import run_trace
+
+        return run_trace(
+            runtime=args.trace_runtime,
+            seed=args.seed,
+            topology=args.topology,
+            prom_out=args.prom_out,
+        )
 
     producers = {
         "table1": lambda: _table1(),

@@ -191,10 +191,18 @@ class DiscoveryScenario:
     optimized:
         Passed through to :class:`BrokerNetwork`; ``False`` runs the
         world with every hot-path cache disabled (reference mode).
+    observe:
+        Attach a shared :class:`~repro.obs.Observability` to every node
+        (brokers, BDN, client), so each discovery run leaves a
+        cross-node flight-recorder timeline behind.
     """
 
     def __init__(
-        self, spec: ScenarioSpec, keep_trace: bool = False, optimized: bool = True
+        self,
+        spec: ScenarioSpec,
+        keep_trace: bool = False,
+        optimized: bool = True,
+        observe: bool = False,
     ) -> None:
         self.spec = spec
         self.net = BrokerNetwork(
@@ -203,7 +211,9 @@ class DiscoveryScenario:
             loss=PerHopLoss(spec.per_hop_loss) if spec.per_hop_loss > 0 else NoLoss(),
             keep_trace=keep_trace,
             optimized=optimized,
+            observe=observe,
         )
+        self.obs = self.net.obs
         self.brokers = []
         self.responders: dict[str, DiscoveryResponder] = {}
         for site_spec in TABLE1_MACHINES:
@@ -256,6 +266,7 @@ class DiscoveryScenario:
             config=bdn_config,
             site="bloomington",
             realm=LAB_REALM if "bloomington" in self.spec.lab_sites else None,
+            obs=self.obs,
         )
         bdn.start()
         if self.spec.register == "head":
@@ -293,6 +304,7 @@ class DiscoveryScenario:
             config=config,
             site=spec.client_site,
             realm=realm,
+            obs=self.obs,
         )
         client.start()
         return client

@@ -1,0 +1,138 @@
+"""Checked registry of every event name the codebase may emit.
+
+Two taxonomies live here:
+
+* :data:`SPAN_EVENTS` -- the flight-recorder span vocabulary.  Spans
+  are causal: each carries a trace id (the discovery request UUID) and
+  a hop counter, and the timeline assembler
+  (:mod:`repro.obs.timeline`) merges them across nodes.  The set is
+  deliberately tiny so a cross-node timeline reads like a sequence
+  diagram, not a log dump.
+* :data:`TRACE_EVENTS` -- the legacy per-node
+  :class:`~repro.simnet.trace.Tracer` vocabulary (counters + optional
+  records, no causality).
+
+A tier-1 test greps every ``.trace(`` / ``.record(`` / ``.span(`` /
+``.emit(`` call site under ``src/`` and asserts the literal event name
+appears below, so a typo'd name fails CI instead of silently vanishing
+from reports.  :meth:`FlightRecorder.emit
+<repro.obs.recorder.FlightRecorder.emit>` additionally validates at
+runtime (spans are new code; there is no back-compat to preserve).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SPAN_EVENTS",
+    "TRACE_EVENTS",
+    "KNOWN_EVENTS",
+    "UnknownEventError",
+    "check_span_event",
+]
+
+
+class UnknownEventError(ValueError):
+    """An event name outside the checked registry was emitted."""
+
+
+#: Span vocabulary: event name -> what it marks.  Trace ids are the
+#: discovery request UUID (``ping:<key>`` for standalone pings,
+#: ``ad:<broker>`` for advertisements).
+SPAN_EVENTS: dict[str, str] = {
+    "send": "a traced message left this node",
+    "recv": "a traced message arrived at this node",
+    "inject": "a BDN/responder forwarded the request toward a broker",
+    "dup_suppressed": "a duplicate of the traced message was discarded",
+    "enqueue": "the message entered a bounded ingress queue",
+    "dequeue": "the message left the queue and began service",
+    "respond": "a responder sent a DiscoveryResponse",
+    "suppressed": "a responder withheld its response under load",
+    "shed": "admission control refused the request outright",
+    "busy": "a DiscoveryBusy was issued for the request",
+    "late": "a response arrived after its run had already closed",
+    "phase": "the requester entered a PhaseTimer phase",
+    "done": "the requester closed the run (success or failure)",
+}
+
+#: Legacy Tracer vocabulary, grouped by the module that emits it.
+TRACE_EVENTS: frozenset[str] = frozenset(
+    {
+        # simnet fabric / aio runtime
+        "udp_deliver",
+        "udp_drop",
+        "udp_cut",
+        "udp_garbled",
+        "tcp_severed",
+        "tcp_syn_cut",
+        "handler_error",
+        # ingress queues
+        "queue_overflow",
+        # BDN
+        "bdn_start",
+        "bdn_stop",
+        "bdn_announced",
+        "bdn_busy",
+        "bdn_unknown_message",
+        "bdn_registered",
+        "bdn_credential_reject",
+        "bdn_no_brokers",
+        "bdn_disseminate",
+        "bdn_lease_expired",
+        "bdn_pruned",
+        "bdn_announce_malformed",
+        "bdn_autoregistered",
+        # discovery requester
+        "client_stop",
+        "discover_start",
+        "rediscover_start",
+        "watch_broker_lost",
+        "request_sent",
+        "request_retransmit",
+        "request_retransmit_budgeted",
+        "request_next_bdn",
+        "request_rung_retry",
+        "request_multicast",
+        "request_cached_targets",
+        "retry_denied",
+        "bdn_skipped_retry_after",
+        "bdn_skipped_breaker",
+        "bdn_busy_received",
+        "response_received",
+        "collection_extended",
+        "collection_done",
+        "candidate_excluded",
+        "discover_done",
+        "discover_failed",
+        # discovery responder
+        "responder_stop",
+        "discovery_bad_payload",
+        "discovery_policy_reject",
+        "discovery_response_suppressed",
+        "discovery_response",
+        # substrate
+        "broker_start",
+        "broker_stop",
+        "link_up",
+        "link_accepted",
+        "link_down",
+        "link_retry",
+        "client_gone",
+        "client_registered",
+        "client_connected",
+        "client_disconnected",
+        "reliable_bad_seq",
+        "reliable_bad_request",
+    }
+)
+
+#: Everything a ``src/`` call site may legitimately name.
+KNOWN_EVENTS: frozenset[str] = frozenset(SPAN_EVENTS) | TRACE_EVENTS
+
+
+def check_span_event(event: str) -> str:
+    """Return ``event`` if it is a registered span name, else raise."""
+    if event not in SPAN_EVENTS:
+        raise UnknownEventError(
+            f"unknown span event {event!r}; register it in repro.obs.events"
+        )
+    return event

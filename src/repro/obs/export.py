@@ -1,0 +1,79 @@
+"""Exporters: JSON telemetry snapshots and Prometheus exposition text.
+
+Two consumers drive the formats:
+
+* the live-smoke CI job parses the JSON snapshot back with
+  :func:`repro.obs.timeline.assemble_from_snapshot` and asserts at
+  least one complete request timeline made it across real sockets;
+* the nightly job uploads the Prometheus text dump as an artifact, so
+  counter drift between runs is diffable without any scraping stack.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "telemetry_snapshot",
+    "telemetry_json",
+    "prometheus_text",
+]
+
+SNAPSHOT_VERSION = 1
+
+
+def telemetry_snapshot(obs) -> dict[str, object]:
+    """One JSON-serialisable dict: every metric + every flight ring."""
+    rings = {}
+    for name in sorted(obs.recorders):
+        recorder = obs.recorders[name]
+        rings[name] = {
+            "capacity": recorder.capacity,
+            "dropped": recorder.dropped,
+            "emitted": recorder.emitted,
+            "events": [event.to_dict() for event in recorder.snapshot()],
+        }
+    return {
+        "version": SNAPSHOT_VERSION,
+        "metrics": obs.registry.snapshot(),
+        "rings": rings,
+    }
+
+
+def telemetry_json(obs, indent: int | None = 2) -> str:
+    return json.dumps(telemetry_snapshot(obs), indent=indent, sort_keys=True)
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    flat = name.replace(".", "_").replace("-", "_")
+    return f"{prefix}_{flat}" if prefix else flat
+
+
+def _prom_float(value: float) -> str:
+    # Prometheus accepts plain floats; integers render without a dot.
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    lines: list[str] = []
+    for metric in registry.metrics():
+        name = _prom_name(metric.name, prefix)
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {metric.value}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_prom_float(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {name} histogram")
+            for bound, cumulative in zip(metric.bounds, metric.cumulative()):
+                lines.append(f'{name}_bucket{{le="{_prom_float(bound)}"}} {cumulative}')
+            lines.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{name}_sum {_prom_float(metric.sum)}")
+            lines.append(f"{name}_count {metric.count}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,172 @@
+"""Per-node flight recorder: a bounded ring of span events.
+
+Every engine that handles a traced message drops a :class:`SpanEvent`
+into its node's :class:`FlightRecorder`.  The ring is bounded (old
+events are overwritten, with a ``dropped`` counter) so a recorder can
+stay attached to a long soak without growing; when observability is
+disabled the engines never construct one and the cost is a single
+``is not None`` branch per emission site.
+
+Recorders are clock-agnostic: they are handed a zero-argument callable
+(virtual ``sim.now`` or the aio runtime's monotonic clock) and never
+import a runtime.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from itertools import count
+
+from repro.obs.events import SPAN_EVENTS, UnknownEventError
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["SpanEvent", "FlightRecorder", "DEFAULT_RING_CAPACITY"]
+
+DEFAULT_RING_CAPACITY = 1024
+
+
+class SpanEvent:
+    """One causal event: (when, what, where, which request, how deep).
+
+    ``detail`` is a sorted tuple of ``(key, str(value))`` pairs --
+    the same normalisation :class:`~repro.simnet.trace.TraceRecord`
+    uses, so events hash/compare by value and serialise trivially.
+
+    ``seq`` is a monotonic emission number shared across all recorders
+    of one :class:`~repro.obs.Observability`; several hops can share one
+    virtual timestamp in the simulator, and the sequence recovers their
+    true causal order (the runtimes are single-threaded, so emission
+    order *is* causal order within a world).
+    """
+
+    __slots__ = ("time", "event", "node", "trace_id", "hop", "detail", "seq")
+
+    def __init__(
+        self,
+        time: float,
+        event: str,
+        node: str,
+        trace_id: str,
+        hop: int = 0,
+        detail: tuple[tuple[str, str], ...] = (),
+        seq: int = 0,
+    ) -> None:
+        self.time = time
+        self.event = event
+        self.node = node
+        self.trace_id = trace_id
+        self.hop = hop
+        self.detail = detail
+        self.seq = seq
+
+    def _key(self) -> tuple:
+        return (self.time, self.event, self.node, self.trace_id, self.hop, self.detail)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SpanEvent) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        extra = "".join(f" {k}={v}" for k, v in self.detail)
+        return (
+            f"SpanEvent({self.time:.6f} {self.node} {self.event}"
+            f" trace={self.trace_id} hop={self.hop}{extra})"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "time": self.time,
+            "event": self.event,
+            "node": self.node,
+            "trace_id": self.trace_id,
+            "hop": self.hop,
+            "detail": dict(self.detail),
+            "seq": self.seq,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> SpanEvent:
+        detail = payload.get("detail", {})
+        return cls(
+            time=float(payload["time"]),  # type: ignore[arg-type]
+            event=str(payload["event"]),
+            node=str(payload["node"]),
+            trace_id=str(payload["trace_id"]),
+            hop=int(payload.get("hop", 0)),  # type: ignore[arg-type]
+            detail=tuple(sorted((str(k), str(v)) for k, v in dict(detail).items())),  # type: ignore[call-overload]
+            seq=int(payload.get("seq", 0)),  # type: ignore[arg-type]
+        )
+
+
+class FlightRecorder:
+    """Bounded ring buffer of :class:`SpanEvent` for one node.
+
+    ``seq`` is the emission-sequence source; :class:`~repro.obs.Observability`
+    hands every recorder of one world the same counter so same-timestamp
+    events across nodes keep their causal order.  A standalone recorder
+    falls back to a private counter.
+    """
+
+    __slots__ = (
+        "node", "capacity", "dropped", "emitted", "_clock", "_ring", "_next", "_counters", "_seq"
+    )
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        node: str,
+        capacity: int = DEFAULT_RING_CAPACITY,
+        counters: MetricsRegistry | None = None,
+        seq: Callable[[], int] | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"ring capacity must be positive, got {capacity}")
+        self.node = node
+        self.capacity = capacity
+        self.dropped = 0
+        self.emitted = 0
+        self._clock = clock
+        self._ring: list[SpanEvent] = []
+        self._next = 0
+        self._counters = counters
+        self._seq = seq if seq is not None else count().__next__
+
+    def emit(self, event: str, trace_id: str, hop: int = 0, **detail: object) -> None:
+        """Record one span event; unknown event names raise."""
+        if event not in SPAN_EVENTS:
+            raise UnknownEventError(
+                f"unknown span event {event!r}; register it in repro.obs.events"
+            )
+        record = SpanEvent(
+            time=float(self._clock()),
+            event=event,
+            node=self.node,
+            trace_id=trace_id,
+            hop=hop,
+            detail=tuple(sorted((k, str(v)) for k, v in detail.items())),
+            seq=self._seq(),
+        )
+        if len(self._ring) < self.capacity:
+            self._ring.append(record)
+        else:
+            self._ring[self._next] = record
+            self._next = (self._next + 1) % self.capacity
+            self.dropped += 1
+        self.emitted += 1
+        if self._counters is not None:
+            self._counters.counter(f"obs.span.{event}").inc()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def snapshot(self) -> tuple[SpanEvent, ...]:
+        """Retained events in chronological (emission) order."""
+        if len(self._ring) < self.capacity or self._next == 0:
+            return tuple(self._ring)
+        return tuple(self._ring[self._next :] + self._ring[: self._next])
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self._next = 0

@@ -184,6 +184,10 @@ class AioRuntime:
         self._tasks: set[asyncio.Task] = set()
         self._egress: socket.socket | None = None
         self.errors: list[str] = []
+        # Optional telemetry: attach_observability() wires a world's
+        # Observability in, and aclose() freezes its final snapshot.
+        self.observability = None
+        self.telemetry: dict[str, object] | None = None
         # Counters, mirroring the simulated fabric's.
         self.datagrams_sent = 0
         self.datagrams_delivered = 0
@@ -222,8 +226,26 @@ class AioRuntime:
                 return
             await asyncio.sleep(0)
 
+    def attach_observability(self, obs) -> None:
+        """Register the world's :class:`~repro.obs.Observability`.
+
+        The runtime does not drive the recorders itself (nodes do); the
+        attachment exists so :meth:`aclose` can dump a final telemetry
+        snapshot once the sockets are gone -- the live smoke artifact.
+        """
+        self.observability = obs
+
     async def aclose(self) -> None:
-        """Close every socket, server and background task."""
+        """Close every socket, server and background task.
+
+        With an attached observability layer, its final metrics + ring
+        snapshot is frozen into :attr:`telemetry` *before* teardown, so
+        callers can persist it after the world is gone.
+        """
+        if self.observability is not None:
+            from repro.obs.export import telemetry_snapshot
+
+            self.telemetry = telemetry_snapshot(self.observability)
         for endpoint in list(self._udp):
             self.unbind_udp(endpoint)
         for endpoint in list(self._listeners):
@@ -411,7 +433,7 @@ class AioRuntime:
         self.datagrams_delivered += 1
         if self.tracer is not None:
             self.tracer.record(
-                "udp_deliver", endpoint.host, src=str(src), kind=type(message).__name__
+                "udp_deliver", endpoint.host, src=src, kind=type(message).__name__
             )
         try:
             binding.handler(message, src)
@@ -444,7 +466,7 @@ class AioRuntime:
             # exactly like a send to a dead host.
             self.datagrams_dropped += 1
             if self.tracer is not None:
-                self.tracer.record("udp_drop", src.host, dst=str(dst), kind=type(message).__name__)
+                self.tracer.record("udp_drop", src.host, dst=dst, kind=type(message).__name__)
             return
         binding = self._udp.get(src)
         sock = binding.sock if binding is not None else self._egress_socket()
@@ -454,7 +476,7 @@ class AioRuntime:
             # Real UDP loss: the kernel refused the datagram.
             self.datagrams_dropped += 1
             if self.tracer is not None:
-                self.tracer.record("udp_drop", src.host, dst=str(dst), kind=type(message).__name__)
+                self.tracer.record("udp_drop", src.host, dst=dst, kind=type(message).__name__)
 
     def _egress_socket(self) -> socket.socket:
         """Shared send-only socket for sources that never bound."""

@@ -412,13 +412,13 @@ class Network:
             self.datagrams_dropped += 1
             self.datagrams_cut += 1
             if self.tracer is not None:
-                self.tracer.record("udp_cut", src.host, dst=str(dst), kind=type(message).__name__)
+                self.tracer.record("udp_cut", src.host, dst=dst, kind=type(message).__name__)
             return
         loss = path.loss_override if path.loss_override is not None else self.loss
         if loss.lost(path.hops, self.rng):
             self.datagrams_dropped += 1
             if self.tracer is not None:
-                self.tracer.record("udp_drop", src.host, dst=str(dst), kind=type(message).__name__)
+                self.tracer.record("udp_drop", src.host, dst=dst, kind=type(message).__name__)
             return
         delay = self.latency.delay(path.src_site, path.dst_site, size, self.rng)
         self.sim.schedule(delay, self._deliver_udp, Datagram(message, src, dst, size))
@@ -436,7 +436,7 @@ class Network:
         self.datagrams_delivered += 1
         if self.tracer is not None:
             self.tracer.record(
-                "udp_deliver", dgram.dst.host, src=str(dgram.src), kind=type(dgram.message).__name__
+                "udp_deliver", dgram.dst.host, src=dgram.src, kind=type(dgram.message).__name__
             )
         handler(dgram.message, dgram.src)
 
@@ -540,7 +540,7 @@ class Network:
         path = self._path(src.host, dst.host)
         if not path.reachable:
             if self.tracer is not None:
-                self.tracer.record("tcp_syn_cut", src.host, dst=str(dst))
+                self.tracer.record("tcp_syn_cut", src.host, dst=dst)
             return
         one_way = self.latency.delay(path.src_site, path.dst_site, 64, self.rng)
         setup = 2.0 * one_way * _TCP_SETUP_RTTS

@@ -54,6 +54,11 @@ class Node:
         Forwarded to host registration.
     tracer:
         Optional tracer for node-level events.
+    obs:
+        Optional :class:`repro.obs.Observability`; when given, the node
+        emits span events into its flight recorder via :meth:`span`.
+        ``None`` (the default) keeps every instrumentation site at a
+        single ``is not None`` branch.
     """
 
     def __init__(
@@ -66,12 +71,15 @@ class Node:
         realm: str | None = None,
         multicast_enabled: bool = True,
         tracer: Tracer | None = None,
+        obs=None,
     ) -> None:
         self.name = name
         self.host = host
         self.runtime: Runtime = as_runtime(network)
         self.rng = rng
         self.tracer = tracer
+        self.obs = obs
+        self._recorder = obs.recorder(name) if obs is not None else None
         try:
             self.runtime.site_of(host)
         except UnknownHostError:
@@ -145,10 +153,15 @@ class Node:
         """Whether :meth:`start` has run."""
         return self._started
 
-    def trace(self, event: str, **detail: str) -> None:
+    def trace(self, event: str, **detail: object) -> None:
         """Emit a trace record if tracing is enabled."""
         if self.tracer is not None:
             self.tracer.record(event, self.name, **detail)
+
+    def span(self, event: str, trace_id: str, hop: int = 0, **detail: object) -> None:
+        """Emit a flight-recorder span event if observability is attached."""
+        if self._recorder is not None:
+            self._recorder.emit(event, trace_id, hop, **detail)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name} @ {self.host}>"

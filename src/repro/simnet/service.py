@@ -46,6 +46,11 @@ AdmitFn = Callable[[Message, Endpoint], bool]
 #: Trace hook with the :meth:`Node.trace` signature.
 TraceFn = Callable[..., None]
 
+#: Span hook: ``span(event, message)`` with ``event`` in
+#: {"enqueue", "dequeue"}.  The owning node decides whether the message
+#: carries trace context worth recording.
+SpanFn = Callable[[str, Message], None]
+
 
 class IngressQueue:
     """A bounded single-server FIFO in front of one UDP handler.
@@ -64,6 +69,10 @@ class IngressQueue:
         node's tracer); receives ``queue_overflow`` records.
     admit:
         Optional pre-queue admission hook (see :data:`AdmitFn`).
+    span:
+        Optional flight-recorder hook (see :data:`SpanFn`); called with
+        ``"enqueue"`` when a message is accepted into the queue and
+        ``"dequeue"`` when it leaves the queue for service.
 
     Attributes
     ----------
@@ -83,6 +92,7 @@ class IngressQueue:
         "config",
         "admit",
         "_trace",
+        "_span",
         "_waiting",
         "_in_service",
         "_service_event",
@@ -99,12 +109,14 @@ class IngressQueue:
         config: ServiceConfig,
         trace: TraceFn | None = None,
         admit: AdmitFn | None = None,
+        span: SpanFn | None = None,
     ) -> None:
         self.sim = sim
         self.handler = handler
         self.config = config
         self.admit = admit
         self._trace = trace
+        self._span = span
         self._waiting: deque[tuple[Message, Endpoint]] = deque()
         self._in_service = False
         self._service_event: TimerHandle | None = None
@@ -129,12 +141,14 @@ class IngressQueue:
                 self._trace(
                     "queue_overflow",
                     kind=type(message).__name__,
-                    depth=str(self.depth),
+                    depth=self.depth,
                 )
             return
         self._waiting.append((message, src))
         if self.depth > self.max_depth:
             self.max_depth = self.depth
+        if self._span is not None:
+            self._span("enqueue", message)
         if not self._in_service:
             self._start_next()
 
@@ -154,6 +168,8 @@ class IngressQueue:
     def _start_next(self) -> None:
         message, src = self._waiting.popleft()
         self._in_service = True
+        if self._span is not None:
+            self._span("dequeue", message)
         self._service_event = self.sim.schedule(
             self.config.time_for(type(message)), self._finish, message, src
         )

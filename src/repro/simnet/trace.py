@@ -59,29 +59,43 @@ class Tracer:
         self._keep_records = keep_records
         self.records: list[TraceRecord] = []
         self.counters: Counter[str] = Counter()
+        self._by_event: dict[str, list[TraceRecord]] = {}
 
-    def record(self, event: str, node: str, **detail: str) -> None:
-        """Emit one record and bump the event's counter."""
+    def record(self, event: str, node: str, **detail: object) -> None:
+        """Emit one record and bump the event's counter.
+
+        ``detail`` values are stringified lazily -- only when records
+        are actually kept -- so counter-only runs (``keep_records=
+        False``) pay nothing for rich context at call sites.
+        """
         self.counters[event] += 1
         if self._keep_records:
-            self.records.append(
-                TraceRecord(
-                    time=float(self._clock()),
-                    event=event,
-                    node=node,
-                    detail=tuple(sorted((k, str(v)) for k, v in detail.items())),
-                )
+            entry = TraceRecord(
+                time=float(self._clock()),
+                event=event,
+                node=node,
+                detail=tuple(sorted((k, str(v)) for k, v in detail.items())),
             )
+            self.records.append(entry)
+            bucket = self._by_event.get(event)
+            if bucket is None:
+                bucket = self._by_event[event] = []
+            bucket.append(entry)
 
     def count(self, event: str) -> int:
         """Counter value for ``event`` (0 if never seen)."""
         return self.counters.get(event, 0)
 
     def events(self, event: str) -> list[TraceRecord]:
-        """All stored records with the given event name."""
-        return [r for r in self.records if r.event == event]
+        """All stored records with the given event name.
+
+        Served from a per-event index maintained on :meth:`record`, so
+        repeated queries don't rescan the full record list.
+        """
+        return list(self._by_event.get(event, ()))
 
     def clear(self) -> None:
         """Drop all records and counters."""
         self.records.clear()
         self.counters.clear()
+        self._by_event.clear()

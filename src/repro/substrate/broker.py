@@ -24,9 +24,10 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro.core.codec import decode_message
 from repro.core.config import BrokerConfig, Endpoint
 from repro.core.dedup import DedupCache
-from repro.core.errors import TransportError
+from repro.core.errors import CodecError, TransportError
 from repro.core.messages import (
     Ack,
     Event,
@@ -37,6 +38,7 @@ from repro.core.messages import (
     Unsubscribe,
 )
 from repro.core.metrics import UsageMetrics
+from repro.obs import Observability, trace_context
 from repro.runtime.api import Link, Runtime
 from repro.simnet.node import Node
 from repro.simnet.service import IngressQueue
@@ -75,7 +77,7 @@ class Broker(Node):
         Runtime (or simulated fabric) and node-private randomness.
     config:
         Static broker configuration.
-    site, realm, multicast_enabled, tracer:
+    site, realm, multicast_enabled, tracer, obs:
         Forwarded to :class:`~repro.simnet.node.Node`.
     """
 
@@ -90,6 +92,7 @@ class Broker(Node):
         realm: str | None = None,
         multicast_enabled: bool = True,
         tracer: Tracer | None = None,
+        obs: Observability | None = None,
     ) -> None:
         super().__init__(
             name,
@@ -100,6 +103,7 @@ class Broker(Node):
             realm=realm,
             multicast_enabled=multicast_enabled,
             tracer=tracer,
+            obs=obs,
         )
         self.config = config if config is not None else BrokerConfig()
         self.subscriptions = SubscriptionManager()
@@ -127,7 +131,11 @@ class Broker(Node):
         self.ingress: IngressQueue | None = None
         if self.config.service is not None:
             self.ingress = IngressQueue(
-                self.runtime, self._on_udp, self.config.service, trace=self.trace
+                self.runtime,
+                self._on_udp,
+                self.config.service,
+                trace=self.trace,
+                span=self._queue_span if self._recorder is not None else None,
             )
         self.alive = False
         # Counters.
@@ -216,6 +224,12 @@ class Broker(Node):
         """Send one datagram from this broker's UDP endpoint."""
         self.runtime.send_udp(self.udp_endpoint, dst, message)
 
+    def _queue_span(self, event: str, message: Message) -> None:
+        """Ingress-queue hook: record enqueue/dequeue of traced messages."""
+        ctx = trace_context(message)
+        if ctx is not None:
+            self.span(event, ctx[0], hop=ctx[1], kind=type(message).__name__)
+
     def _on_udp(self, message: Message, src: Endpoint) -> None:
         if not self.alive:
             return
@@ -226,7 +240,15 @@ class Broker(Node):
         if isinstance(message, PingRequest):
             # Built-in ping echo: reply to the address inside the ping so
             # NATed requesters still work, echoing the sender timestamp.
-            reply = PingResponse(uuid=message.uuid, sent_at=message.sent_at, broker_id=self.name)
+            # Trace context is echoed too (hop bumped) so the requester's
+            # pong span shows the round trip crossed this broker.
+            reply = PingResponse(
+                uuid=message.uuid,
+                sent_at=message.sent_at,
+                broker_id=self.name,
+                trace_flag=message.trace_flag,
+                trace_hop=message.trace_hop + 1 if message.trace_flag else 0,
+            )
             self.send_udp(Endpoint(message.reply_host, message.reply_port), reply)
 
     # ------------------------------------------------------------------
@@ -502,6 +524,8 @@ class Broker(Node):
     def _route(self, event: Event, from_peer: str | None) -> None:
         if self.dedup.seen(event.uuid):
             self.duplicates_suppressed += 1
+            if self._recorder is not None:
+                self._span_event_dup(event, from_peer)
             return
         self.events_routed += 1
         # Local delivery to matching client subscribers (cached per
@@ -530,6 +554,29 @@ class Broker(Node):
             if conn is not None and conn.open:
                 conn.send(event)
                 self.events_forwarded += 1
+
+    def _span_event_dup(self, event: Event, from_peer: str | None) -> None:
+        """Flight-record an event-level duplicate suppression.
+
+        Only called with a recorder attached, and only emits for events
+        whose payload decodes to a trace-flagged message (the discovery
+        request flood); everything else is skipped silently.
+        """
+        try:
+            message = decode_message(event.payload)
+        except CodecError:
+            return
+        ctx = trace_context(message)
+        if ctx is None:
+            return
+        self.span(
+            "dup_suppressed",
+            ctx[0],
+            hop=ctx[1],
+            kind=type(message).__name__,
+            topic=event.topic,
+            via=from_peer or "local",
+        )
 
     # ------------------------------------------------------------------
     # Metrics

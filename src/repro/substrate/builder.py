@@ -21,6 +21,7 @@ import networkx as nx
 import numpy as np
 
 from repro.core.config import BrokerConfig
+from repro.obs import Observability
 from repro.simnet.latency import LatencyModel
 from repro.simnet.loss import LossModel
 from repro.simnet.network import Network
@@ -62,6 +63,12 @@ class BrokerNetwork:
         fabric's path cache, broker route memoisation) so determinism
         tests can compare the optimised world against the reference
         behaviour.  Virtual-time results must be identical either way.
+    observe:
+        Attach a shared :class:`~repro.obs.Observability` (flight
+        recorders + metrics registry on the virtual clock) to every
+        broker built here.  Off by default: observed worlds mark
+        discovery traffic on the wire, which perturbs byte-level
+        determinism digests.
     """
 
     def __init__(
@@ -71,10 +78,12 @@ class BrokerNetwork:
         loss: LossModel | None = None,
         keep_trace: bool = False,
         optimized: bool = True,
+        observe: bool = False,
     ) -> None:
         self.optimized = optimized
         self.sim = Simulator(compaction_threshold=0.5 if optimized else None)
         self.master_rng = np.random.default_rng(seed)
+        self.obs = Observability(clock=lambda: self.sim.now) if observe else None
         self.tracer = Tracer(lambda: self.sim.now, keep_records=keep_trace)
         self.network = Network(
             self.sim,
@@ -120,6 +129,7 @@ class BrokerNetwork:
             realm=realm,
             multicast_enabled=multicast_enabled,
             tracer=self.tracer,
+            obs=self.obs,
         )
         broker.use_route_cache = self.optimized
         self.brokers[name] = broker

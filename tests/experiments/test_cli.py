@@ -49,4 +49,5 @@ class TestCli:
 
     def test_target_list_is_complete(self):
         assert "all" in TARGETS
-        assert len(TARGETS) == 9
+        assert "trace" in TARGETS
+        assert len(TARGETS) == 10

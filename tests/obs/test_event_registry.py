@@ -1,0 +1,65 @@
+"""Every literal event name emitted under ``src/`` must be registered.
+
+A typo'd span or trace name would otherwise vanish silently from
+reports; this greps the emission call sites and checks the literals
+against :data:`repro.obs.events.KNOWN_EVENTS`.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.obs.events import KNOWN_EVENTS, SPAN_EVENTS, TRACE_EVENTS, check_span_event
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: An emission call (`x.trace("name"`, `tracer.record("name"`,
+#: `self.span("name"`, `recorder.emit("name"`) whose first argument is
+#: a string literal.  Whitespace may include a line break after the
+#: opening parenthesis.
+_CALL = re.compile(r"[.\w_]\.(?:trace|record|span|emit)\(\s*(['\"])([a-z0-9_]+)\1")
+
+
+def _emission_sites() -> list[tuple[Path, str]]:
+    sites = []
+    for path in sorted(SRC.rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        for match in _CALL.finditer(text):
+            sites.append((path.relative_to(SRC), match.group(2)))
+    return sites
+
+
+def test_sources_exist_to_grep():
+    assert SRC.is_dir()
+    assert _emission_sites(), "no emission call sites found -- regex rotted?"
+
+
+def test_every_emitted_event_name_is_registered():
+    unknown = sorted(
+        {f"{path}: {name!r}" for path, name in _emission_sites() if name not in KNOWN_EVENTS}
+    )
+    assert not unknown, (
+        "unregistered event names emitted (add them to repro/obs/events.py):\n  "
+        + "\n  ".join(unknown)
+    )
+
+
+def test_span_sites_reach_broad_coverage():
+    # The flight recorder instruments every discovery engine; if spans
+    # stop being emitted from several modules the grep would go quiet
+    # without failing, so pin a floor on coverage.
+    span_sites = {path for path, name in _emission_sites() if name in SPAN_EVENTS}
+    assert len(span_sites) >= 5, f"span emissions found only in {sorted(span_sites)}"
+
+
+def test_vocabularies_do_not_overlap():
+    assert not set(SPAN_EVENTS) & TRACE_EVENTS
+
+
+def test_check_span_event_contract():
+    import pytest
+
+    assert check_span_event("send") == "send"
+    with pytest.raises(Exception):
+        check_span_event("request_sent")  # tracer name, not a span

@@ -1,0 +1,135 @@
+"""Flight-recorder ring semantics: wraparound, ordering, checked names."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Observability, UnknownEventError
+from repro.obs.recorder import DEFAULT_RING_CAPACITY, FlightRecorder, SpanEvent
+from repro.obs.registry import MetricsRegistry
+
+
+class _Clock:
+    """A settable test clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestRingWraparound:
+    def test_under_capacity_keeps_everything(self):
+        rec = FlightRecorder(_Clock(), "n0", capacity=8)
+        for i in range(5):
+            rec.emit("send", f"t{i}")
+        assert len(rec) == 5
+        assert rec.dropped == 0
+        assert rec.emitted == 5
+
+    def test_overflow_drops_oldest_and_counts(self):
+        clock = _Clock()
+        rec = FlightRecorder(clock, "n0", capacity=4)
+        for i in range(10):
+            clock.now = float(i)
+            rec.emit("send", f"t{i}")
+        assert len(rec) == 4
+        assert rec.dropped == 6
+        assert rec.emitted == 10
+        # The survivors are the newest four, in emission order.
+        assert [e.trace_id for e in rec.snapshot()] == ["t6", "t7", "t8", "t9"]
+
+    def test_snapshot_chronological_across_wrap_point(self):
+        clock = _Clock()
+        rec = FlightRecorder(clock, "n0", capacity=3)
+        for i in range(5):  # wraps, _next lands mid-ring
+            clock.now = float(i)
+            rec.emit("recv", f"t{i}")
+        times = [e.time for e in rec.snapshot()]
+        assert times == sorted(times)
+        seqs = [e.seq for e in rec.snapshot()]
+        assert seqs == sorted(seqs)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(_Clock(), "n0", capacity=0)
+
+    def test_default_capacity_bounds_a_soak(self):
+        rec = FlightRecorder(_Clock(), "n0")
+        for i in range(3 * DEFAULT_RING_CAPACITY):
+            rec.emit("send", "t")
+        assert len(rec) == DEFAULT_RING_CAPACITY
+        assert rec.dropped == 2 * DEFAULT_RING_CAPACITY
+
+    def test_clear_resets_ring(self):
+        rec = FlightRecorder(_Clock(), "n0", capacity=2)
+        for i in range(5):
+            rec.emit("send", "t")
+        rec.clear()
+        assert len(rec) == 0
+        rec.emit("send", "t-after")
+        assert [e.trace_id for e in rec.snapshot()] == ["t-after"]
+
+
+class TestCheckedEventNames:
+    def test_unknown_event_name_raises(self):
+        rec = FlightRecorder(_Clock(), "n0")
+        with pytest.raises(UnknownEventError):
+            rec.emit("sennd", "t0")  # typo fails loudly, not silently
+        assert len(rec) == 0
+
+    def test_known_trace_event_is_not_a_span(self):
+        # Tracer vocabulary does not leak into the span recorder.
+        rec = FlightRecorder(_Clock(), "n0")
+        with pytest.raises(UnknownEventError):
+            rec.emit("udp_drop", "t0")
+
+
+class TestEmissionSequence:
+    def test_seq_monotonic_within_one_recorder(self):
+        rec = FlightRecorder(_Clock(), "n0")
+        for _ in range(6):
+            rec.emit("send", "t")
+        seqs = [e.seq for e in rec.snapshot()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 6
+
+    def test_seq_shared_across_recorders_of_one_world(self):
+        obs = Observability()
+        a, b = obs.recorder("a"), obs.recorder("b")
+        a.emit("send", "t")
+        b.emit("recv", "t")
+        a.emit("done", "t")
+        seqs = [e.seq for e in obs.events()]
+        # Interleaved emission across nodes still yields one total order.
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 3
+
+    def test_span_counter_published_to_registry(self):
+        registry = MetricsRegistry()
+        rec = FlightRecorder(_Clock(), "n0", counters=registry)
+        rec.emit("send", "t")
+        rec.emit("send", "t")
+        assert registry.read("obs.span.send") == 2
+
+
+class TestSpanEventValue:
+    def test_detail_normalised_and_sorted(self):
+        rec = FlightRecorder(_Clock(), "n0")
+        rec.emit("send", "t", zulu=1, alpha="x")
+        event = rec.snapshot()[0]
+        assert event.detail == (("alpha", "x"), ("zulu", "1"))
+
+    def test_dict_roundtrip_preserves_seq(self):
+        event = SpanEvent(1.5, "recv", "n0", "t0", hop=2, detail=(("k", "v"),), seq=7)
+        clone = SpanEvent.from_dict(event.to_dict())
+        assert clone == event
+        assert clone.seq == 7
+
+    def test_equality_ignores_seq(self):
+        # seq is an ordering aid, not part of event identity.
+        a = SpanEvent(1.0, "send", "n", "t", seq=1)
+        b = SpanEvent(1.0, "send", "n", "t", seq=2)
+        assert a == b
+        assert hash(a) == hash(b)

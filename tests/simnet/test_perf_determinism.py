@@ -215,3 +215,44 @@ def test_substrate_traces_match_pre_refactor_golden(golden, optimized):
 def test_overload_traces_match_pre_refactor_golden(golden, optimized):
     result = _run_overload_world(optimized=optimized)
     assert _digest(result) == golden[f"overload_opt{optimized}"]
+
+
+# ----------------------------------------------------------------------
+# Observability must be bit-invisible when disabled
+# ----------------------------------------------------------------------
+#
+# The flight recorder adds a wire trailer to traced messages and span
+# emissions throughout the engines; with no Observability attached
+# (every world above) none of that may perturb the golden digests.
+# These tests interleave an *observed* world between disabled runs to
+# prove the instrumentation also leaks no global state.
+
+
+def _run_observed_world(topology: str = "star") -> tuple:
+    scenario = DiscoveryScenario(
+        {"star": ScenarioSpec.star, "linear": ScenarioSpec.linear}[topology](seed=5),
+        observe=True,
+    )
+    outcome = scenario.run_one()
+    return scenario, outcome
+
+
+def test_observed_world_completes_and_records(golden):
+    from repro.obs.timeline import assemble, complete_request_ids
+
+    scenario, outcome = _run_observed_world()
+    assert outcome.success
+    obs = scenario.obs
+    (trace_id,) = complete_request_ids(obs)
+    assert trace_id == outcome.request_uuid
+    assert assemble(obs, trace_id).is_complete()
+    # ... and running it did not disturb the disabled-world digests.
+    result = _run_discovery_world("star", optimized=True)
+    assert _digest(result) == golden["discovery_star_optTrue"]
+
+
+def test_disabled_world_unchanged_after_observed_world(golden):
+    before = _digest(_run_discovery_world("linear", optimized=False))
+    _run_observed_world("linear")
+    after = _digest(_run_discovery_world("linear", optimized=False))
+    assert before == after == golden["discovery_linear_optFalse"]

@@ -50,3 +50,30 @@ class TestTracer:
         tracer = Tracer(lambda: 0.0)
         tracer.record("x", "n", count=17)
         assert tracer.records[0].detail == (("count", "17"),)
+
+    def test_events_index_survives_interleaved_queries(self):
+        # events() serves from a per-event index, not a rescan; queries
+        # between records must not return stale or shared lists.
+        tracer = Tracer(lambda: 0.0)
+        tracer.record("x", "n1")
+        first = tracer.events("x")
+        tracer.record("x", "n2")
+        assert [r.node for r in first] == ["n1"]  # caller's copy unaffected
+        assert [r.node for r in tracer.events("x")] == ["n1", "n2"]
+
+    def test_clear_resets_the_event_index(self):
+        tracer = Tracer(lambda: 0.0)
+        tracer.record("x", "n")
+        tracer.clear()
+        assert tracer.events("x") == []
+        tracer.record("x", "n2")
+        assert [r.node for r in tracer.events("x")] == ["n2"]
+
+    def test_counter_only_mode_never_stringifies_detail(self):
+        class Expensive:
+            def __str__(self) -> str:
+                raise AssertionError("stringified in counter-only mode")
+
+        tracer = Tracer(lambda: 0.0, keep_records=False)
+        tracer.record("x", "n", payload=Expensive())  # must not raise
+        assert tracer.count("x") == 1
