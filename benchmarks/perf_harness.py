@@ -119,6 +119,44 @@ def run_discovery_scenario(topology: str, runs: int, seed: int = 42) -> dict:
     }
 
 
+def run_replicated_discovery(runs: int, seed: int = 42) -> dict:
+    """A three-member replicated BDN group, ``runs`` sequential discoveries.
+
+    Unlike the topology scenarios this world keeps lease heartbeats,
+    replication appends and anti-entropy digests ticking between
+    discoveries, so the measured events/sec prices the control plane's
+    steady-state overhead alongside the discovery hot path.
+    """
+    from repro.discovery.chaos import ChaosWorld
+
+    world = ChaosWorld(seed, replicated=True)
+    sim = world.sim
+    events_before = sim.events_processed
+    sim_before = sim.now
+    start = time.perf_counter()
+    successes = 0
+    for _ in range(runs):
+        box: list = []
+        world.client.discover(box.append)
+        while not box and sim.step():
+            pass
+        successes += bool(box and box[0].success)
+        sim.run_for(0.25)
+    wall = time.perf_counter() - start
+    events = sim.events_processed - events_before
+    return {
+        "events_per_sec": events / wall,
+        "wall_time_s": wall,
+        "sim_time_s": sim.now - sim_before,
+        "events_processed": events,
+        "peak_rss_kb": _peak_rss_kb(),
+        "detail": {
+            "runs": runs,
+            "successes": successes,
+        },
+    }
+
+
 def run_substrate_soak(
     publishes: int,
     n_brokers: int = 6,
@@ -219,6 +257,9 @@ def run_all(profile: str, only: list[str] | None = None) -> dict:
         "discovery_linear": lambda: run_discovery_scenario("linear", sizes["discovery_runs"]),
         "discovery_unconnected": lambda: run_discovery_scenario(
             "unconnected", sizes["discovery_runs"]
+        ),
+        "discovery_replicated": lambda: run_replicated_discovery(
+            sizes["discovery_runs"]
         ),
         "substrate_soak": lambda: run_substrate_soak(sizes["soak_publishes"]),
     }

@@ -24,14 +24,21 @@ from functools import lru_cache
 from repro.core.errors import CodecError
 from repro.core.messages import (
     Ack,
+    AdvertisementAck,
+    AntiEntropyDelta,
+    AntiEntropyDigest,
     BrokerAdvertisement,
     DiscoveryBusy,
     DiscoveryRequest,
     DiscoveryResponse,
     Event,
+    LeaseClaim,
+    LeaseVote,
     Message,
     PingRequest,
     PingResponse,
+    ReplicaAck,
+    ReplicaAppend,
     Subscribe,
     Unsubscribe,
 )
@@ -60,6 +67,17 @@ _TRACEABLE_KINDS = frozenset(
         PingResponse.kind,
     }
 )
+
+# Leader-hint trailer: like trace context, the ``leader_hint`` on
+# DiscoveryResponse / DiscoveryBusy is an *optional trailer* (marker
+# byte + length-prefixed string) so an empty hint -- every unreplicated
+# world -- adds zero bytes and the golden digests stay pinned.  When
+# both trailers are present the hint comes first; the trace trailer is
+# always last.  An encoded hint is never empty (empty means "absent").
+_HINT_MARKER = 0x4C  # "L"
+
+#: Message kinds allowed to carry the leader-hint trailer.
+_HINTABLE_KINDS = frozenset({DiscoveryResponse.kind, DiscoveryBusy.kind})
 
 
 class _Writer:
@@ -356,6 +374,120 @@ def _decode_unsubscribe(r: _Reader) -> Unsubscribe:
     return Unsubscribe(uuid=r.string(), topic=r.string(), subscriber=r.string())
 
 
+def _encode_lease_claim(w: _Writer, m: LeaseClaim) -> None:
+    w.string(m.group)
+    w.string(m.candidate)
+    w.u32(m.term)
+    w.f64(m.duration)
+    w.f64(m.sent_at)
+
+
+def _decode_lease_claim(r: _Reader) -> LeaseClaim:
+    return LeaseClaim(
+        group=r.string(),
+        candidate=r.string(),
+        term=r.u32(),
+        duration=r.f64(),
+        sent_at=r.f64(),
+    )
+
+
+def _encode_lease_vote(w: _Writer, m: LeaseVote) -> None:
+    w.string(m.group)
+    w.string(m.voter)
+    w.u32(m.term)
+    w.u8(1 if m.granted else 0)
+    w.f64(m.claim_sent_at)
+    w.string(m.leader_hint)
+
+
+def _decode_lease_vote(r: _Reader) -> LeaseVote:
+    return LeaseVote(
+        group=r.string(),
+        voter=r.string(),
+        term=r.u32(),
+        granted=bool(r.u8()),
+        claim_sent_at=r.f64(),
+        leader_hint=r.string(),
+    )
+
+
+def _encode_replica_append(w: _Writer, m: ReplicaAppend) -> None:
+    w.string(m.group)
+    w.string(m.leader)
+    w.u32(m.term)
+    w.u64(m.seq)
+    _encode_advertisement(w, m.ad)
+
+
+def _decode_replica_append(r: _Reader) -> ReplicaAppend:
+    return ReplicaAppend(
+        group=r.string(),
+        leader=r.string(),
+        term=r.u32(),
+        seq=r.u64(),
+        ad=_decode_advertisement(r),
+    )
+
+
+def _encode_replica_ack(w: _Writer, m: ReplicaAck) -> None:
+    w.string(m.group)
+    w.string(m.member)
+    w.u32(m.term)
+    w.u64(m.seq)
+
+
+def _decode_replica_ack(r: _Reader) -> ReplicaAck:
+    return ReplicaAck(group=r.string(), member=r.string(), term=r.u32(), seq=r.u64())
+
+
+def _encode_anti_entropy_digest(w: _Writer, m: AntiEntropyDigest) -> None:
+    w.string(m.group)
+    w.string(m.member)
+    if len(m.entries) > 0xFFFF:
+        raise CodecError(f"digest too large: {len(m.entries)} entries")
+    w.u16(len(m.entries))
+    for broker_id, remaining in m.entries:
+        w.string(broker_id)
+        w.f64(remaining)
+
+
+def _decode_anti_entropy_digest(r: _Reader) -> AntiEntropyDigest:
+    return AntiEntropyDigest(
+        group=r.string(),
+        member=r.string(),
+        entries=tuple((r.string(), r.f64()) for _ in range(r.u16())),
+    )
+
+
+def _encode_anti_entropy_delta(w: _Writer, m: AntiEntropyDelta) -> None:
+    w.string(m.group)
+    w.string(m.member)
+    if len(m.ads) > 0xFFFF:
+        raise CodecError(f"delta too large: {len(m.ads)} advertisements")
+    w.u16(len(m.ads))
+    for ad in m.ads:
+        _encode_advertisement(w, ad)
+
+
+def _decode_anti_entropy_delta(r: _Reader) -> AntiEntropyDelta:
+    return AntiEntropyDelta(
+        group=r.string(),
+        member=r.string(),
+        ads=tuple(_decode_advertisement(r) for _ in range(r.u16())),
+    )
+
+
+def _encode_advertisement_ack(w: _Writer, m: AdvertisementAck) -> None:
+    w.string(m.broker_id)
+    w.string(m.bdn)
+    w.string(m.leader_hint)
+
+
+def _decode_advertisement_ack(r: _Reader) -> AdvertisementAck:
+    return AdvertisementAck(broker_id=r.string(), bdn=r.string(), leader_hint=r.string())
+
+
 _ENCODERS = {
     Event.kind: _encode_event,
     Subscribe.kind: _encode_subscribe,
@@ -367,6 +499,13 @@ _ENCODERS = {
     DiscoveryBusy.kind: _encode_busy,
     PingRequest.kind: _encode_ping_request,
     PingResponse.kind: _encode_ping_response,
+    LeaseClaim.kind: _encode_lease_claim,
+    LeaseVote.kind: _encode_lease_vote,
+    ReplicaAppend.kind: _encode_replica_append,
+    ReplicaAck.kind: _encode_replica_ack,
+    AntiEntropyDigest.kind: _encode_anti_entropy_digest,
+    AntiEntropyDelta.kind: _encode_anti_entropy_delta,
+    AdvertisementAck.kind: _encode_advertisement_ack,
 }
 
 _DECODERS = {
@@ -380,6 +519,13 @@ _DECODERS = {
     DiscoveryBusy.kind: _decode_busy,
     PingRequest.kind: _decode_ping_request,
     PingResponse.kind: _decode_ping_response,
+    LeaseClaim.kind: _decode_lease_claim,
+    LeaseVote.kind: _decode_lease_vote,
+    ReplicaAppend.kind: _decode_replica_append,
+    ReplicaAck.kind: _decode_replica_ack,
+    AntiEntropyDigest.kind: _decode_anti_entropy_digest,
+    AntiEntropyDelta.kind: _decode_anti_entropy_delta,
+    AdvertisementAck.kind: _decode_advertisement_ack,
 }
 
 
@@ -392,6 +538,9 @@ def encode_message(message: Message) -> bytes:
     w.u16(_MAGIC)
     w.u8(type(message).kind)
     encoder(w, message)
+    if type(message).kind in _HINTABLE_KINDS and message.leader_hint:
+        w.u8(_HINT_MARKER)
+        w.string(message.leader_hint)
     if getattr(message, "trace_flag", False):
         w.u8(_TRACE_MARKER)
         w.u16(message.trace_hop)
@@ -424,14 +573,32 @@ def decode_message(buf: bytes) -> Message:
         # corrupted buffer is a protocol error, not a caller bug.
         raise CodecError(f"invalid field values in message: {exc}") from exc
     if not r.done():
-        if tag in _TRACEABLE_KINDS and r.remaining() == _TRACE_TRAILER_LEN:
-            marker = r.u8()
-            if marker != _TRACE_MARKER:
-                raise CodecError("trailing bytes after message body")
-            hop = r.u16()
-            return replace(message, trace_flag=True, trace_hop=hop)
-        raise CodecError("trailing bytes after message body")
+        message = _decode_trailers(r, tag, message)
     return message
+
+
+def _decode_trailers(r: _Reader, tag: int, message: Message) -> Message:
+    """Parse the optional trailers (leader hint, then trace context).
+
+    Anything that is not exactly a well-formed trailer sequence ending
+    the buffer is trailing garbage.
+    """
+    marker = r.u8()
+    if marker == _HINT_MARKER and tag in _HINTABLE_KINDS:
+        hint = r.string()
+        if not hint:
+            raise CodecError("empty leader-hint trailer")
+        message = replace(message, leader_hint=hint)
+        if r.done():
+            return message
+        marker = r.u8()
+    if (
+        marker == _TRACE_MARKER
+        and tag in _TRACEABLE_KINDS
+        and r.remaining() == _TRACE_TRAILER_LEN - 1
+    ):
+        return replace(message, trace_flag=True, trace_hop=r.u16())
+    raise CodecError("trailing bytes after message body")
 
 
 @lru_cache(maxsize=4096)

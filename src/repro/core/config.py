@@ -25,6 +25,7 @@ __all__ = [
     "RetryPolicyConfig",
     "BrokerConfig",
     "BDNConfig",
+    "ReplicationConfig",
     "ClientConfig",
     "RuntimeConfig",
 ]
@@ -247,6 +248,109 @@ class BrokerConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class ReplicationConfig:
+    """Membership and timing of a BDN replication group.
+
+    One shared, identical config is handed to every member (each BDN
+    finds itself in ``members`` by its node name), which makes
+    misconfigured split-brain groups impossible to express.
+
+    Attributes
+    ----------
+    group:
+        Group name; every replication message carries it and members
+        ignore traffic for foreign groups.
+    members:
+        ``(bdn_name, udp_endpoint)`` pairs for every member, in a fixed
+        order shared by all members.  The order staggers election
+        timeouts (earlier members time out first), which makes leader
+        election deterministic under the simulated runtime without
+        consuming any randomness.
+    lease_duration:
+        Leadership lease length in seconds.  Each voter measures it
+        from its own grant time; the leader measures it conservatively
+        from claim *send* time, so the leader's belief always expires
+        no later than any voter's grant.
+    heartbeat_interval:
+        Seconds between the leader's lease-renewal claims.  Must be
+        well under ``lease_duration`` or leadership flaps.
+    election_stagger:
+        Extra election-timeout seconds per member index.  Member *i*
+        waits ``lease_duration + i * election_stagger`` of leader
+        silence before claiming, so the surviving member with the
+        lowest index usually wins uncontested.
+    quorum:
+        Votes (self included) needed to hold the lease and to commit a
+        replicated write.  ``0`` means a majority of ``members``.
+    anti_entropy_interval:
+        Seconds between registry-digest exchanges with peers.
+    catchup_grace:
+        After a cold restart a member refuses discovery requests (with
+        a leader hint) until an anti-entropy exchange completes or this
+        many seconds pass, whichever is first.  ``0`` derives
+        ``2 * anti_entropy_interval``.
+    """
+
+    group: str
+    members: tuple[tuple[str, Endpoint], ...]
+    lease_duration: float = 3.0
+    heartbeat_interval: float = 1.0
+    election_stagger: float = 0.25
+    quorum: int = 0
+    anti_entropy_interval: float = 2.0
+    catchup_grace: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.group:
+            raise ConfigError("replication group name must be non-empty")
+        if not self.members:
+            raise ConfigError("replication group needs at least one member")
+        names = [name for name, _ in self.members]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate member names in replication group: {names}")
+        if self.lease_duration <= 0:
+            raise ConfigError("lease_duration must be positive")
+        if not 0 < self.heartbeat_interval < self.lease_duration:
+            raise ConfigError(
+                "heartbeat_interval must be positive and below lease_duration "
+                f"(got {self.heartbeat_interval} vs {self.lease_duration})"
+            )
+        if self.election_stagger < 0:
+            raise ConfigError("election_stagger must be >= 0")
+        if not 0 <= self.quorum <= len(self.members):
+            raise ConfigError(
+                f"quorum must be between 0 and {len(self.members)}, got {self.quorum}"
+            )
+        if self.anti_entropy_interval <= 0:
+            raise ConfigError("anti_entropy_interval must be positive")
+        if self.catchup_grace < 0:
+            raise ConfigError("catchup_grace must be >= 0")
+
+    @property
+    def quorum_size(self) -> int:
+        """Effective quorum: explicit, or a strict majority of members."""
+        return self.quorum or len(self.members) // 2 + 1
+
+    @property
+    def effective_catchup_grace(self) -> float:
+        return self.catchup_grace or 2 * self.anti_entropy_interval
+
+    def index_of(self, name: str) -> int:
+        for i, (member, _) in enumerate(self.members):
+            if member == name:
+                return i
+        raise ConfigError(f"{name!r} is not a member of replication group {self.group!r}")
+
+    def endpoint_of(self, name: str) -> Endpoint:
+        return self.members[self.index_of(name)][1]
+
+    def peers_of(self, name: str) -> tuple[tuple[str, Endpoint], ...]:
+        """Every member except ``name`` (which must be a member)."""
+        self.index_of(name)
+        return tuple((m, ep) for m, ep in self.members if m != name)
+
+
+@dataclass(frozen=True, slots=True)
 class BDNConfig:
     """Static configuration of one Broker Discovery Node.
 
@@ -286,6 +390,10 @@ class BDNConfig:
         disables admission control.
     busy_retry_after:
         The ``retry_after`` hint (seconds) carried by busy replies.
+    replication:
+        Membership of the BDN's replication group, or ``None`` for the
+        paper's island behaviour.  A replicated BDN must find its own
+        node name in ``replication.members``.
     """
 
     injection: str = "closest_farthest"
@@ -296,6 +404,7 @@ class BDNConfig:
     service: ServiceConfig | None = None
     admission_high_watermark: int = 0
     busy_retry_after: float = 1.0
+    replication: ReplicationConfig | None = None
 
     _INJECTIONS = ("closest_farthest", "single", "all")
 

@@ -34,6 +34,19 @@ codec: an untraced message is byte-identical to one from a build that
 predates the fields, which is what keeps the golden trace digests (and
 the byte-length-driven simulated transmission delays) unchanged when
 observability is disabled.  Use :func:`traced` to flag a message.
+
+Replication
+-----------
+When BDNs form a replication group (:mod:`repro.discovery.replication`)
+five additional message types appear on the wire: :class:`LeaseClaim` /
+:class:`LeaseVote` for lease-based leader election, :class:`ReplicaAppend`
+/ :class:`ReplicaAck` for log-style registry replication, and
+:class:`AntiEntropyDigest` / :class:`AntiEntropyDelta` for the periodic
+repair pass.  :class:`AdvertisementAck` re-homes broker heartbeats to the
+current leader.  None of these are ever emitted by an unreplicated BDN,
+and ``DiscoveryBusy`` / ``DiscoveryResponse`` encode their
+``leader_hint`` as an optional trailer (like trace context), so worlds
+with replication off stay byte-identical to the pre-replication format.
 """
 
 from __future__ import annotations
@@ -57,6 +70,13 @@ __all__ = [
     "Unsubscribe",
     "PingRequest",
     "PingResponse",
+    "LeaseClaim",
+    "LeaseVote",
+    "ReplicaAppend",
+    "ReplicaAck",
+    "AntiEntropyDigest",
+    "AntiEntropyDelta",
+    "AdvertisementAck",
     "traced",
 ]
 
@@ -256,6 +276,11 @@ class DiscoveryResponse(Message):
         one-way network delay.
     metrics:
         The broker's usage metrics snapshot.
+    leader_hint:
+        ``"host:port"`` of the BDN-group leader this broker currently
+        heartbeats to, or ``""`` when the broker registers with an
+        unreplicated BDN.  Encoded as an optional trailer: an empty
+        hint adds no bytes, keeping unreplicated worlds bit-identical.
     """
 
     kind: ClassVar[int] = 5
@@ -268,6 +293,7 @@ class DiscoveryResponse(Message):
     metrics: UsageMetrics
     trace_flag: bool = False
     trace_hop: int = 0
+    leader_hint: str = ""
 
     def port_for(self, protocol: str) -> int | None:
         """Return the advertised port for ``protocol``, if any."""
@@ -298,6 +324,12 @@ class DiscoveryBusy(Message):
     queue_depth:
         The BDN's ingress queue depth at refusal time (observability;
         lets requesters and experiments see *how* overloaded it was).
+    leader_hint:
+        ``"host:port"`` of the replication-group leader the requester
+        should try instead, or ``""``.  A replicated BDN that is still
+        catching up after a cold restart refuses requests with this
+        hint set so clients jump straight to a serving member.  Encoded
+        as an optional trailer (no bytes when empty).
     """
 
     kind: ClassVar[int] = 10
@@ -308,6 +340,7 @@ class DiscoveryBusy(Message):
     queue_depth: int = 0
     trace_flag: bool = False
     trace_hop: int = 0
+    leader_hint: str = ""
 
     def __post_init__(self) -> None:
         if not math.isfinite(self.retry_after) or self.retry_after < 0:
@@ -376,6 +409,212 @@ class PingResponse(Message):
     broker_id: str
     trace_flag: bool = False
     trace_hop: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class LeaseClaim(Message):
+    """A candidate's (or leader's) request for a leadership lease.
+
+    Lease-based election: the candidate asks every group member to
+    grant it exclusive leadership of ``group`` for ``duration`` seconds.
+    A member grants at most one candidate per window, so any two
+    quorums intersect and two leaders can never hold overlapping valid
+    leases.  The established leader re-sends the same claim (same
+    ``term``) on its heartbeat interval to renew the lease.
+
+    Attributes
+    ----------
+    group:
+        Replication-group name.
+    candidate:
+        Name of the claiming BDN.
+    term:
+        Monotonically increasing election term.
+    duration:
+        Requested lease length in seconds, measured by each voter from
+        its own receipt time (receipt-relative, like advertisement
+        leases, so clock skew cannot stretch a lease).
+    sent_at:
+        Candidate's clock when the claim was sent.  Votes echo it; the
+        candidate derives its conservative lease expiry from the send
+        time, never from vote arrival times.
+    """
+
+    kind: ClassVar[int] = 11
+
+    group: str
+    candidate: str
+    term: int
+    duration: float
+    sent_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.term <= 0xFFFFFFFF:
+            raise ValueError(f"term must fit in u32, got {self.term}")
+        if not math.isfinite(self.duration) or self.duration <= 0:
+            raise ValueError(f"duration must be finite and positive, got {self.duration}")
+        if not math.isfinite(self.sent_at):
+            raise ValueError(f"sent_at must be finite, got {self.sent_at}")
+
+
+@dataclass(frozen=True, slots=True)
+class LeaseVote(Message):
+    """A member's answer to a :class:`LeaseClaim`.
+
+    Attributes
+    ----------
+    group / voter / term:
+        Identify the vote.
+    granted:
+        Whether the voter granted the lease.  ``False`` means another
+        candidate already holds this voter's grant for an overlapping
+        window (or the claim's term is stale).
+    claim_sent_at:
+        Echo of the claim's ``sent_at``, letting the candidate compute
+        its lease expiry from the time the quorum's grants were
+        *requested*, which is strictly earlier than when any voter
+        granted them.
+    leader_hint:
+        ``"host:port"`` of the leader the voter currently recognises
+        (useful to a stale candidate), or ``""``.
+    """
+
+    kind: ClassVar[int] = 12
+
+    group: str
+    voter: str
+    term: int
+    granted: bool
+    claim_sent_at: float = 0.0
+    leader_hint: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.term <= 0xFFFFFFFF:
+            raise ValueError(f"term must fit in u32, got {self.term}")
+        if not math.isfinite(self.claim_sent_at):
+            raise ValueError(f"claim_sent_at must be finite, got {self.claim_sent_at}")
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicaAppend(Message):
+    """Leader-to-follower replication of one advertisement-table write.
+
+    The embedded advertisement is re-issued with a *receipt-relative*
+    ``ttl`` (the lease seconds remaining at the leader when the append
+    was sent), so the follower books the same lease window on its own
+    clock -- the same skew-proofing the broker->BDN path uses.
+
+    Attributes
+    ----------
+    group / leader / term:
+        Provenance; followers drop appends from stale terms.
+    seq:
+        Leader-assigned log sequence number, strictly increasing per
+        term.  Followers detect gaps and trigger an immediate
+        anti-entropy pull when one appears.
+    ad:
+        The replicated :class:`BrokerAdvertisement` (trace context, if
+        any, is not carried across replication).
+    """
+
+    kind: ClassVar[int] = 13
+
+    group: str
+    leader: str
+    term: int
+    seq: int
+    ad: BrokerAdvertisement
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.term <= 0xFFFFFFFF:
+            raise ValueError(f"term must fit in u32, got {self.term}")
+        if not 0 <= self.seq <= 0xFFFFFFFFFFFFFFFF:
+            raise ValueError(f"seq must fit in u64, got {self.seq}")
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicaAck(Message):
+    """Follower's acknowledgement of a :class:`ReplicaAppend`.
+
+    The leader counts distinct acking members per ``seq``; a write is
+    *committed* once a quorum (leader included) has applied it.
+    """
+
+    kind: ClassVar[int] = 14
+
+    group: str
+    member: str
+    term: int
+    seq: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.term <= 0xFFFFFFFF:
+            raise ValueError(f"term must fit in u32, got {self.term}")
+        if not 0 <= self.seq <= 0xFFFFFFFFFFFFFFFF:
+            raise ValueError(f"seq must fit in u64, got {self.seq}")
+
+
+@dataclass(frozen=True, slots=True)
+class AntiEntropyDigest(Message):
+    """A member's registry summary, sent on the repair interval.
+
+    Attributes
+    ----------
+    entries:
+        ``(broker_id, remaining)`` pairs where ``remaining`` is the
+        lease seconds left on the sender's clock (``0.0`` for a
+        no-lease entry that never expires, mirroring advertisement
+        ``ttl`` semantics).  Expired entries are never shipped.  The
+        receiver answers with an :class:`AntiEntropyDelta` of every ad
+        it holds that the digest lacks or holds with an older lease
+        (newest-lease-wins, keyed by broker id).
+    """
+
+    kind: ClassVar[int] = 15
+
+    group: str
+    member: str
+    entries: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for broker_id, remaining in self.entries:
+            if not math.isfinite(remaining) or remaining < 0:
+                raise ValueError(
+                    f"digest lease remaining must be finite and non-negative, "
+                    f"got {remaining} for {broker_id!r}"
+                )
+
+
+@dataclass(frozen=True, slots=True)
+class AntiEntropyDelta(Message):
+    """Repair payload answering an :class:`AntiEntropyDigest`.
+
+    Each advertisement is re-issued with a receipt-relative ``ttl``
+    (seconds remaining at the sender), exactly like
+    :class:`ReplicaAppend`.
+    """
+
+    kind: ClassVar[int] = 16
+
+    group: str
+    member: str
+    ads: tuple[BrokerAdvertisement, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class AdvertisementAck(Message):
+    """A replicated BDN's acknowledgement of a direct advertisement.
+
+    Carries the group leader's endpoint so broker heartbeats re-home to
+    the leader after a takeover instead of renewing their lease with a
+    deposed member.  Unreplicated BDNs never send this message.
+    """
+
+    kind: ClassVar[int] = 17
+
+    broker_id: str
+    bdn: str
+    leader_hint: str = ""
 
 
 def traced(message: Message, hop: int | None = None) -> Message:

@@ -20,6 +20,9 @@ The pieces map one-to-one onto the paper's sections:
   target set, retransmission (sections 3, 6, 7).
 * :mod:`repro.discovery.phases` -- per-phase timing, reproducing the
   sub-activity breakdowns of Figures 2, 9 and 11.
+* :mod:`repro.discovery.replication` -- BDN replication groups:
+  lease-based leader election, quorum-gated log replication of the
+  advertisement table, anti-entropy repair.
 * :mod:`repro.discovery.faults` -- fault injection for the section 7
   scenarios.
 * :mod:`repro.discovery.chaos` -- seeded randomized fault schedules
@@ -31,11 +34,14 @@ from repro.discovery.advertisement import (
     AD_TOPIC,
     BDN_ANNOUNCE_TOPIC,
     AdvertisementStore,
+    GroupHeartbeat,
     StoredAdvertisement,
     build_advertisement,
     enable_bdn_autoregistration,
+    start_group_heartbeat,
     start_periodic_advertisement,
 )
+from repro.discovery.replication import ReplicationState, parse_endpoint
 from repro.discovery.responder import REQUEST_TOPIC, DiscoveryResponder
 from repro.discovery.bdn import BDN, BDN_UDP_PORT
 from repro.discovery.selection import Candidate, make_candidate, select_target_set
@@ -50,6 +56,8 @@ from repro.discovery.requester import (
 from repro.discovery.faults import FaultInjector
 from repro.discovery.chaos import (
     CHAOS_KINDS,
+    REPLICATED_CHAOS_KINDS,
+    STORM_KINDS,
     ChaosAction,
     ChaosReport,
     ChaosWorld,
@@ -64,6 +72,8 @@ __all__ = [
     "StoredAdvertisement",
     "build_advertisement",
     "start_periodic_advertisement",
+    "start_group_heartbeat",
+    "GroupHeartbeat",
     "enable_bdn_autoregistration",
     "BDN_ANNOUNCE_TOPIC",
     "REQUEST_TOPIC",
@@ -80,8 +90,12 @@ __all__ = [
     "CachedTarget",
     "DiscoveryClient",
     "DiscoveryOutcome",
+    "ReplicationState",
+    "parse_endpoint",
     "FaultInjector",
     "CHAOS_KINDS",
+    "REPLICATED_CHAOS_KINDS",
+    "STORM_KINDS",
     "ChaosAction",
     "ChaosReport",
     "ChaosWorld",

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 from repro.core.codec import encode_message
 from repro.core.config import Endpoint
-from repro.core.messages import BrokerAdvertisement, Event
+from repro.core.messages import AdvertisementAck, BrokerAdvertisement, Event
 from repro.substrate.broker import BROKER_TCP_PORT, BROKER_UDP_PORT, Broker
 
 __all__ = [
@@ -36,6 +36,8 @@ __all__ = [
     "advertise_direct",
     "advertise_on_topic",
     "start_periodic_advertisement",
+    "start_group_heartbeat",
+    "GroupHeartbeat",
     "enable_bdn_autoregistration",
     "StoredAdvertisement",
     "AdvertisementStore",
@@ -179,6 +181,123 @@ class _HeartbeatHandle:
         self._handles = []
 
 
+def start_group_heartbeat(
+    broker: Broker,
+    group_endpoints: tuple[Endpoint, ...] | list[Endpoint],
+    interval: float = 30.0,
+    region: str = "",
+    ttl: float | None = None,
+    rehome_misses: int = 2,
+) -> "GroupHeartbeat":
+    """Heartbeat with a *replicated* BDN group, re-homing to its leader.
+
+    With an unreplicated BDN a broker heartbeats one fixed endpoint
+    (:func:`start_periodic_advertisement`).  Against a replication
+    group that is wasteful (every member would be heartbeated) or
+    fragile (a single member is a single point of lease expiry), so
+    this variant:
+
+    * starts in **broadcast** mode, advertising to every member, until
+      a member's :class:`~repro.core.messages.AdvertisementAck` names
+      the group leader;
+    * then **homes** on the leader, renewing the lease there only (the
+      leader replicates the write to the standbys);
+    * **re-homes** whenever an ack names a different leader (takeover);
+    * falls back to broadcast after ``rehome_misses`` consecutive
+      unacknowledged beats -- the homed member died or was partitioned
+      away, and some other member must keep the lease alive.
+
+    Returns a :class:`GroupHeartbeat`; cancel it to stop.
+    """
+    if interval <= 0 or rehome_misses < 1:
+        raise ValueError("invalid group heartbeat schedule")
+    lease = 3.0 * interval if ttl is None else ttl
+    hb = GroupHeartbeat(broker, tuple(group_endpoints), lease, region, rehome_misses)
+    broker.add_udp_handler(AdvertisementAck, hb._on_ack)
+    hb._beat()
+    hb._handles.append(broker.runtime.call_every(interval, hb._beat))
+    return hb
+
+
+class GroupHeartbeat:
+    """Live state of one broker's heartbeat into a BDN group."""
+
+    __slots__ = (
+        "broker",
+        "endpoints",
+        "lease",
+        "region",
+        "rehome_misses",
+        "leader",
+        "cancelled",
+        "rehomes",
+        "_unacked",
+        "_handles",
+    )
+
+    def __init__(
+        self,
+        broker: Broker,
+        endpoints: tuple[Endpoint, ...],
+        lease: float,
+        region: str,
+        rehome_misses: int,
+    ) -> None:
+        self.broker = broker
+        self.endpoints = endpoints
+        self.lease = lease
+        self.region = region
+        self.rehome_misses = rehome_misses
+        #: The member currently heartbeated exclusively (None = broadcast).
+        self.leader: Endpoint | None = None
+        self.cancelled = False
+        self.rehomes = 0
+        self._unacked = 0
+        self._handles: list = []
+
+    def _beat(self) -> None:
+        if self.cancelled or not self.broker.alive:
+            return
+        if self.leader is not None:
+            self._unacked += 1
+            if self._unacked > self.rehome_misses:
+                # The homed member went silent; fan back out so *some*
+                # member keeps the lease alive.
+                self.broker.trace("heartbeat_broadcast", misses=self._unacked - 1)
+                self.leader = None
+        targets = (self.leader,) if self.leader is not None else self.endpoints
+        for endpoint in targets:
+            advertise_direct(self.broker, endpoint, region=self.region, ttl=self.lease)
+
+    def _on_ack(self, ack: AdvertisementAck, src: Endpoint) -> None:
+        if self.cancelled or not self.broker.alive or ack.broker_id != self.broker.name:
+            return
+        self._unacked = 0
+        if not ack.leader_hint:
+            return
+        host, _, port_text = ack.leader_hint.rpartition(":")
+        try:
+            hinted = Endpoint(host, int(port_text))
+        except ValueError:
+            return
+        if hinted not in self.endpoints or hinted == self.leader:
+            return
+        self.rehomes += 1
+        self.leader = hinted
+        self.broker.trace("heartbeat_rehomed", leader=str(hinted))
+        # Renew with the new leader immediately: a takeover mid-lease
+        # must not cost a full heartbeat interval of exposure.
+        advertise_direct(self.broker, hinted, region=self.region, ttl=self.lease)
+
+    def cancel(self) -> None:
+        if self.cancelled:
+            return
+        self.cancelled = True
+        for handle in self._handles:
+            handle.cancel()
+        self._handles = []
+
+
 def enable_bdn_autoregistration(broker: Broker, region: str = "") -> None:
     """React to BDN announcements by (re-)advertising with the new BDN.
 
@@ -273,6 +392,25 @@ class AdvertisementStore:
             advertisement=ad, received_at=now, expires_at=expires
         )
         return True
+
+    def accept_if_newer(self, ad: BrokerAdvertisement, now: float) -> bool:
+        """Store ``ad`` only if its lease outlives the current entry.
+
+        The merge rule of replication and anti-entropy repair
+        (*newest-lease-wins*, keyed by broker id): a delayed replica of
+        an old heartbeat must never roll back a fresher renewal.  An
+        expired or missing entry always loses.  Returns True if stored.
+        """
+        existing = self._ads.get(ad.broker_id)
+        if existing is not None:
+            incoming_expires = now + ad.ttl if ad.ttl > 0 else math.inf
+            if existing.expires_at >= incoming_expires and not existing.is_expired(now):
+                return False
+        return self.accept(ad, now)
+
+    def clear(self) -> None:
+        """Forget every registration (a cold restart's empty table)."""
+        self._ads.clear()
 
     def remove(self, broker_id: str) -> bool:
         """Drop a broker's registration (e.g. after repeated ping failures)."""

@@ -33,12 +33,19 @@ from repro.core.dedup import DedupCache
 from repro.core.errors import CodecError
 from repro.core.messages import (
     Ack,
+    AdvertisementAck,
+    AntiEntropyDelta,
+    AntiEntropyDigest,
     BrokerAdvertisement,
     DiscoveryBusy,
     DiscoveryRequest,
     Event,
+    LeaseClaim,
+    LeaseVote,
     Message,
     PingResponse,
+    ReplicaAck,
+    ReplicaAppend,
 )
 from repro.obs import trace_context
 from repro.runtime.api import Runtime, TimerHandle
@@ -52,6 +59,7 @@ from repro.discovery.advertisement import (
     StoredAdvertisement,
 )
 from repro.discovery.ping import Pinger
+from repro.discovery.replication import ReplicationState
 from repro.substrate.broker import Broker
 from repro.substrate.client import PubSubClient
 
@@ -119,11 +127,17 @@ class BDN(Node):
                 admit=self._admit,
                 span=self._queue_span if self._recorder is not None else None,
             )
+        # Replicated control plane (None = the paper's island BDN).
+        self.replication: ReplicationState | None = None
+        if self.config.replication is not None:
+            self.replication = ReplicationState(self, self.config.replication)
+        self._cold_pending = False
         # Counters.
         self.requests_received = 0
         self.requests_disseminated = 0
         self.credential_rejections = 0
         self.requests_shed = 0
+        self.requests_refused_catchup = 0
         self.unknown_messages = 0
         # Invariant guard: counts expired advertisements that were about
         # to be used as dissemination targets.  Lease filtering in
@@ -158,6 +172,9 @@ class BDN(Node):
         handler = self.ingress.deliver if self.ingress is not None else self._on_udp
         self.runtime.bind_udp(self.udp_endpoint, handler)
         self._sweep_timer = self.runtime.call_every(self.config.ping_interval, self._sweep)
+        if self.replication is not None:
+            self.replication.start(cold=self._cold_pending)
+        self._cold_pending = False
         self.trace("bdn_start")
 
     def stop(self) -> None:
@@ -174,9 +191,32 @@ class BDN(Node):
         self._fanout_timers.clear()
         if self.ingress is not None:
             self.ingress.reset()  # a dead process loses its socket buffer
+        if self.replication is not None:
+            self.replication.stop()
         if self._network_client is not None:
             self._network_client.disconnect()
         self.trace("bdn_stop")
+
+    def clear_registry(self) -> None:
+        """Wipe the advertisement table: a *cold* restart's disk state.
+
+        Called by the fault injector between :meth:`stop` and
+        :meth:`start` to model a process whose in-memory registry (and
+        dedup cache, and measured distances) did not survive.  Counters
+        are kept -- they describe history, not state.  A replicated BDN
+        restarted this way rejoins in catch-up mode: it pulls an
+        anti-entropy delta immediately and refuses discovery requests
+        (with a leader hint) until repaired or a grace period lapses.
+        """
+        for stored in self.store.all():
+            self.pinger.forget(stored.broker_id)
+        self.store.clear()
+        self._registered_at.clear()
+        self.dedup = DedupCache()
+        if self.replication is not None:
+            self._cold_pending = True
+        self.trace("bdn_cold_restart")
+        self.span("cold_restart", f"bdn:{self.name}")
 
     def attach_to_network(self, broker: Broker) -> None:
         """Maintain an active connection into the broker network.
@@ -256,6 +296,7 @@ class BDN(Node):
             queue_depth=self.queue_depth,
             trace_flag=message.trace_flag,
             trace_hop=message.trace_hop + 1 if message.trace_flag else 0,
+            leader_hint=self._leader_hint(),
         )
         self.runtime.send_udp(self.udp_endpoint, requester, busy)
         if message.trace_flag:
@@ -270,15 +311,28 @@ class BDN(Node):
         if ctx is not None:
             self.span(event, ctx[0], hop=ctx[1], kind=type(message).__name__)
 
+    _REPLICATION_DISPATCH = {
+        LeaseClaim: "on_lease_claim",
+        LeaseVote: "on_lease_vote",
+        ReplicaAppend: "on_replica_append",
+        ReplicaAck: "on_replica_ack",
+        AntiEntropyDigest: "on_digest",
+        AntiEntropyDelta: "on_delta",
+    }
+
     def _on_udp(self, message: Message, src: Endpoint) -> None:
         if not self.alive:
             return
         if isinstance(message, BrokerAdvertisement):
-            self._register(message)
+            self._register(message, src)
         elif isinstance(message, DiscoveryRequest):
             self._handle_request(message)
         elif isinstance(message, PingResponse):
             self.pinger.on_response(message, src)
+        elif type(message) in self._REPLICATION_DISPATCH and self.replication is not None:
+            getattr(self.replication, self._REPLICATION_DISPATCH[type(message)])(
+                message, src
+            )
         else:
             # Anything else on the discovery port is a protocol error
             # (or a stale/misrouted datagram): count it and drop it
@@ -286,7 +340,7 @@ class BDN(Node):
             self.unknown_messages += 1
             self.trace("bdn_unknown_message", type=type(message).__name__)
 
-    def _register(self, ad: BrokerAdvertisement) -> None:
+    def _register(self, ad: BrokerAdvertisement, src: Endpoint | None = None) -> None:
         if ad.trace_flag and self._recorder is not None:
             self.span("recv", f"ad:{ad.broker_id}", hop=ad.trace_hop, kind="BrokerAdvertisement")
         if self.store.accept(ad, self.runtime.now):
@@ -297,16 +351,75 @@ class BDN(Node):
             stored = self.store.get(ad.broker_id)
             if stored is not None:
                 self.pinger.ping(stored.udp_endpoint, key=ad.broker_id)
+            if self.replication is not None:
+                # Ack the direct path so the broker's heartbeat can
+                # re-home to the group leader, then replicate the write.
+                if src is not None:
+                    self.runtime.send_udp(
+                        self.udp_endpoint,
+                        src,
+                        AdvertisementAck(
+                            broker_id=ad.broker_id,
+                            bdn=self.name,
+                            leader_hint=self.replication.leader_hint(),
+                        ),
+                    )
+                self.replication.on_local_write(ad)
+
+    def apply_replicated(self, ad: BrokerAdvertisement) -> bool:
+        """Apply an advertisement received via replication/anti-entropy.
+
+        Unlike the broker-facing :meth:`_register` path this is
+        *conditional*: an entry only overwrites when its lease is newer
+        (newest-lease-wins), so a delayed append can never roll a
+        renewed lease backwards.  Returns True if the store changed.
+        """
+        if not self.alive:
+            return False
+        now = self.runtime.now
+        if not self.store.accept_if_newer(ad, now):
+            return False
+        self._registered_at.setdefault(ad.broker_id, now)
+        self.trace("bdn_registered", broker=ad.broker_id, via="replication")
+        stored = self.store.get(ad.broker_id)
+        if stored is not None and self.pinger.average_rtt(ad.broker_id) is None:
+            self.pinger.ping(stored.udp_endpoint, key=ad.broker_id)
+        return True
 
     # ------------------------------------------------------------------
     # Discovery requests
     # ------------------------------------------------------------------
+    def _leader_hint(self) -> str:
+        """Current group leader as ``"host:port"``; ``""`` unreplicated."""
+        if self.replication is None:
+            return ""
+        return self.replication.leader_hint()
+
     def _handle_request(self, request: DiscoveryRequest) -> None:
         self.requests_received += 1
         traced_req = request.trace_flag and self._recorder is not None
         if traced_req:
             self.span("recv", request.uuid, hop=request.trace_hop, kind="DiscoveryRequest")
         requester = Endpoint(request.requester_host, request.requester_port)
+        if self.replication is not None and not self.replication.serving:
+            # Cold-restarted member still catching up: an empty (or
+            # partial) registry would disseminate to nobody and the
+            # request would die here.  Redirect the client instead.
+            self.requests_refused_catchup += 1
+            busy = DiscoveryBusy(
+                request_uuid=request.uuid,
+                bdn=self.name,
+                retry_after=self.config.busy_retry_after,
+                queue_depth=self.queue_depth,
+                trace_flag=request.trace_flag,
+                trace_hop=request.trace_hop + 1 if request.trace_flag else 0,
+                leader_hint=self._leader_hint(),
+            )
+            self.runtime.send_udp(self.udp_endpoint, requester, busy)
+            if traced_req:
+                self.span("busy", request.uuid, hop=busy.trace_hop, retry_after=busy.retry_after)
+            self.trace("bdn_catchup_refused", request=request.uuid)
+            return
         # Timely acknowledgement (section 3), even for duplicates.
         self.runtime.send_udp(self.udp_endpoint, requester, Ack(uuid=request.uuid, acked_by=self.name))
         if traced_req:

@@ -34,9 +34,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.config import BDNConfig, ClientConfig, RetryPolicyConfig, ServiceConfig
+from repro.core.config import (
+    BDNConfig,
+    ClientConfig,
+    Endpoint,
+    ReplicationConfig,
+    RetryPolicyConfig,
+    ServiceConfig,
+)
 from repro.core.errors import DiscoveryError
-from repro.discovery.bdn import BDN
+from repro.discovery.bdn import BDN, BDN_UDP_PORT
 from repro.discovery.faults import FaultInjector
 from repro.discovery.requester import DiscoveryClient, DiscoveryOutcome
 from repro.discovery.responder import DiscoveryResponder
@@ -47,6 +54,7 @@ from repro.substrate.builder import BrokerNetwork, Topology
 __all__ = [
     "CHAOS_KINDS",
     "STORM_KINDS",
+    "REPLICATED_CHAOS_KINDS",
     "ChaosAction",
     "ChaosWorld",
     "ChaosReport",
@@ -55,7 +63,10 @@ __all__ = [
     "run_chaos",
 ]
 
-#: Disruption kinds a schedule may contain.
+#: Disruption kinds a schedule may contain.  NOTE: the order and length
+#: of this tuple feed the per-seed kind draw, so any change re-maps the
+#: schedule drawn for every existing seed -- the full sweeps must be
+#: re-run whenever it grows (done when the replication kinds landed).
 CHAOS_KINDS = (
     "fail_link",
     "partition",
@@ -63,16 +74,25 @@ CHAOS_KINDS = (
     "kill_broker",
     "loss_storm",
     "link_loss_storm",
+    "bdn_crash_restart",
+    "bdn_group_partition",
 )
 
-#: CHAOS_KINDS plus request storms against a BDN.  A separate tuple --
-#: extending CHAOS_KINDS in place would re-map the kind drawn for every
-#: existing seed and silently invalidate the recorded chaos baselines.
+#: CHAOS_KINDS plus request storms against a BDN (opting into offered
+#: overload stays a separate, explicit choice).
 STORM_KINDS = CHAOS_KINDS + ("request_storm",)
+
+#: The disruption pool for replicated worlds: every kind targets the
+#: BDN group itself (leader kills, cold restarts that wipe a registry,
+#: minority partitions), which is what the election-safety and
+#: zero-outage invariants are about.
+REPLICATED_CHAOS_KINDS = ("kill_bdn", "bdn_crash_restart", "bdn_group_partition")
 
 # Kinds whose *onset* can invalidate a decision already in flight
 # (they change aliveness/reachability; loss storms only delay).
-_DISRUPTIVE = frozenset({"fail_link", "partition", "kill_bdn", "kill_broker"})
+_DISRUPTIVE = frozenset(
+    {"fail_link", "partition", "kill_bdn", "kill_broker", "bdn_crash_restart", "bdn_group_partition"}
+)
 
 # Phase-sum consistency tolerance (pure float accumulation error).
 _PHASE_EPS = 1e-6
@@ -113,12 +133,26 @@ class ChaosWorld:
     and ``require_ping_evidence`` so zero pongs becomes an explicit
     failure instead of a blind pick -- which is what makes the
     aliveness invariant checkable.
+
+    ``replicated=True`` swaps the two independent BDNs for a three
+    member replication group (tight timers: 2 s leases, 0.5 s leader
+    heartbeats, 1 s anti-entropy) with leader-following group
+    heartbeats on the brokers and the adaptive retry policy on the
+    client -- the configuration the election-safety and zero-outage
+    invariants run against.
     """
 
     N_BROKERS = 4
     N_BDNS = 2
+    N_REPLICAS = 3
     HEARTBEAT_INTERVAL = 2.0
     LEASE_TTL = 6.0
+    REPLICATION = dict(
+        lease_duration=2.0,
+        heartbeat_interval=0.5,
+        election_stagger=0.25,
+        anti_entropy_interval=1.0,
+    )
     # Overload-variant knobs: a BDN serves ~50 msg/s, sheds discovery
     # requests above 8 queued, and the client pays for retries from a
     # refilling budget with a per-BDN breaker.
@@ -133,8 +167,9 @@ class ChaosWorld:
         breaker_cooldown=1.0,
     )
 
-    def __init__(self, seed: int, overload: bool = False) -> None:
+    def __init__(self, seed: int, overload: bool = False, replicated: bool = False) -> None:
         self.overload = overload
+        self.replicated = replicated
         self.net = BrokerNetwork(
             seed=seed,
             latency=UniformLatencyModel(base=0.010, jitter_fraction=0.02),
@@ -148,7 +183,17 @@ class ChaosWorld:
             self.brokers.append(broker)
         self.net.apply_topology(Topology.RING, persistent=True)
         self.bdns = []
-        bdn_config = BDNConfig(injection="all", ping_interval=2.0)
+        n_bdns = self.N_REPLICAS if replicated else self.N_BDNS
+        replication = None
+        if replicated:
+            replication = ReplicationConfig(
+                group="g0",
+                members=tuple(
+                    (f"d{j}", Endpoint(f"d{j}.host", BDN_UDP_PORT)) for j in range(n_bdns)
+                ),
+                **self.REPLICATION,
+            )
+        bdn_config = BDNConfig(injection="all", ping_interval=2.0, replication=replication)
         if overload:
             bdn_config = BDNConfig(
                 injection="all",
@@ -156,8 +201,9 @@ class ChaosWorld:
                 service=self.BDN_SERVICE,
                 admission_high_watermark=self.ADMISSION_WATERMARK,
                 busy_retry_after=0.5,
+                replication=replication,
             )
-        for j in range(self.N_BDNS):
+        for j in range(n_bdns):
             bdn = BDN(
                 f"d{j}",
                 f"d{j}.host",
@@ -172,9 +218,14 @@ class ChaosWorld:
             self.bdns.append(bdn)
         endpoints = tuple(b.udp_endpoint for b in self.bdns)
         for broker in self.brokers:
-            self.responders[broker.name].attach_heartbeat(
-                endpoints, interval=self.HEARTBEAT_INTERVAL, ttl=self.LEASE_TTL
-            )
+            if replicated:
+                self.responders[broker.name].attach_group_heartbeat(
+                    endpoints, interval=self.HEARTBEAT_INTERVAL, ttl=self.LEASE_TTL
+                )
+            else:
+                self.responders[broker.name].attach_heartbeat(
+                    endpoints, interval=self.HEARTBEAT_INTERVAL, ttl=self.LEASE_TTL
+                )
         self.client = DiscoveryClient(
             "c0",
             "c0.host",
@@ -190,7 +241,7 @@ class ChaosWorld:
                 ping_repeats=2,
                 ping_timeout=0.5,
                 require_ping_evidence=True,
-                retry_policy=self.RETRY_POLICY if overload else None,
+                retry_policy=self.RETRY_POLICY if (overload or replicated) else None,
             ),
             site="client-site",
             realm="lab",
@@ -285,6 +336,20 @@ def draw_schedule(
         elif kind == "kill_bdn":
             bdn = world.bdns[int(rng.integers(len(world.bdns)))]
             actions.append(ChaosAction(kind, at, dur, targets=(bdn.name,)))
+        elif kind == "bdn_crash_restart":
+            # Kill + *cold* revive: the registry is wiped, so recovery
+            # needs heartbeats (or anti-entropy catch-up) to repopulate.
+            bdn = world.bdns[int(rng.integers(len(world.bdns)))]
+            actions.append(ChaosAction(kind, at, dur, targets=(bdn.name,)))
+        elif kind == "bdn_group_partition":
+            # Isolate one BDN from everything else.  Network.partition
+            # folds unlisted hosts into one implicit group, so the two
+            # explicit groups must cover every host.
+            bdn = world.bdns[int(rng.integers(len(world.bdns)))]
+            rest = tuple(h for h in hosts if h != bdn.host)
+            actions.append(
+                ChaosAction(kind, at, dur, targets=(bdn.name,), groups=((bdn.host,), rest))
+            )
         elif kind == "kill_broker":
             broker = world.brokers[int(rng.integers(len(world.brokers)))]
             actions.append(ChaosAction(kind, at, dur, targets=(broker.name,)))
@@ -332,6 +397,13 @@ def apply_schedule(world: ChaosWorld, schedule: tuple[ChaosAction, ...]) -> None
             bdn = world.node_by_name(action.targets[0])
             inj.kill_bdn(bdn, at=action.start)
             inj.revive_bdn(bdn, at=action.end)
+        elif action.kind == "bdn_crash_restart":
+            bdn = world.node_by_name(action.targets[0])
+            inj.kill_bdn(bdn, at=action.start)
+            inj.revive_bdn(bdn, at=action.end, cold=True)
+        elif action.kind == "bdn_group_partition":
+            inj.partition(*action.groups, at=action.start)
+            inj.heal(at=action.end)
         elif action.kind == "kill_broker":
             broker = world.node_by_name(action.targets[0])
             inj.kill_broker(broker, at=action.start)
@@ -461,6 +533,47 @@ def _check_overload(world: ChaosWorld, violations: list[str]) -> None:
             )
 
 
+def _check_replication(world: ChaosWorld, violations: list[str]) -> None:
+    """Replicated-variant invariants, checked after every fault healed.
+
+    **Election safety**: across the whole run, no two *different* group
+    members may ever have believed themselves leader with overlapping
+    lease windows.  Each member records ``[term, start, until]`` rows
+    (``until`` is its own conservative lease belief), so pairwise
+    interval overlap between members is direct evidence of split brain.
+
+    **Post-heal convergence**: once partitions dissolve and restarts
+    finish, anti-entropy must have driven every member's registry to
+    the same set of live broker registrations.
+    """
+    intervals = [
+        (bdn.name, row)
+        for bdn in world.bdns
+        for row in bdn.replication.leadership_intervals
+    ]
+    for i in range(len(intervals)):
+        name_a, (term_a, start_a, until_a) = intervals[i]
+        for j in range(i + 1, len(intervals)):
+            name_b, (term_b, start_b, until_b) = intervals[j]
+            if name_a == name_b:
+                continue
+            if start_a < until_b - 1e-9 and start_b < until_a - 1e-9:
+                violations.append(
+                    "election safety: "
+                    f"{name_a} led term {term_a:g} over [{start_a:.3f}, {until_a:.3f}) "
+                    f"overlapping {name_b} term {term_b:g} over [{start_b:.3f}, {until_b:.3f})"
+                )
+    now = world.sim.now
+    registries = {bdn.name: frozenset(bdn.store.broker_ids(now)) for bdn in world.bdns}
+    union = frozenset().union(*registries.values())
+    for name, ids in registries.items():
+        missing = union - ids
+        if missing:
+            violations.append(
+                f"convergence: {name} is missing {sorted(missing)} after heal"
+            )
+
+
 # ---------------------------------------------------------------------------
 # The harness
 # ---------------------------------------------------------------------------
@@ -469,8 +582,9 @@ def run_chaos(
     fault_window: float = 20.0,
     recovery: float = 12.0,
     run_gap: float = 0.5,
-    kinds: tuple[str, ...] = CHAOS_KINDS,
+    kinds: tuple[str, ...] | None = None,
     overload: bool = False,
+    replicated: bool = False,
 ) -> ChaosReport:
     """Run one full chaos scenario for ``seed`` and check every invariant.
 
@@ -482,12 +596,21 @@ def run_chaos(
     which must reconnect through the *cached* target set, with no BDN
     round trip, onto a different live broker.
 
-    ``kinds`` selects the disruption pool (:data:`STORM_KINDS` adds
-    request storms); ``overload=True`` equips the world's BDNs with
-    bounded queues + admission control and the client with the adaptive
-    retry policy, and checks the overload invariants at the end.
+    ``kinds`` selects the disruption pool (default :data:`CHAOS_KINDS`,
+    or :data:`REPLICATED_CHAOS_KINDS` when ``replicated``;
+    :data:`STORM_KINDS` adds request storms); ``overload=True`` equips
+    the world's BDNs with bounded queues + admission control and the
+    client with the adaptive retry policy, and checks the overload
+    invariants at the end.  ``replicated=True`` runs the three-member
+    BDN replication group instead, where the bar is higher: *every*
+    discovery attempt must succeed (the faults only ever touch a
+    minority of the group, so failover must mask them completely), no
+    two members may ever hold overlapping leader leases, and the
+    members' registries must converge after the faults heal.
     """
-    world = ChaosWorld(seed, overload=overload)
+    if kinds is None:
+        kinds = REPLICATED_CHAOS_KINDS if replicated else CHAOS_KINDS
+    world = ChaosWorld(seed, overload=overload, replicated=replicated)
     rng = np.random.default_rng(seed)
     violations: list[str] = []
     outcomes: list[DiscoveryOutcome] = []
@@ -505,6 +628,11 @@ def run_chaos(
         outcomes.append(outcome)
         _check_phases(label, outcome, violations)
         _check_aliveness(label, world, outcome, violations, started_at, strict)
+        if replicated and not outcome.success:
+            # Zero-outage invariant: the faults only ever touch a
+            # minority of the replication group, so a failed discovery
+            # means failover did not mask them.
+            violations.append(f"{label}: discovery failed despite replicated BDN group")
         return outcome
 
     # 1. Baseline: the undisturbed world must discover successfully.
@@ -556,5 +684,10 @@ def run_chaos(
     # 7. Overload invariants: bounded queues drained, breakers not wedged.
     if overload:
         _check_overload(world, violations)
+
+    # 8. Replication invariants: election safety over the whole run,
+    #    registry convergence now that every fault has healed.
+    if replicated:
+        _check_replication(world, violations)
 
     return ChaosReport(seed=seed, schedule=schedule, outcomes=outcomes, violations=violations)

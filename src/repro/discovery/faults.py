@@ -70,16 +70,27 @@ class FaultInjector:
 
         self._when(do, at)
 
-    def revive_bdn(self, bdn: BDN, at: float | None = None) -> None:
-        """Bring a stopped BDN back (its advertisement store survives,
-        like a process restart with a warm disk cache)."""
+    def revive_bdn(self, bdn: BDN, at: float | None = None, cold: bool = False) -> None:
+        """Bring a stopped BDN back, warm or cold.
+
+        The default (warm) restart keeps the advertisement store, like
+        a process restart with a warm disk cache.  ``cold=True`` models
+        a host replacement: :meth:`BDN.clear_registry` wipes the store,
+        lease bookkeeping, liveness RTTs and the dedup cache before the
+        node starts, so the registry must be repopulated by heartbeats
+        -- or, in a replication group, by anti-entropy catch-up (the
+        node refuses discovery requests with a leader hint until it has
+        caught up).
+        """
 
         def do() -> None:
             if bdn.alive:
                 return  # overlapping kill/revive windows; already back
+            if cold:
+                bdn.clear_registry()
             bdn._started = False  # noqa: SLF001 - deliberate restart hook
             bdn.start()
-            self._log("revive_bdn", bdn.name)
+            self._log("revive_bdn_cold" if cold else "revive_bdn", bdn.name)
 
         self._when(do, at)
 

@@ -164,6 +164,20 @@ class CircuitBreaker:
             return True
         return self._clock() - self._opened_at >= self.cooldown
 
+    def probe_now(self) -> None:
+        """Make a non-closed breaker immediately probeable.
+
+        Backdates the open timestamp by a full cooldown, so the next
+        :meth:`allow` moves straight to half-open and grants its probe
+        without waiting out the interval.  Used when out-of-band
+        evidence (a replication-group leader hint naming this
+        destination) says the destination is worth probing *now* -- a
+        rejoined replica should not sit behind a stale open breaker.
+        A closed breaker is untouched.
+        """
+        if self.state != self.CLOSED:
+            self._opened_at = self._clock() - self.cooldown
+
     def record_success(self) -> None:
         self.state = self.CLOSED
         self._consecutive = 0

@@ -1,0 +1,625 @@
+"""Replicated BDN control plane.
+
+The paper treats every BDN as an island: "our scheme will work even if
+a single broker is registered with a given BDN", and inter-BDN
+disagreement is tolerated rather than repaired.  That is fine for
+discovery *correctness* but not for *availability*: a BDN restart or a
+partition wipes (or freezes) its advertisement registry and its realm
+suffers a discovery blackout until every broker's heartbeat comes back
+around.  This module turns a set of BDNs into a replication group, in
+the spirit of the replicated discovery tiers of related systems
+(multi-replica grid discovery services, federated broker registries):
+
+* **Lease-based leader election.**  A candidate claims leadership of
+  the group for ``lease_duration`` seconds; every member grants at most
+  one candidate per overlapping window, so any two quorums intersect
+  and *no two leaders can ever hold overlapping valid leases* (the
+  election-safety invariant the chaos harness asserts).  The leader's
+  own belief in its lease is computed from claim *send* times, which
+  always expires no later than any voter's receipt-measured grant.
+  Election timeouts are staggered by member index -- deterministic
+  under :class:`~repro.runtime.sim.SimRuntime` (no randomness is
+  drawn) and plain wall-clock under the asyncio runtime.
+* **Log-style replication.**  The leader applies each accepted
+  advertisement to its own registry first (read-your-own-ads: a broker
+  that renews its heartbeat with the leader is immediately visible to
+  discovery there), assigns it a sequence number, and fans a
+  :class:`~repro.core.messages.ReplicaAppend` to the standbys.  A write
+  is *committed* once a quorum of members (leader included) has applied
+  it; commit latency and replication lag are exported as metrics.
+  Followers also keep accepting direct broker traffic -- availability
+  over strict single-writer purity -- and anti-entropy reconciles the
+  difference.
+* **Anti-entropy repair.**  Every member periodically sends each peer a
+  digest of its registry (broker id + lease seconds remaining).  The
+  peer answers with every advertisement the digester lacks or holds
+  with an older lease (*newest-lease-wins*, keyed by broker id and
+  compared on lease expiry).  After a partition heals, both sides of
+  the cut therefore converge to the union of their registries, minus
+  whatever leases lapsed meanwhile, within one repair period.
+
+Advertisements always travel with *receipt-relative* TTLs (the seconds
+remaining at the sender), never absolute deadlines, so replication
+inherits the clock-skew safety of the broker->BDN lease path.
+
+A cold-restarted member rejoins with an empty registry: it immediately
+digests every peer (pulling a full delta back) and, until the first
+exchange completes (or a grace period lapses), answers discovery
+requests with a :class:`~repro.core.messages.DiscoveryBusy` carrying a
+``leader_hint`` so clients jump straight to a serving member.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from repro.core.config import Endpoint, ReplicationConfig
+from repro.core.messages import (
+    AntiEntropyDelta,
+    AntiEntropyDigest,
+    BrokerAdvertisement,
+    LeaseClaim,
+    LeaseVote,
+    ReplicaAck,
+    ReplicaAppend,
+)
+from repro.runtime.api import TimerHandle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.discovery.bdn import BDN
+
+__all__ = ["ReplicationState", "parse_endpoint", "MAX_DELTA_ADS"]
+
+#: Ship at most this many advertisements per anti-entropy delta; a
+#: bigger registry repairs over several periods (and the truncation is
+#: traced, never silent).
+MAX_DELTA_ADS = 128
+
+#: Slack when comparing lease expiries: a remote lease must be newer by
+#: more than this to overwrite, so two members holding the same renewal
+#: do not bounce it back and forth forever.
+_LEASE_EPSILON = 1e-9
+
+FOLLOWER = "follower"
+CANDIDATE = "candidate"
+LEADER = "leader"
+
+
+def parse_endpoint(text: str) -> Endpoint | None:
+    """Parse a ``"host:port"`` leader hint; ``None`` if malformed."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        return None
+    try:
+        return Endpoint(host, int(port_text))
+    except ValueError:
+        return None
+
+
+class ReplicationState:
+    """One member's view of its BDN replication group.
+
+    Owned by a :class:`~repro.discovery.bdn.BDN`; all network I/O goes
+    through the BDN's runtime and UDP endpoint, so the same engine runs
+    simulated and live.
+    """
+
+    def __init__(self, bdn: "BDN", config: ReplicationConfig) -> None:
+        self.bdn = bdn
+        self.config = config
+        self.me = bdn.name
+        self.index = config.index_of(self.me)
+        self.peers = config.peers_of(self.me)
+
+        self.role = FOLLOWER
+        self.term = 0
+        self.leader: str | None = None
+        #: Local time until which the currently observed leader's lease
+        #: (as this member granted/witnessed it) is honoured.
+        self.leader_expires = -math.inf
+        # The one grant this member may have outstanding.
+        self._granted_to: str | None = None
+        self._granted_term = -1
+        self._grant_expires = -math.inf
+        # Candidate/leader vote bookkeeping: member -> claim send time
+        # (this node's clock) of the latest grant received from them.
+        self._votes: dict[str, float] = {}
+        self._claim_sent_at = -math.inf
+
+        # Replication log state.
+        self.seq = 0
+        self.committed_seq = 0
+        self._pending: dict[int, set[str]] = {}
+        self._append_sent_at: dict[int, float] = {}
+        self.peer_acked: dict[str, int] = {}
+        self._follower_next_seq = 1
+        self._follower_term = -1
+
+        # Catch-up state (cold restarts).
+        self.caught_up = True
+        self._catchup_deadline = -math.inf
+
+        # Election-safety evidence for the chaos invariants: mutable
+        # ``[term, start, until]`` rows, ``until`` extended on renewal.
+        self.leadership_intervals: list[list[float]] = []
+
+        # Counters (mirrored into the metrics registry when attached).
+        self.elections_started = 0
+        self.elections_won = 0
+        self.stepdowns = 0
+        self.appends_sent = 0
+        self.commits = 0
+        self.repair_ads_sent = 0
+        self.repair_ads_applied = 0
+        self.foreign_group_messages = 0
+
+        self._election_timer: TimerHandle | None = None
+        self._heartbeat_timer: TimerHandle | None = None
+        self._anti_entropy_timer: TimerHandle | None = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, cold: bool = False) -> None:
+        """Arm timers; ``cold`` marks the registry as wiped (catch-up)."""
+        now = self._now
+        self._running = True
+        self.role = FOLLOWER
+        if cold:
+            self.caught_up = False
+            self._catchup_deadline = now + self.config.effective_catchup_grace
+        self._arm_election_timer(now + self._election_timeout())
+        self._anti_entropy_timer = self.bdn.runtime.call_every(
+            self.config.anti_entropy_interval, self._anti_entropy_tick
+        )
+        if cold:
+            # Pull immediately rather than waiting out a full period.
+            self._send_digests()
+
+    def stop(self) -> None:
+        """Cancel every timer and silently relinquish any role.
+
+        The lease this member granted (or held) is deliberately *not*
+        forgotten: a restarting member must keep honouring grants it
+        made before crashing, or two leaders could overlap.  State is
+        kept in memory because the simulated fault model revives the
+        same object; a production port would persist the grant.
+        """
+        self._running = False
+        for handle in (self._election_timer, self._heartbeat_timer, self._anti_entropy_timer):
+            if handle is not None:
+                handle.cancel()
+        self._election_timer = None
+        self._heartbeat_timer = None
+        self._anti_entropy_timer = None
+        if self.role == LEADER:
+            self._step_down("stopped")
+        else:
+            self.role = FOLLOWER
+
+    @property
+    def _now(self) -> float:
+        return self.bdn.runtime.now
+
+    @property
+    def serving(self) -> bool:
+        """Whether this member should answer discovery requests."""
+        return self.caught_up or self._now >= self._catchup_deadline
+
+    def leader_endpoint(self) -> Endpoint | None:
+        """The leader this member currently recognises, if any."""
+        if self.role == LEADER and self._lease_until() > self._now:
+            return self.config.endpoint_of(self.me)
+        if self.leader is not None and self.leader_expires > self._now:
+            return self.config.endpoint_of(self.leader)
+        return None
+
+    def leader_hint(self) -> str:
+        endpoint = self.leader_endpoint()
+        return str(endpoint) if endpoint is not None else ""
+
+    def is_leader(self) -> bool:
+        return self.role == LEADER and self._lease_until() > self._now
+
+    # ------------------------------------------------------------------
+    # Election
+    # ------------------------------------------------------------------
+    def _election_timeout(self) -> float:
+        """Leader silence tolerated before this member claims.
+
+        Staggered by member index so elections are deterministic and
+        usually uncontested: the surviving member with the lowest index
+        times out first and wins before the next one even claims.
+        """
+        return self.config.lease_duration + self.index * self.config.election_stagger
+
+    def _arm_election_timer(self, fire_at: float) -> None:
+        if self._election_timer is not None:
+            self._election_timer.cancel()
+        delay = max(fire_at - self._now, 0.0)
+        self._election_timer = self.bdn.runtime.schedule(delay, self._on_election_timeout)
+
+    def _on_election_timeout(self) -> None:
+        self._election_timer = None
+        if not self._running or self.role == LEADER:
+            return
+        now = self._now
+        # A renewal may have landed since the timer was armed.
+        horizon = max(self.leader_expires, self._grant_expires)
+        if horizon + self.index * self.config.election_stagger > now:
+            self._arm_election_timer(horizon + self.index * self.config.election_stagger)
+            return
+        self._start_election()
+
+    def _start_election(self) -> None:
+        now = self._now
+        self.term += 1
+        self.role = CANDIDATE
+        self.elections_started += 1
+        self._votes = {self.me: now}
+        self._claim_sent_at = now
+        # Self-grant: a candidate is its own first voter, and the grant
+        # is as binding as one given to a peer.
+        self._granted_to = self.me
+        self._granted_term = self.term
+        self._grant_expires = now + self.config.lease_duration
+        self.bdn.trace("election_started", term=self.term, member=self.me)
+        self._count("replication.elections")
+        claim = LeaseClaim(
+            group=self.config.group,
+            candidate=self.me,
+            term=self.term,
+            duration=self.config.lease_duration,
+            sent_at=now,
+        )
+        for _, endpoint in self.peers:
+            self._send(endpoint, claim)
+        if len(self._votes) >= self.config.quorum_size:
+            self._become_leader()
+        else:
+            # Retry (next term) once our own grant has lapsed, staggered
+            # so concurrent candidates do not collide forever.
+            self._arm_election_timer(
+                self._grant_expires + self.index * self.config.election_stagger
+            )
+
+    def _become_leader(self) -> None:
+        now = self._now
+        self.role = LEADER
+        self.leader = self.me
+        self.elections_won += 1
+        self.leadership_intervals.append([float(self.term), now, self._lease_until()])
+        self.bdn.trace("election_won", term=self.term, member=self.me)
+        self.bdn.span("leader_elected", f"group:{self.config.group}", term=self.term)
+        self._count("replication.elections_won")
+        self._gauge("replication.is_leader", 1)
+        if self._heartbeat_timer is None:
+            self._heartbeat_timer = self.bdn.runtime.call_every(
+                self.config.heartbeat_interval, self._on_heartbeat
+            )
+        # Standbys may have drifted while there was no leader; repair
+        # them now instead of waiting out the next anti-entropy period.
+        self._send_digests()
+
+    def _lease_until(self) -> float:
+        """Conservative end of this node's (candidate/leader) lease.
+
+        The quorum-th most recent claim *send* time plus the lease
+        duration: every voter in that quorum granted a lease measured
+        from a receipt no earlier than the send, so this node's belief
+        always lapses first.
+        """
+        if len(self._votes) < self.config.quorum_size:
+            return -math.inf
+        times = sorted(self._votes.values(), reverse=True)
+        return times[self.config.quorum_size - 1] + self.config.lease_duration
+
+    def _step_down(self, why: str) -> None:
+        if self.role == LEADER:
+            self.stepdowns += 1
+            self.bdn.trace("leader_stepdown", term=self.term, member=self.me, why=why)
+            self._count("replication.stepdowns")
+            self._gauge("replication.is_leader", 0)
+            if self.leadership_intervals:
+                # Leadership *belief* ends now, even if the lease had
+                # longer to run (e.g. renouncing to a higher term) --
+                # the recorded interval must not outlive the belief.
+                row = self.leadership_intervals[-1]
+                row[2] = min(row[2], self._now)
+        self.role = FOLLOWER
+        self._votes = {}
+        self._pending.clear()
+        self._append_sent_at.clear()
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+            self._heartbeat_timer = None
+        if self._running:
+            self._arm_election_timer(self._now + self._election_timeout())
+
+    def _on_heartbeat(self) -> None:
+        """Leader tick: renew the lease (and detect having lost it)."""
+        if not self._running or self.role != LEADER:
+            return
+        now = self._now
+        if self._lease_until() <= now:
+            self._step_down("lease lapsed")
+            return
+        self._claim_sent_at = now
+        self._votes[self.me] = now
+        claim = LeaseClaim(
+            group=self.config.group,
+            candidate=self.me,
+            term=self.term,
+            duration=self.config.lease_duration,
+            sent_at=now,
+        )
+        for _, endpoint in self.peers:
+            self._send(endpoint, claim)
+        if self.leadership_intervals:
+            self.leadership_intervals[-1][2] = self._lease_until()
+        self._gauge("replication.lag", self.seq - self.committed_seq)
+
+    def on_lease_claim(self, claim: LeaseClaim, src: Endpoint) -> None:
+        if claim.group != self.config.group:
+            self.foreign_group_messages += 1
+            return
+        now = self._now
+        if claim.term > self.term:
+            self.term = claim.term
+            if self.role != FOLLOWER:
+                self._step_down(f"higher term from {claim.candidate}")
+        granted = False
+        grant_active = self._grant_expires > now and self._granted_to is not None
+        if claim.term < self.term:
+            pass  # stale candidate; deny with a hint below
+        elif grant_active and self._granted_to != claim.candidate:
+            pass  # exclusive window already promised to someone else
+        else:
+            granted = True
+            self._granted_to = claim.candidate
+            self._granted_term = claim.term
+            self._grant_expires = now + claim.duration
+            if claim.candidate != self.me:
+                # Witnessing a (probable) leader's claim doubles as its
+                # liveness signal; push our election timeout out.
+                self.leader = claim.candidate
+                self.leader_expires = self._grant_expires
+                if self.role == CANDIDATE:
+                    self.role = FOLLOWER
+                self._arm_election_timer(
+                    self._grant_expires + self.index * self.config.election_stagger
+                )
+        self.bdn.trace(
+            "lease_granted" if granted else "lease_denied",
+            term=claim.term,
+            candidate=claim.candidate,
+        )
+        vote = LeaseVote(
+            group=self.config.group,
+            voter=self.me,
+            term=claim.term,
+            granted=granted,
+            claim_sent_at=claim.sent_at,
+            leader_hint=self.leader_hint(),
+        )
+        self._send(src, vote)
+
+    def on_lease_vote(self, vote: LeaseVote, src: Endpoint) -> None:
+        if vote.group != self.config.group:
+            self.foreign_group_messages += 1
+            return
+        if vote.term != self.term or self.role == FOLLOWER:
+            return
+        if not vote.granted:
+            return
+        # The echoed send time is this node's own clock; it anchors the
+        # lease conservatively at claim *transmission*.
+        previous = self._votes.get(vote.voter, -math.inf)
+        self._votes[vote.voter] = max(previous, vote.claim_sent_at)
+        if self.role == CANDIDATE and len(self._votes) >= self.config.quorum_size:
+            self._become_leader()
+        elif self.role == LEADER and self.leadership_intervals:
+            self.leadership_intervals[-1][2] = self._lease_until()
+
+    # ------------------------------------------------------------------
+    # Log replication
+    # ------------------------------------------------------------------
+    def on_local_write(self, ad: BrokerAdvertisement) -> None:
+        """The BDN accepted ``ad`` into its own registry.
+
+        Leader: replicate it.  Follower/candidate: keep it local (the
+        broker will re-home to the leader via the advertisement ack,
+        and anti-entropy reconciles anything that slips through).
+        """
+        if not self.is_leader():
+            return
+        now = self._now
+        self.seq += 1
+        append = ReplicaAppend(
+            group=self.config.group,
+            leader=self.me,
+            term=self.term,
+            seq=self.seq,
+            ad=self._wire_ad(ad, now),
+        )
+        self._pending[self.seq] = {self.me}
+        self._append_sent_at[self.seq] = now
+        self.appends_sent += 1
+        self._count("replication.appends")
+        for _, endpoint in self.peers:
+            self._send(endpoint, append)
+        if self.config.quorum_size <= 1:
+            self._commit(self.seq)
+        self._gauge("replication.lag", self.seq - self.committed_seq)
+
+    def on_replica_append(self, append: ReplicaAppend, src: Endpoint) -> None:
+        if append.group != self.config.group:
+            self.foreign_group_messages += 1
+            return
+        if append.term < self.term:
+            self.bdn.trace("replica_stale_term", term=append.term, leader=append.leader)
+            return
+        now = self._now
+        if append.term > self.term:
+            self.term = append.term
+            if self.role != FOLLOWER:
+                self._step_down(f"append from newer leader {append.leader}")
+        self.leader = append.leader
+        if append.term != self._follower_term:
+            self._follower_term = append.term
+            self._follower_next_seq = append.seq  # new leader, new log
+        if append.seq > self._follower_next_seq:
+            # Missed appends (loss or late join): pull a repair rather
+            # than waiting for the next scheduled pass.
+            self.bdn.trace(
+                "replica_gap", expected=self._follower_next_seq, got=append.seq
+            )
+            self._count("replication.gaps")
+            self._send(src, self._digest_message(now))
+        self._follower_next_seq = max(self._follower_next_seq, append.seq) + 1
+        self.bdn.apply_replicated(append.ad)
+        self._send(
+            src,
+            ReplicaAck(
+                group=self.config.group, member=self.me, term=append.term, seq=append.seq
+            ),
+        )
+
+    def on_replica_ack(self, ack: ReplicaAck, src: Endpoint) -> None:
+        if ack.group != self.config.group:
+            self.foreign_group_messages += 1
+            return
+        if self.role != LEADER or ack.term != self.term:
+            return
+        self.peer_acked[ack.member] = max(self.peer_acked.get(ack.member, 0), ack.seq)
+        acked = self._pending.get(ack.seq)
+        if acked is None:
+            return
+        acked.add(ack.member)
+        if len(acked) >= self.config.quorum_size:
+            self._commit(ack.seq)
+
+    def _commit(self, seq: int) -> None:
+        self._pending.pop(seq, None)
+        sent_at = self._append_sent_at.pop(seq, None)
+        self.committed_seq = max(self.committed_seq, seq)
+        self.commits += 1
+        self.bdn.span("replica_commit", f"group:{self.config.group}", seq=seq)
+        self._count("replication.commits")
+        if sent_at is not None:
+            self._observe("replication.commit_latency", self._now - sent_at)
+        self._gauge("replication.lag", self.seq - self.committed_seq)
+
+    # ------------------------------------------------------------------
+    # Anti-entropy
+    # ------------------------------------------------------------------
+    def _anti_entropy_tick(self) -> None:
+        if not self._running:
+            return
+        self._send_digests()
+        if not self.caught_up and self._now >= self._catchup_deadline:
+            # Grace lapsed with no delta (e.g. every peer is dead);
+            # serve what we have rather than refusing forever.
+            self.caught_up = True
+            self.bdn.trace("bdn_caught_up", via="grace")
+
+    def _send_digests(self) -> None:
+        digest = self._digest_message(self._now)
+        for _, endpoint in self.peers:
+            self._send(endpoint, digest)
+
+    def _digest_message(self, now: float) -> AntiEntropyDigest:
+        entries = []
+        for stored in self.bdn.store.all(now):
+            remaining = (
+                0.0 if stored.expires_at == math.inf else stored.expires_at - now
+            )
+            entries.append((stored.broker_id, remaining))
+        return AntiEntropyDigest(
+            group=self.config.group, member=self.me, entries=tuple(entries)
+        )
+
+    def on_digest(self, digest: AntiEntropyDigest, src: Endpoint) -> None:
+        if digest.group != self.config.group:
+            self.foreign_group_messages += 1
+            return
+        now = self._now
+        theirs = dict(digest.entries)
+        ads: list[BrokerAdvertisement] = []
+        truncated = 0
+        for stored in self.bdn.store.all(now):
+            their_remaining = theirs.get(stored.broker_id)
+            if their_remaining is not None:
+                their_expiry = (
+                    math.inf if their_remaining == 0.0 else now + their_remaining
+                )
+                if stored.expires_at <= their_expiry + _LEASE_EPSILON:
+                    continue  # they already hold an equal-or-newer lease
+            if len(ads) >= MAX_DELTA_ADS:
+                truncated += 1
+                continue
+            ads.append(self._wire_ad(stored.advertisement, now, stored.expires_at))
+        if truncated:
+            self.bdn.trace("anti_entropy_truncated", dropped=truncated)
+        self.repair_ads_sent += len(ads)
+        self._count("replication.repair_ads_sent", len(ads))
+        # Always answer, even with an empty delta: a catching-up member
+        # treats any delta as "the peer has nothing newer for me".
+        self._send(
+            src,
+            AntiEntropyDelta(group=self.config.group, member=self.me, ads=tuple(ads)),
+        )
+
+    def on_delta(self, delta: AntiEntropyDelta, src: Endpoint) -> None:
+        if delta.group != self.config.group:
+            self.foreign_group_messages += 1
+            return
+        applied = 0
+        for ad in delta.ads:
+            if self.bdn.apply_replicated(ad):
+                applied += 1
+        self.repair_ads_applied += applied
+        if applied:
+            self._count("replication.repair_ads_applied", applied)
+            self.bdn.span(
+                "repair", f"group:{self.config.group}", ads=applied, peer=delta.member
+            )
+        if not self.caught_up:
+            self.caught_up = True
+            self.bdn.trace("bdn_caught_up", via="anti_entropy", ads=applied)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _wire_ad(
+        self, ad: BrokerAdvertisement, now: float, expires_at: float | None = None
+    ) -> BrokerAdvertisement:
+        """Re-issue ``ad`` with a receipt-relative TTL for shipping.
+
+        ``expires_at`` defaults to this member's stored lease deadline
+        for the broker; trace context never crosses replication.
+        """
+        if expires_at is None:
+            stored = self.bdn.store.get(ad.broker_id)
+            expires_at = stored.expires_at if stored is not None else math.inf
+        remaining = 0.0 if expires_at == math.inf else max(expires_at - now, 0.0)
+        return replace(ad, ttl=remaining, trace_flag=False, trace_hop=0)
+
+    def _send(self, dst: Endpoint, message) -> None:
+        self.bdn.runtime.send_udp(self.bdn.udp_endpoint, dst, message)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.bdn.obs is not None:
+            self.bdn.obs.registry.counter(name).inc(amount)
+
+    def _gauge(self, name: str, value: float) -> None:
+        if self.bdn.obs is not None:
+            self.bdn.obs.registry.gauge(name).set(value)
+
+    def _observe(self, name: str, value: float) -> None:
+        if self.bdn.obs is not None:
+            self.bdn.obs.registry.histogram(name).observe(value)

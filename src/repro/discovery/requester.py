@@ -45,6 +45,7 @@ from repro.simnet.node import Node
 from repro.simnet.trace import Tracer
 from repro.discovery.overload import CircuitBreaker, DecorrelatedJitterBackoff, TokenBucket
 from repro.discovery.phases import PhaseTimer
+from repro.discovery.replication import parse_endpoint
 from repro.discovery.ping import Pinger
 from repro.discovery.selection import Candidate, make_candidate, select_target_set
 
@@ -141,6 +142,8 @@ class _Run:
         "expected_pongs",
         "via",
         "bdn_index",
+        "bdn_order",
+        "hint_jumped",
         "bdn_used",
         "retransmits_here",
         "transmissions",
@@ -163,6 +166,8 @@ class _Run:
         self.expected_pongs = 0
         self.via = "bdn"
         self.bdn_index = 0
+        self.bdn_order: tuple[Endpoint, ...] = ()
+        self.hint_jumped = False
         self.bdn_used: Endpoint | None = None
         self.retransmits_here = 0
         self.transmissions = 0
@@ -256,6 +261,12 @@ class DiscoveryClient(Node):
         self.busy_received = 0
         self.retries_denied = 0
         self.bdn_skips = 0
+        # Last leader hint heard from a replicated BDN group (via a
+        # DiscoveryBusy or DiscoveryResponse); subsequent runs try the
+        # hinted leader first.  None until a hint arrives, in which
+        # case runs walk the configured BDN order unchanged.
+        self.preferred_bdn: Endpoint | None = None
+        self.leader_hint_updates = 0
 
     @property
     def udp_endpoint(self) -> Endpoint:
@@ -277,6 +288,40 @@ class DiscoveryClient(Node):
             )
             self._breakers[bdn] = breaker
         return breaker
+
+    def _bdn_order(self) -> tuple[Endpoint, ...]:
+        """This run's BDN ladder: the hinted leader first, then config order.
+
+        With no hint on record the ladder *is* the configured order --
+        byte-identical behaviour for unreplicated worlds.
+        """
+        bdns = tuple(self.config.bdn_endpoints)
+        preferred = self.preferred_bdn
+        if preferred is None or preferred not in bdns or bdns[0] == preferred:
+            return bdns
+        return (preferred, *(b for b in bdns if b != preferred))
+
+    def _note_leader_hint(self, hint: str) -> None:
+        """Record a leader hint heard from a BDN group member.
+
+        The hinted endpoint becomes the first rung of subsequent runs'
+        BDN ladders, and -- when the adaptive retry policy is active --
+        its circuit breaker is made immediately probeable: a takeover
+        hint is fresh evidence that the named replica is up, so it must
+        not sit out a stale open interval.
+        """
+        if not hint:
+            return
+        endpoint = parse_endpoint(hint)
+        if endpoint is None or endpoint not in self.config.bdn_endpoints:
+            return
+        if endpoint == self.preferred_bdn:
+            return
+        self.preferred_bdn = endpoint
+        self.leader_hint_updates += 1
+        self.trace("leader_hint_update", bdn=endpoint)
+        if self.config.retry_policy is not None:
+            self._breaker(endpoint).probe_now()
 
     def start(self) -> None:
         """Bind the UDP port and kick off NTP."""
@@ -321,6 +366,7 @@ class DiscoveryClient(Node):
             raise DiscoveryError(f"client {self.name} must be started before discovering")
         phases = PhaseTimer(lambda: self.runtime.now)
         run = _Run(self.ids(), phases, self.runtime.now, on_complete)
+        run.bdn_order = self._bdn_order()
         self._run = run
         self._begin_phase(run, "issue_request")
         if self._backoff is not None:
@@ -450,7 +496,7 @@ class DiscoveryClient(Node):
             # fallback chain.
             self._fallback_multicast(run)
             return
-        bdn = self.config.bdn_endpoints[run.bdn_index]
+        bdn = run.bdn_order[run.bdn_index]
         run.via = "bdn"
         request = self._request(run)
         run.transmissions += 1
@@ -480,7 +526,7 @@ class DiscoveryClient(Node):
                 run.retransmits_here += 1
                 self.trace("request_retransmit", request=run.uuid)
                 self._send_to_bdn(run)
-            elif run.bdn_index + 1 < len(self.config.bdn_endpoints):
+            elif run.bdn_index + 1 < len(run.bdn_order):
                 run.bdn_index += 1
                 run.retransmits_here = 0
                 self.trace("request_next_bdn", request=run.uuid)
@@ -501,7 +547,7 @@ class DiscoveryClient(Node):
         BDN's advertised ``retry_after``); with the budget empty the
         client moves on instead of hammering.
         """
-        bdn = self.config.bdn_endpoints[run.bdn_index]
+        bdn = run.bdn_order[run.bdn_index]
         self._breaker(bdn).record_failure()
         if run.retransmits_here < self.config.max_retransmits:
             if self.retry_budget.try_acquire():
@@ -515,7 +561,7 @@ class DiscoveryClient(Node):
                 return
             self.retries_denied += 1
             self.trace("retry_denied", request=run.uuid)
-        if run.bdn_index + 1 < len(self.config.bdn_endpoints):
+        if run.bdn_index + 1 < len(run.bdn_order):
             run.bdn_index += 1
             run.retransmits_here = 0
             self.trace("request_next_bdn", request=run.uuid)
@@ -530,7 +576,7 @@ class DiscoveryClient(Node):
         gate is checked *before* the breaker so that a gated BDN does
         not consume the breaker's half-open probe.
         """
-        bdns = self.config.bdn_endpoints
+        bdns = run.bdn_order
         while run.bdn_index < len(bdns):
             bdn = bdns[run.bdn_index]
             if self._bdn_retry_at.get(bdn, 0.0) > self.runtime.now:
@@ -673,13 +719,14 @@ class DiscoveryClient(Node):
         )
         self._bdn_retry_at[src] = self.runtime.now + busy.retry_after
         self._breaker(src).record_failure()
+        self._note_leader_hint(busy.leader_hint)
         if run.state != "ISSUING" or run.via != "bdn" or run.candidates:
             return
-        bdns = self.config.bdn_endpoints
+        bdns = run.bdn_order
         if run.bdn_index >= len(bdns) or bdns[run.bdn_index] != src:
             return  # stale busy from a BDN we already moved past
         if run.bdn_index + 1 < len(bdns):
-            run.bdn_index += 1
+            run.bdn_index = self._next_bdn_index(run, busy.leader_hint)
             run.retransmits_here = 0
             self.trace("request_next_bdn", request=run.uuid)
             self._send_to_bdn(run)
@@ -696,6 +743,29 @@ class DiscoveryClient(Node):
             self.trace("retry_denied", request=run.uuid)
             self._fallback_multicast(run)
 
+    def _next_bdn_index(self, run: _Run, hint: str) -> int:
+        """Where a busy-driven walk resumes: usually the next rung.
+
+        When the busy signal names the group leader and that leader
+        sits *further down* this run's ladder, jump straight to it --
+        at most once per run, so a bouncing hint cannot re-order the
+        walk indefinitely.  The index only ever moves forward, which
+        keeps the ladder walk terminating.
+        """
+        nxt = run.bdn_index + 1
+        if hint and not run.hint_jumped:
+            hinted = parse_endpoint(hint)
+            if hinted is not None:
+                try:
+                    j = run.bdn_order.index(hinted)
+                except ValueError:
+                    j = -1
+                if j > run.bdn_index:
+                    run.hint_jumped = True
+                    self.trace("leader_hint_jump", request=run.uuid, bdn=hinted)
+                    return j
+        return nxt
+
     def _enter_collecting(self, run: _Run) -> None:
         run.state = "COLLECTING"
         self._begin_phase(run, "wait_initial_responses")
@@ -704,6 +774,11 @@ class DiscoveryClient(Node):
             run.ack_timer = None
 
     def _on_response(self, run: _Run, response: DiscoveryResponse) -> None:
+        if response.leader_hint:
+            # A broker in a replicated world echoes its group-leader
+            # belief; remember it so the next run tries the leader
+            # first (and its breaker gets an immediate probe).
+            self._note_leader_hint(response.leader_hint)
         if run.state == "ISSUING":
             # The response doubles as an implicit ack (the BDN's ack may
             # have been lost, or the request went out via multicast).

@@ -82,6 +82,9 @@ class DiscoveryResponder:
         self.responses_suppressed = 0
         self.active = True
         self._heartbeats: list = []
+        #: Set by :meth:`attach_group_heartbeat`; its leader belief is
+        #: echoed in responses as ``leader_hint``.
+        self.group_heartbeat = None
         self._response_timers: set[TimerHandle] = set()
         broker.add_udp_handler(DiscoveryRequest, self._on_udp_request)
         broker.add_control_handler(REQUEST_TOPIC, self._on_control_event)
@@ -143,11 +146,40 @@ class DiscoveryResponder:
                 )
             )
 
+    def attach_group_heartbeat(
+        self,
+        group_endpoints,
+        interval: float = 30.0,
+        ttl: float | None = None,
+        region: str = "",
+    ) -> None:
+        """Maintain one leased registration with a *replicated* BDN group.
+
+        Unlike :meth:`attach_heartbeat` (one independent series per
+        endpoint) this starts a single
+        :class:`~repro.discovery.advertisement.GroupHeartbeat` that
+        follows the group's leader: it broadcasts until an ack names
+        the leader, renews there only, and re-homes (or falls back to
+        broadcast) on takeover.  The broker's current leader belief is
+        also echoed as ``leader_hint`` in every discovery response, so
+        clients learn where the group's write path lives.
+        """
+        from repro.discovery.advertisement import start_group_heartbeat
+
+        if not self.broker.config.advertise:
+            return
+        hb = start_group_heartbeat(
+            self.broker, tuple(group_endpoints), interval=interval, region=region, ttl=ttl
+        )
+        self.group_heartbeat = hb
+        self._heartbeats.append(hb)
+
     def detach_heartbeat(self) -> None:
         """Cancel every registration heartbeat started by this responder."""
         for series in self._heartbeats:
             series.cancel()
         self._heartbeats.clear()
+        self.group_heartbeat = None
 
     # ------------------------------------------------------------------
     # Arrival paths
@@ -274,6 +306,10 @@ class DiscoveryResponder:
                 depth=self.broker.queue_depth,
             )
             return
+        hb = self.group_heartbeat
+        leader_hint = (
+            str(hb.leader) if hb is not None and hb.leader is not None else ""
+        )
         response = DiscoveryResponse(
             request_uuid=request.uuid,
             broker_id=self.broker.name,
@@ -283,6 +319,7 @@ class DiscoveryResponder:
             metrics=self.broker.usage_metrics(),
             trace_flag=request.trace_flag,
             trace_hop=request.trace_hop + 1 if request.trace_flag else 0,
+            leader_hint=leader_hint,
         )
         self.broker.send_udp(
             Endpoint(request.requester_host, request.requester_port), response

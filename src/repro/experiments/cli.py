@@ -131,8 +131,59 @@ def _crypto(which: str, runs: int, seed: int) -> str:
     return metric_table(summarize(paper_sample(samples, keep=100)), title)
 
 
+def _replication(runs: int, seed: int) -> str:
+    from repro.discovery.chaos import ChaosAction, ChaosWorld, apply_schedule
+
+    def measure(replicated: bool) -> dict[str, float]:
+        world = ChaosWorld(seed, replicated=replicated)
+        if replicated:
+            victim = next(b for b in world.bdns if b.replication.is_leader())
+        else:
+            victim = world.bdns[0]
+        start = world.sim.now + 0.05  # mid-first-discovery
+        apply_schedule(
+            world, (ChaosAction("kill_bdn", start, 6.0, targets=(victim.name,)),)
+        )
+        attempts = max(4, min(runs, 40))
+        ok, times_ms = 0, []
+        for _ in range(attempts):
+            box: list = []
+            world.client.discover(box.append)
+            while not box and world.sim.step():
+                pass
+            if box and box[0].success:
+                ok += 1
+                times_ms.append(box[0].total_time * 1000.0)
+            world.sim.run_for(0.4)
+        row = {
+            "success %": 100.0 * ok / attempts,
+            "mean ms": float(np.mean(times_ms)) if times_ms else float("nan"),
+            "max ms": float(np.max(times_ms)) if times_ms else float("nan"),
+        }
+        if replicated:
+            row["elections"] = float(
+                sum(b.replication.elections_won for b in world.bdns)
+            )
+            row["leaders"] = float(
+                sum(1 for b in world.bdns if b.replication.is_leader())
+            )
+        return row
+
+    table = comparison_table(
+        [
+            ("independent BDNs", measure(False)),
+            ("3-replica group", measure(True)),
+        ],
+        ["success %", "mean ms", "max ms", "elections", "leaders"],
+        "Replication -- discovery under a BDN kill (leader killed in the "
+        "replicated world)",
+    )
+    return table
+
+
 TARGETS = (
-    "table1", "fig2", "fig3-7", "fig9", "fig11", "fig12", "fig13", "fig14", "trace", "all"
+    "table1", "fig2", "fig3-7", "fig9", "fig11", "fig12", "fig13", "fig14",
+    "replication", "trace", "all",
 )
 
 
@@ -184,6 +235,7 @@ def main(argv: list[str] | None = None) -> int:
         "fig12": lambda: _multicast(args.runs, args.seed),
         "fig13": lambda: _crypto("fig13", args.runs, args.seed),
         "fig14": lambda: _crypto("fig14", args.runs, args.seed),
+        "replication": lambda: _replication(args.runs, args.seed),
     }
     targets = list(producers) if args.target == "all" else [args.target]
     for i, name in enumerate(targets):

@@ -52,6 +52,11 @@ SPAN_EVENTS: dict[str, str] = {
     "late": "a response arrived after its run had already closed",
     "phase": "the requester entered a PhaseTimer phase",
     "done": "the requester closed the run (success or failure)",
+    # replication (trace id "group:<name>" or "bdn:<name>")
+    "leader_elected": "a replication-group member won a lease quorum",
+    "replica_commit": "a replicated advertisement reached write quorum",
+    "repair": "an anti-entropy delta was applied to the registry",
+    "cold_restart": "a BDN restarted with its registry wiped",
 }
 
 #: Legacy Tracer vocabulary, grouped by the module that emits it.
@@ -81,6 +86,21 @@ TRACE_EVENTS: frozenset[str] = frozenset(
         "bdn_pruned",
         "bdn_announce_malformed",
         "bdn_autoregistered",
+        # BDN replication groups
+        "election_started",
+        "election_won",
+        "leader_stepdown",
+        "lease_granted",
+        "lease_denied",
+        "replica_stale_term",
+        "replica_gap",
+        "anti_entropy_truncated",
+        "bdn_caught_up",
+        "bdn_cold_restart",
+        "bdn_catchup_refused",
+        # group registration heartbeats
+        "heartbeat_rehomed",
+        "heartbeat_broadcast",
         # discovery requester
         "client_stop",
         "discover_start",
@@ -97,6 +117,8 @@ TRACE_EVENTS: frozenset[str] = frozenset(
         "bdn_skipped_retry_after",
         "bdn_skipped_breaker",
         "bdn_busy_received",
+        "leader_hint_update",
+        "leader_hint_jump",
         "response_received",
         "collection_extended",
         "collection_done",

@@ -9,16 +9,24 @@ from repro.core.codec import decode_message, encode_message, wire_size
 from repro.core.errors import CodecError
 from repro.core.messages import (
     Ack,
+    AdvertisementAck,
+    AntiEntropyDelta,
+    AntiEntropyDigest,
     BrokerAdvertisement,
     DiscoveryBusy,
     DiscoveryRequest,
     DiscoveryResponse,
     Event,
+    LeaseClaim,
+    LeaseVote,
     Message,
     PingRequest,
     PingResponse,
+    ReplicaAck,
+    ReplicaAppend,
     Subscribe,
     Unsubscribe,
+    traced,
 )
 from repro.core.metrics import UsageMetrics
 
@@ -107,6 +115,64 @@ _ping_resp = st.builds(PingResponse, uuid=_text, sent_at=_f, broker_id=_text)
 _subscribe = st.builds(Subscribe, uuid=_text, topic=_text, subscriber=_text)
 _unsubscribe = st.builds(Unsubscribe, uuid=_text, topic=_text, subscriber=_text)
 
+_term = st.integers(min_value=0, max_value=0xFFFFFFFF)
+_seq = st.integers(min_value=0, max_value=2**64 - 1)
+_lease_claim = st.builds(
+    LeaseClaim,
+    group=_text,
+    candidate=_text,
+    term=_term,
+    duration=st.floats(min_value=1e-3, max_value=1e6, allow_nan=False),
+    sent_at=_f,
+)
+_lease_vote = st.builds(
+    LeaseVote,
+    group=_text,
+    voter=_text,
+    term=_term,
+    granted=st.booleans(),
+    claim_sent_at=_f,
+    leader_hint=_text,
+)
+_replica_append = st.builds(
+    ReplicaAppend, group=_text, leader=_text, term=_term, seq=_seq, ad=_ad
+)
+_replica_ack = st.builds(ReplicaAck, group=_text, member=_text, term=_term, seq=_seq)
+_digest = st.builds(
+    AntiEntropyDigest,
+    group=_text,
+    member=_text,
+    entries=st.lists(
+        st.tuples(_text, st.floats(min_value=0.0, max_value=1e9, allow_nan=False)),
+        max_size=4,
+    ).map(tuple),
+)
+_delta = st.builds(
+    AntiEntropyDelta,
+    group=_text,
+    member=_text,
+    ads=st.lists(_ad, max_size=3).map(tuple),
+)
+_ad_ack = st.builds(AdvertisementAck, broker_id=_text, bdn=_text, leader_hint=_text)
+_hinted_busy = st.builds(
+    DiscoveryBusy,
+    request_uuid=_text,
+    bdn=_text,
+    retry_after=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    queue_depth=st.integers(min_value=0, max_value=2**20),
+    leader_hint=_text,
+)
+_hinted_response = st.builds(
+    DiscoveryResponse,
+    request_uuid=_text,
+    broker_id=_text,
+    hostname=_text,
+    transports=_transports,
+    issued_at=_f,
+    metrics=_metrics,
+    leader_hint=_text,
+)
+
 _any_message = st.one_of(
     _event,
     _ack,
@@ -118,6 +184,15 @@ _any_message = st.one_of(
     _ping_resp,
     _subscribe,
     _unsubscribe,
+    _lease_claim,
+    _lease_vote,
+    _replica_append,
+    _replica_ack,
+    _digest,
+    _delta,
+    _ad_ack,
+    _hinted_busy,
+    _hinted_response,
 )
 
 
@@ -181,3 +256,44 @@ class TestSizes:
         small = Event(uuid="u", topic="t", payload=b"", source="s", issued_at=0.0)
         big = Event(uuid="u", topic="t", payload=b"x" * 1000, source="s", issued_at=0.0)
         assert wire_size(big) == wire_size(small) + 1000
+
+
+class TestLeaderHintTrailer:
+    """The leader hint must be byte-absent when empty (golden digests)."""
+
+    def _busy(self, hint: str) -> DiscoveryBusy:
+        return DiscoveryBusy(request_uuid="u", bdn="d0", retry_after=1.0, leader_hint=hint)
+
+    def test_empty_hint_adds_no_bytes(self):
+        import dataclasses
+
+        plain = self._busy("")
+        assert encode_message(plain) == encode_message(
+            dataclasses.replace(plain, leader_hint="")
+        )
+        hinted = self._busy("bdn-host:7000")
+        # marker + u16 length + utf-8 payload
+        assert wire_size(hinted) == wire_size(plain) + 3 + len("bdn-host:7000")
+
+    def test_hint_roundtrips(self):
+        hinted = self._busy("bdn-host:7000")
+        assert decode_message(encode_message(hinted)) == hinted
+
+    def test_hint_and_trace_roundtrip_together(self):
+        hinted = traced(self._busy("bdn-host:7000"), hop=4)
+        decoded = decode_message(encode_message(hinted))
+        assert decoded == hinted
+        assert decoded.leader_hint == "bdn-host:7000"
+        assert decoded.trace_hop == 4
+
+    def test_empty_hint_trailer_rejected(self):
+        # marker + zero-length string: "no hint" is encoded by absence,
+        # so an explicit empty trailer is garbage.
+        buf = encode_message(self._busy(""))
+        with pytest.raises(CodecError):
+            decode_message(buf + b"\x4c\x00\x00")
+
+    def test_hint_trailer_on_unhintable_kind_rejected(self):
+        buf = encode_message(Ack(uuid="u", acked_by="x"))
+        with pytest.raises(CodecError):
+            decode_message(buf + b"\x4c\x00\x01a")

@@ -39,6 +39,14 @@ class TestCli:
         for site in ("tallahassee", "cardiff", "minneapolis", "urbana", "bloomington"):
             assert site in out
 
+    def test_replication(self, capsys):
+        assert main(["replication", "--runs", "6", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Replication" in out
+        assert "independent BDNs" in out
+        assert "3-replica group" in out
+        assert "elections" in out
+
     def test_unknown_target_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig99"])
@@ -50,4 +58,5 @@ class TestCli:
     def test_target_list_is_complete(self):
         assert "all" in TARGETS
         assert "trace" in TARGETS
-        assert len(TARGETS) == 10
+        assert "replication" in TARGETS
+        assert len(TARGETS) == 11
