@@ -57,8 +57,8 @@ SCHEMA_VERSION = 1
 #: ``repeats`` runs each scenario in a fresh world that many times and
 #: keeps the fastest, suppressing scheduler/GC noise in the wall clock.
 PROFILES = {
-    "full": {"discovery_runs": 150, "soak_publishes": 3000, "repeats": 2},
-    "quick": {"discovery_runs": 40, "soak_publishes": 800, "repeats": 1},
+    "full": {"discovery_runs": 150, "soak_publishes": 3000, "codec_ops": 20_000, "repeats": 2},
+    "quick": {"discovery_runs": 40, "soak_publishes": 800, "codec_ops": 5_000, "repeats": 1},
 }
 
 
@@ -250,6 +250,157 @@ def run_substrate_soak(
     }
 
 
+def run_codec_micro(ops: int) -> dict:
+    """Microbenchmark the wire codec itself: encode/decode/size/lazy-key.
+
+    The discovery tier's cost is dominated by per-message codec work, so
+    this scenario prices it in isolation over a representative message
+    mix (request, response, advertisement, request-bearing event, ping).
+    ``events_per_sec`` is total codec operations per wall-clock second,
+    which puts the scenario under the same regression gate as the world
+    scenarios.  Steady-state allocation footprints (via ``tracemalloc``,
+    outside the timed region) land in ``detail`` so an
+    allocation-discipline regression is visible even when raw ops/s
+    stays flat.
+    """
+    import tracemalloc
+
+    from repro.core.codec import (
+        decode_message,
+        encode_message,
+        lazy_decode,
+        wire_size,
+    )
+    from repro.core.messages import (
+        BrokerAdvertisement,
+        DiscoveryRequest,
+        DiscoveryResponse,
+        Event,
+    )
+    from repro.core.metrics import UsageMetrics
+
+    request = DiscoveryRequest(
+        uuid="6f1d90b3-8a34-4d4c-9c60-3a9f4c1b2e77",
+        requester_host="client-7.realm-a.example",
+        requester_port=41_007,
+        transports=("udp", "tcp"),
+        credentials=frozenset({"realm-a", "group-physics"}),
+        realm="realm-a",
+        issued_at=123.456,
+        hop_count=3,
+        attempt=1,
+    )
+    response = DiscoveryResponse(
+        request_uuid=request.uuid,
+        broker_id="broker-12",
+        hostname="broker-12.realm-a.example",
+        transports=(("udp", 7_001), ("tcp", 7_002)),
+        issued_at=123.789,
+        metrics=UsageMetrics(
+            free_memory=1 << 28,
+            total_memory=1 << 30,
+            num_links=5,
+            num_connections=117,
+            cpu_load=0.42,
+            queue_depth=3,
+        ),
+    )
+    ad = BrokerAdvertisement(
+        broker_id="broker-12",
+        hostname="broker-12.realm-a.example",
+        transports=(("udp", 7_001), ("tcp", 7_002)),
+        logical_address="realm-a/site-2/broker-12",
+        region="us-east",
+        institution="example-university",
+        issued_at=120.0,
+        ttl=30.0,
+    )
+    ping = PingRequest(
+        uuid="f0e9d8c7-b6a5-4432-9100-ffeeddccbbaa",
+        sent_at=124.0,
+        reply_host="client-7.realm-a.example",
+        reply_port=41_008,
+    )
+    event = Event(
+        uuid=f"{request.uuid}#1",
+        topic="discovery/requests",
+        payload=encode_message(request),
+        source="broker-3",
+        issued_at=123.5,
+    )
+    messages = (request, response, ad, ping, event)
+    wires = tuple(encode_message(m) for m in messages)
+    request_wire = wires[0]
+    n_mix = len(messages)
+
+    def _timed(body) -> tuple[float, float]:
+        start = time.perf_counter()
+        body()
+        wall = time.perf_counter() - start
+        return ops / wall, wall
+
+    def _encode_loop() -> None:
+        for i in range(ops):
+            encode_message(messages[i % n_mix])
+
+    def _decode_loop() -> None:
+        for i in range(ops):
+            decode_message(wires[i % n_mix])
+
+    def _size_loop() -> None:
+        for i in range(ops):
+            wire_size(messages[i % n_mix])
+
+    def _lazy_key_loop() -> None:
+        for _ in range(ops):
+            lazy_decode(request_wire).request_key()
+
+    encode_ops, encode_wall = _timed(_encode_loop)
+    decode_ops, decode_wall = _timed(_decode_loop)
+    size_ops, size_wall = _timed(_size_loop)
+    lazy_ops, lazy_wall = _timed(_lazy_key_loop)
+    wall = encode_wall + decode_wall + size_wall + lazy_wall
+
+    # Allocation discipline, measured outside the timed region
+    # (tracemalloc instrumentation slows everything it watches): peak
+    # traced bytes across a small loop approximates per-op transient
+    # footprint, since each op's output is dropped immediately.
+    probe = 200
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    for _ in range(probe):
+        decode_message(request_wire)
+    _, decode_peak = tracemalloc.get_traced_memory()
+    tracemalloc.reset_peak()
+    for _ in range(probe):
+        encode_message(request)
+    _, encode_peak = tracemalloc.get_traced_memory()
+    tracemalloc.reset_peak()
+    for _ in range(probe):
+        lazy_decode(request_wire).request_key()
+    _, lazy_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    total_ops = 4 * ops
+    return {
+        "events_per_sec": total_ops / wall,
+        "wall_time_s": wall,
+        "sim_time_s": 0.0,
+        "events_processed": total_ops,
+        "peak_rss_kb": _peak_rss_kb(),
+        "detail": {
+            "ops_per_phase": ops,
+            "encode_ops_per_sec": encode_ops,
+            "decode_ops_per_sec": decode_ops,
+            "wire_size_ops_per_sec": size_ops,
+            "lazy_key_ops_per_sec": lazy_ops,
+            "decode_peak_alloc_b": decode_peak,
+            "encode_peak_alloc_b": encode_peak,
+            "lazy_key_peak_alloc_b": lazy_peak,
+        },
+    }
+
+
 def run_all(profile: str, only: list[str] | None = None) -> dict:
     sizes = PROFILES[profile]
     runners = {
@@ -262,6 +413,7 @@ def run_all(profile: str, only: list[str] | None = None) -> dict:
             sizes["discovery_runs"]
         ),
         "substrate_soak": lambda: run_substrate_soak(sizes["soak_publishes"]),
+        "codec_micro": lambda: run_codec_micro(sizes["codec_ops"]),
     }
     scenarios: dict[str, dict] = {}
     for name, runner in runners.items():

@@ -43,7 +43,13 @@ from repro.core.messages import (
     Subscribe,
     Unsubscribe,
 )
-from repro.core.codec import encode_message, decode_message, wire_size
+from repro.core.codec import (
+    encode_message,
+    decode_message,
+    lazy_decode,
+    LazyMessage,
+    wire_size,
+)
 from repro.core.compression import compress_payload, decompress_payload, is_compressed
 
 __all__ = [
@@ -76,6 +82,8 @@ __all__ = [
     "Unsubscribe",
     "encode_message",
     "decode_message",
+    "lazy_decode",
+    "LazyMessage",
     "wire_size",
     "compress_payload",
     "decompress_payload",

@@ -1,6 +1,6 @@
 """Binary wire codec for :mod:`repro.core.messages`.
 
-Two jobs:
+Three jobs:
 
 1. **Faithful sizing.**  The simulator charges transmission delay by
    message size, so every message must have a concrete byte length.
@@ -9,6 +9,44 @@ Two jobs:
    fixed-width scalars and length-prefixed UTF-8 strings.
 2. **Round-trip integrity.**  ``decode_message(encode_message(m)) == m``
    for every message type, which property tests verify exhaustively.
+3. **Raw speed.**  The discovery tier lives or dies by its per-message
+   encode/decode cost, so the hot paths are allocation-disciplined:
+
+   * every fixed-layout field group is a precompiled module-level
+     :class:`struct.Struct` (no per-call format parsing);
+   * decoding walks a :class:`memoryview` of the buffer -- scalar reads
+     use ``unpack_from`` and strings decode straight out of view slices
+     without an intermediate ``bytes`` copy;
+   * hot identifier strings (broker ids, hostnames, topics, realm and
+     group names) are interned at decode time, so the fabric holds one
+     object per distinct id and downstream dict/dedup lookups hit the
+     pointer-equality fast path.  Request UUIDs are deliberately *not*
+     interned -- they are unique per request and would pin the intern
+     table;
+   * :func:`wire_size` *computes* the byte length from the precompiled
+     layouts without encoding (and without caching message instances --
+     the old per-instance LRU pinned every message it ever sized);
+   * scratch :class:`_Reader` cursors come from a small free list, so a
+     steady-state decode loop allocates no codec objects at all.
+
+Lazy decode
+-----------
+:func:`lazy_decode` returns a :class:`LazyMessage`: a view over the
+buffer that extracts only the type tag (and, on demand, the leading
+request/event UUID or the ``(uuid, attempt)`` dedup key) without
+materialising the message.  Duplicate suppression -- the paper's LRU of
+the last 1000 request UUIDs -- can therefore drop a duplicate having
+paid for two length-prefix walks instead of a full decode; the first
+sighting materialises once and caches the result.  Any attribute access
+on a :class:`LazyMessage` transparently materialises.
+
+Errors
+------
+Every decode failure -- truncation, hostile length prefixes, trailing
+garbage, bad UTF-8, field validation -- surfaces as a typed
+:class:`~repro.core.errors.CodecError` carrying the message ``tag`` and
+byte ``offset`` where decoding stopped; raw ``struct.error`` or
+``IndexError`` never escape.
 
 The codec is deliberately explicit (one pack/unpack function per type)
 rather than reflective: the message set is small, and explicitness makes
@@ -19,7 +57,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import replace
-from functools import lru_cache
+from sys import intern as _intern
 
 from repro.core.errors import CodecError
 from repro.core.messages import (
@@ -44,7 +82,13 @@ from repro.core.messages import (
 )
 from repro.core.metrics import UsageMetrics
 
-__all__ = ["encode_message", "decode_message", "wire_size"]
+__all__ = [
+    "encode_message",
+    "decode_message",
+    "lazy_decode",
+    "LazyMessage",
+    "wire_size",
+]
 
 _MAGIC = 0x4E42  # "NB" in ASCII.
 
@@ -79,413 +123,535 @@ _HINT_MARKER = 0x4C  # "L"
 #: Message kinds allowed to carry the leader-hint trailer.
 _HINTABLE_KINDS = frozenset({DiscoveryResponse.kind, DiscoveryBusy.kind})
 
+# ---------------------------------------------------------------------------
+# Precompiled layouts
+# ---------------------------------------------------------------------------
+#
+# One Struct per fixed-layout field group.  Adjacent scalars are fused
+# into a single pack/unpack so a hot decode touches C code once per
+# group instead of once per field.
 
-class _Writer:
-    """Accumulates big-endian fields into a bytes buffer."""
+_U8 = struct.Struct(">B")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+_F64 = struct.Struct(">d")
+_HEADER = struct.Struct(">HB")  # magic + type tag
+_TRACE_TAIL = struct.Struct(">BH")  # trace marker + hop counter
+_PORT_COUNT = struct.Struct(">HB")  # requester_port + transport count
+_F64_U8 = struct.Struct(">dB")  # Event issued_at + header count
+_METRICS = struct.Struct(">QQIIdI")  # UsageMetrics, 36 bytes
+_RESP_TAIL = struct.Struct(">dQQIIdI")  # response issued_at + metrics
+_REQ_TAIL = struct.Struct(">dHB")  # request issued_at + hop_count + attempt
+_AD_TAIL = struct.Struct(">dd")  # advertisement issued_at + ttl
+_BUSY_TAIL = struct.Struct(">dI")  # busy retry_after + queue_depth
+_CLAIM_TAIL = struct.Struct(">Idd")  # claim term + duration + sent_at
+_VOTE_TAIL = struct.Struct(">IBd")  # vote term + granted + claim_sent_at
+_TERM_SEQ = struct.Struct(">IQ")  # replica term + seq
 
-    def __init__(self) -> None:
-        self._parts: list[bytes] = []
+_U16_pack = _U16.pack
+_U16_unpack_from = _U16.unpack_from
 
-    def u8(self, value: int) -> None:
-        self._parts.append(struct.pack(">B", value))
 
-    def u16(self, value: int) -> None:
-        self._parts.append(struct.pack(">H", value))
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+#
+# Encoders append ready-made byte chunks to a plain list which is
+# joined once at the end -- the fastest portable way to build small
+# buffers in CPython, and it needs no Writer object at all (the best
+# pooled scratch object is the one that was never allocated).
 
-    def u32(self, value: int) -> None:
-        self._parts.append(struct.pack(">I", value))
 
-    def u64(self, value: int) -> None:
-        self._parts.append(struct.pack(">Q", value))
+def _pack_str(parts: list[bytes], value: str) -> None:
+    raw = value.encode("utf-8")
+    n = len(raw)
+    if n > 0xFFFF:
+        raise CodecError(f"string field too long: {n} bytes")
+    parts.append(_U16_pack(n))
+    parts.append(raw)
 
-    def f64(self, value: float) -> None:
-        self._parts.append(struct.pack(">d", value))
 
-    def string(self, value: str) -> None:
-        raw = value.encode("utf-8")
-        if len(raw) > 0xFFFF:
-            raise CodecError(f"string field too long: {len(raw)} bytes")
-        self.u16(len(raw))
-        self._parts.append(raw)
+def _pack_data(parts: list[bytes], value: bytes) -> None:
+    if len(value) > 0xFFFFFFFF:
+        raise CodecError(f"payload too long: {len(value)} bytes")
+    parts.append(_U32.pack(len(value)))
+    parts.append(value)
 
-    def data(self, value: bytes) -> None:
-        if len(value) > 0xFFFFFFFF:
-            raise CodecError(f"payload too long: {len(value)} bytes")
-        self.u32(len(value))
-        self._parts.append(value)
 
-    def getvalue(self) -> bytes:
-        return b"".join(self._parts)
+def _pack_transports(parts: list[bytes], transports: tuple[tuple[str, int], ...]) -> None:
+    parts.append(_U8.pack(len(transports)))
+    for proto, port in transports:
+        _pack_str(parts, proto)
+        parts.append(_U16_pack(port))
+
+
+def _pack_strset(parts: list[bytes], values: frozenset[str]) -> None:
+    ordered = sorted(values)
+    parts.append(_U8.pack(len(ordered)))
+    for v in ordered:
+        _pack_str(parts, v)
+
+
+def _encode_event(parts: list[bytes], m: Event) -> None:
+    _pack_str(parts, m.uuid)
+    _pack_str(parts, m.topic)
+    _pack_data(parts, m.payload)
+    _pack_str(parts, m.source)
+    parts.append(_F64_U8.pack(m.issued_at, len(m.headers)))
+    for k, v in m.headers:
+        _pack_str(parts, k)
+        _pack_str(parts, v)
+
+
+def _encode_ack(parts: list[bytes], m: Ack) -> None:
+    _pack_str(parts, m.uuid)
+    _pack_str(parts, m.acked_by)
+
+
+def _encode_advertisement(parts: list[bytes], m: BrokerAdvertisement) -> None:
+    _pack_str(parts, m.broker_id)
+    _pack_str(parts, m.hostname)
+    _pack_transports(parts, m.transports)
+    _pack_str(parts, m.logical_address)
+    _pack_str(parts, m.region)
+    _pack_str(parts, m.institution)
+    parts.append(_AD_TAIL.pack(m.issued_at, m.ttl))
+
+
+def _encode_request(parts: list[bytes], m: DiscoveryRequest) -> None:
+    _pack_str(parts, m.uuid)
+    _pack_str(parts, m.requester_host)
+    parts.append(_PORT_COUNT.pack(m.requester_port, len(m.transports)))
+    for proto in m.transports:
+        _pack_str(parts, proto)
+    _pack_strset(parts, m.credentials)
+    _pack_str(parts, m.realm)
+    parts.append(_REQ_TAIL.pack(m.issued_at, m.hop_count, m.attempt))
+
+
+def _encode_response(parts: list[bytes], m: DiscoveryResponse) -> None:
+    _pack_str(parts, m.request_uuid)
+    _pack_str(parts, m.broker_id)
+    _pack_str(parts, m.hostname)
+    _pack_transports(parts, m.transports)
+    metrics = m.metrics
+    parts.append(
+        _RESP_TAIL.pack(
+            m.issued_at,
+            metrics.free_memory,
+            metrics.total_memory,
+            metrics.num_links,
+            metrics.num_connections,
+            metrics.cpu_load,
+            metrics.queue_depth,
+        )
+    )
+
+
+def _encode_busy(parts: list[bytes], m: DiscoveryBusy) -> None:
+    _pack_str(parts, m.request_uuid)
+    _pack_str(parts, m.bdn)
+    parts.append(_BUSY_TAIL.pack(m.retry_after, m.queue_depth))
+
+
+def _encode_ping_request(parts: list[bytes], m: PingRequest) -> None:
+    _pack_str(parts, m.uuid)
+    parts.append(_F64.pack(m.sent_at))
+    _pack_str(parts, m.reply_host)
+    parts.append(_U16_pack(m.reply_port))
+
+
+def _encode_ping_response(parts: list[bytes], m: PingResponse) -> None:
+    _pack_str(parts, m.uuid)
+    parts.append(_F64.pack(m.sent_at))
+    _pack_str(parts, m.broker_id)
+
+
+def _encode_subscribe(parts: list[bytes], m: Subscribe) -> None:
+    _pack_str(parts, m.uuid)
+    _pack_str(parts, m.topic)
+    _pack_str(parts, m.subscriber)
+
+
+def _encode_unsubscribe(parts: list[bytes], m: Unsubscribe) -> None:
+    _pack_str(parts, m.uuid)
+    _pack_str(parts, m.topic)
+    _pack_str(parts, m.subscriber)
+
+
+def _encode_lease_claim(parts: list[bytes], m: LeaseClaim) -> None:
+    _pack_str(parts, m.group)
+    _pack_str(parts, m.candidate)
+    parts.append(_CLAIM_TAIL.pack(m.term, m.duration, m.sent_at))
+
+
+def _encode_lease_vote(parts: list[bytes], m: LeaseVote) -> None:
+    _pack_str(parts, m.group)
+    _pack_str(parts, m.voter)
+    parts.append(_VOTE_TAIL.pack(m.term, 1 if m.granted else 0, m.claim_sent_at))
+    _pack_str(parts, m.leader_hint)
+
+
+def _encode_replica_append(parts: list[bytes], m: ReplicaAppend) -> None:
+    _pack_str(parts, m.group)
+    _pack_str(parts, m.leader)
+    parts.append(_TERM_SEQ.pack(m.term, m.seq))
+    _encode_advertisement(parts, m.ad)
+
+
+def _encode_replica_ack(parts: list[bytes], m: ReplicaAck) -> None:
+    _pack_str(parts, m.group)
+    _pack_str(parts, m.member)
+    parts.append(_TERM_SEQ.pack(m.term, m.seq))
+
+
+def _encode_anti_entropy_digest(parts: list[bytes], m: AntiEntropyDigest) -> None:
+    _pack_str(parts, m.group)
+    _pack_str(parts, m.member)
+    if len(m.entries) > 0xFFFF:
+        raise CodecError(f"digest too large: {len(m.entries)} entries")
+    parts.append(_U16_pack(len(m.entries)))
+    for broker_id, remaining in m.entries:
+        _pack_str(parts, broker_id)
+        parts.append(_F64.pack(remaining))
+
+
+def _encode_anti_entropy_delta(parts: list[bytes], m: AntiEntropyDelta) -> None:
+    _pack_str(parts, m.group)
+    _pack_str(parts, m.member)
+    if len(m.ads) > 0xFFFF:
+        raise CodecError(f"delta too large: {len(m.ads)} advertisements")
+    parts.append(_U16_pack(len(m.ads)))
+    for ad in m.ads:
+        _encode_advertisement(parts, ad)
+
+
+def _encode_advertisement_ack(parts: list[bytes], m: AdvertisementAck) -> None:
+    _pack_str(parts, m.broker_id)
+    _pack_str(parts, m.bdn)
+    _pack_str(parts, m.leader_hint)
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
 
 
 class _Reader:
-    """Consumes big-endian fields from a bytes buffer."""
+    """Cursor over a :class:`memoryview`; instances come from a free list.
 
-    def __init__(self, buf: bytes) -> None:
-        self._buf = buf
-        self._pos = 0
+    Every read bounds-checks explicitly (memoryview slicing silently
+    truncates, so length prefixes must be validated before slicing) and
+    raises :class:`CodecError` -- never ``struct.error`` -- on a short
+    buffer.
+    """
+
+    __slots__ = ("buf", "pos", "end")
+
+    def __init__(self) -> None:
+        self.buf: memoryview | None = None
+        self.pos = 0
+        self.end = 0
+
+    def _short(self, n: int) -> CodecError:
+        return CodecError(
+            f"truncated message: need {n} bytes at offset {self.pos}, "
+            f"have {self.end - self.pos}",
+            offset=self.pos,
+        )
 
     def remaining(self) -> int:
-        return len(self._buf) - self._pos
-
-    def _take(self, n: int) -> bytes:
-        if self._pos + n > len(self._buf):
-            raise CodecError(
-                f"truncated message: need {n} bytes at offset {self._pos}, "
-                f"have {len(self._buf) - self._pos}"
-            )
-        chunk = self._buf[self._pos : self._pos + n]
-        self._pos += n
-        return chunk
+        return self.end - self.pos
 
     def u8(self) -> int:
-        return struct.unpack(">B", self._take(1))[0]
+        pos = self.pos
+        if pos + 1 > self.end:
+            raise self._short(1)
+        self.pos = pos + 1
+        return self.buf[pos]
 
     def u16(self) -> int:
-        return struct.unpack(">H", self._take(2))[0]
+        pos = self.pos
+        if pos + 2 > self.end:
+            raise self._short(2)
+        self.pos = pos + 2
+        return _U16_unpack_from(self.buf, pos)[0]
 
     def u32(self) -> int:
-        return struct.unpack(">I", self._take(4))[0]
+        pos = self.pos
+        if pos + 4 > self.end:
+            raise self._short(4)
+        self.pos = pos + 4
+        return _U32.unpack_from(self.buf, pos)[0]
 
     def u64(self) -> int:
-        return struct.unpack(">Q", self._take(8))[0]
+        pos = self.pos
+        if pos + 8 > self.end:
+            raise self._short(8)
+        self.pos = pos + 8
+        return _U64.unpack_from(self.buf, pos)[0]
 
     def f64(self) -> float:
-        return struct.unpack(">d", self._take(8))[0]
+        pos = self.pos
+        if pos + 8 > self.end:
+            raise self._short(8)
+        self.pos = pos + 8
+        return _F64.unpack_from(self.buf, pos)[0]
+
+    def group(self, layout: struct.Struct) -> tuple:
+        """Unpack one fused fixed-layout field group."""
+        pos = self.pos
+        size = layout.size
+        if pos + size > self.end:
+            raise self._short(size)
+        self.pos = pos + size
+        return layout.unpack_from(self.buf, pos)
 
     def string(self) -> str:
-        n = self.u16()
-        raw = self._take(n)
+        buf = self.buf
+        pos = self.pos
+        if pos + 2 > self.end:
+            raise self._short(2)
+        n = _U16_unpack_from(buf, pos)[0]
+        start = pos + 2
+        stop = start + n
+        if stop > self.end:
+            self.pos = start
+            raise self._short(n)
+        self.pos = stop
         try:
-            return raw.decode("utf-8")
+            # Decodes straight out of the view slice: no bytes copy.
+            return str(buf[start:stop], "utf-8")
         except UnicodeDecodeError as exc:
-            raise CodecError(f"invalid UTF-8 in string field: {exc}") from exc
+            raise CodecError(
+                f"invalid UTF-8 in string field: {exc}", offset=start
+            ) from exc
+
+    def sym(self) -> str:
+        """A string field interned as a hot identifier (broker id,
+        hostname, topic, realm/group name): one object per distinct
+        value process-wide, so dict and dedup lookups downstream hit
+        pointer equality."""
+        return _intern(self.string())
 
     def data(self) -> bytes:
-        n = self.u32()
-        return self._take(n)
+        buf = self.buf
+        pos = self.pos
+        if pos + 4 > self.end:
+            raise self._short(4)
+        n = _U32.unpack_from(buf, pos)[0]
+        start = pos + 4
+        stop = start + n
+        if stop > self.end:
+            self.pos = start
+            raise self._short(n)  # hostile length prefix, not an allocation
+        self.pos = stop
+        return bytes(buf[start:stop])
 
     def done(self) -> bool:
-        return self._pos == len(self._buf)
+        return self.pos == self.end
 
 
-def _write_transports(w: _Writer, transports: tuple[tuple[str, int], ...]) -> None:
-    w.u8(len(transports))
-    for proto, port in transports:
-        w.string(proto)
-        w.u16(port)
+#: Free list of scratch readers; a steady-state decode loop allocates
+#: no cursor objects.  Sized generously past any realistic nesting.
+_READER_POOL: list[_Reader] = []
+_READER_POOL_MAX = 8
+
+
+def _reader_acquire(view: memoryview, pos: int) -> _Reader:
+    r = _READER_POOL.pop() if _READER_POOL else _Reader()
+    r.buf = view
+    r.pos = pos
+    r.end = len(view)
+    return r
+
+
+def _reader_release(r: _Reader) -> None:
+    r.buf = None  # do not pin the caller's buffer from the pool
+    if len(_READER_POOL) < _READER_POOL_MAX:
+        _READER_POOL.append(r)
 
 
 def _read_transports(r: _Reader) -> tuple[tuple[str, int], ...]:
-    return tuple((r.string(), r.u16()) for _ in range(r.u8()))
-
-
-def _write_strset(w: _Writer, values: frozenset[str]) -> None:
-    ordered = sorted(values)
-    w.u8(len(ordered))
-    for v in ordered:
-        w.string(v)
+    return tuple((r.sym(), r.u16()) for _ in range(r.u8()))
 
 
 def _read_strset(r: _Reader) -> frozenset[str]:
-    return frozenset(r.string() for _ in range(r.u8()))
-
-
-def _write_metrics(w: _Writer, m: UsageMetrics) -> None:
-    w.u64(m.free_memory)
-    w.u64(m.total_memory)
-    w.u32(m.num_links)
-    w.u32(m.num_connections)
-    w.f64(m.cpu_load)
-    w.u32(m.queue_depth)
-
-
-def _read_metrics(r: _Reader) -> UsageMetrics:
-    return UsageMetrics(
-        free_memory=r.u64(),
-        total_memory=r.u64(),
-        num_links=r.u32(),
-        num_connections=r.u32(),
-        cpu_load=r.f64(),
-        queue_depth=r.u32(),
-    )
-
-
-def _encode_event(w: _Writer, m: Event) -> None:
-    w.string(m.uuid)
-    w.string(m.topic)
-    w.data(m.payload)
-    w.string(m.source)
-    w.f64(m.issued_at)
-    w.u8(len(m.headers))
-    for k, v in m.headers:
-        w.string(k)
-        w.string(v)
+    return frozenset(r.sym() for _ in range(r.u8()))
 
 
 def _decode_event(r: _Reader) -> Event:
+    uuid = r.string()
+    topic = r.sym()
+    payload = r.data()
+    source = r.sym()
+    issued_at, n_headers = r.group(_F64_U8)
     return Event(
-        uuid=r.string(),
-        topic=r.string(),
-        payload=r.data(),
-        source=r.string(),
-        issued_at=r.f64(),
-        headers=tuple((r.string(), r.string()) for _ in range(r.u8())),
+        uuid=uuid,
+        topic=topic,
+        payload=payload,
+        source=source,
+        issued_at=issued_at,
+        headers=tuple((r.string(), r.string()) for _ in range(n_headers)),
     )
-
-
-def _encode_ack(w: _Writer, m: Ack) -> None:
-    w.string(m.uuid)
-    w.string(m.acked_by)
 
 
 def _decode_ack(r: _Reader) -> Ack:
-    return Ack(uuid=r.string(), acked_by=r.string())
-
-
-def _encode_advertisement(w: _Writer, m: BrokerAdvertisement) -> None:
-    w.string(m.broker_id)
-    w.string(m.hostname)
-    _write_transports(w, m.transports)
-    w.string(m.logical_address)
-    w.string(m.region)
-    w.string(m.institution)
-    w.f64(m.issued_at)
-    w.f64(m.ttl)
+    return Ack(uuid=r.string(), acked_by=r.sym())
 
 
 def _decode_advertisement(r: _Reader) -> BrokerAdvertisement:
+    broker_id = r.sym()
+    hostname = r.sym()
+    transports = _read_transports(r)
+    logical_address = r.sym()
+    region = r.sym()
+    institution = r.sym()
+    issued_at, ttl = r.group(_AD_TAIL)
     return BrokerAdvertisement(
-        broker_id=r.string(),
-        hostname=r.string(),
-        transports=_read_transports(r),
-        logical_address=r.string(),
-        region=r.string(),
-        institution=r.string(),
-        issued_at=r.f64(),
-        ttl=r.f64(),
+        broker_id=broker_id,
+        hostname=hostname,
+        transports=transports,
+        logical_address=logical_address,
+        region=region,
+        institution=institution,
+        issued_at=issued_at,
+        ttl=ttl,
     )
-
-
-def _encode_request(w: _Writer, m: DiscoveryRequest) -> None:
-    w.string(m.uuid)
-    w.string(m.requester_host)
-    w.u16(m.requester_port)
-    w.u8(len(m.transports))
-    for proto in m.transports:
-        w.string(proto)
-    _write_strset(w, m.credentials)
-    w.string(m.realm)
-    w.f64(m.issued_at)
-    w.u16(m.hop_count)
-    w.u8(m.attempt)
 
 
 def _decode_request(r: _Reader) -> DiscoveryRequest:
+    uuid = r.string()
+    requester_host = r.sym()
+    requester_port, n_transports = r.group(_PORT_COUNT)
+    transports = tuple(r.sym() for _ in range(n_transports))
+    credentials = _read_strset(r)
+    realm = r.sym()
+    issued_at, hop_count, attempt = r.group(_REQ_TAIL)
     return DiscoveryRequest(
-        uuid=r.string(),
-        requester_host=r.string(),
-        requester_port=r.u16(),
-        transports=tuple(r.string() for _ in range(r.u8())),
-        credentials=_read_strset(r),
-        realm=r.string(),
-        issued_at=r.f64(),
-        hop_count=r.u16(),
-        attempt=r.u8(),
+        uuid=uuid,
+        requester_host=requester_host,
+        requester_port=requester_port,
+        transports=transports,
+        credentials=credentials,
+        realm=realm,
+        issued_at=issued_at,
+        hop_count=hop_count,
+        attempt=attempt,
     )
-
-
-def _encode_response(w: _Writer, m: DiscoveryResponse) -> None:
-    w.string(m.request_uuid)
-    w.string(m.broker_id)
-    w.string(m.hostname)
-    _write_transports(w, m.transports)
-    w.f64(m.issued_at)
-    _write_metrics(w, m.metrics)
 
 
 def _decode_response(r: _Reader) -> DiscoveryResponse:
+    request_uuid = r.string()
+    broker_id = r.sym()
+    hostname = r.sym()
+    transports = _read_transports(r)
+    issued_at, free, total, links, conns, cpu, depth = r.group(_RESP_TAIL)
     return DiscoveryResponse(
-        request_uuid=r.string(),
-        broker_id=r.string(),
-        hostname=r.string(),
-        transports=_read_transports(r),
-        issued_at=r.f64(),
-        metrics=_read_metrics(r),
+        request_uuid=request_uuid,
+        broker_id=broker_id,
+        hostname=hostname,
+        transports=transports,
+        issued_at=issued_at,
+        metrics=UsageMetrics(
+            free_memory=free,
+            total_memory=total,
+            num_links=links,
+            num_connections=conns,
+            cpu_load=cpu,
+            queue_depth=depth,
+        ),
     )
-
-
-def _encode_busy(w: _Writer, m: DiscoveryBusy) -> None:
-    w.string(m.request_uuid)
-    w.string(m.bdn)
-    w.f64(m.retry_after)
-    w.u32(m.queue_depth)
 
 
 def _decode_busy(r: _Reader) -> DiscoveryBusy:
+    request_uuid = r.string()
+    bdn = r.sym()
+    retry_after, queue_depth = r.group(_BUSY_TAIL)
     return DiscoveryBusy(
-        request_uuid=r.string(),
-        bdn=r.string(),
-        retry_after=r.f64(),
-        queue_depth=r.u32(),
+        request_uuid=request_uuid,
+        bdn=bdn,
+        retry_after=retry_after,
+        queue_depth=queue_depth,
     )
-
-
-def _encode_ping_request(w: _Writer, m: PingRequest) -> None:
-    w.string(m.uuid)
-    w.f64(m.sent_at)
-    w.string(m.reply_host)
-    w.u16(m.reply_port)
 
 
 def _decode_ping_request(r: _Reader) -> PingRequest:
     return PingRequest(
-        uuid=r.string(), sent_at=r.f64(), reply_host=r.string(), reply_port=r.u16()
+        uuid=r.string(), sent_at=r.f64(), reply_host=r.sym(), reply_port=r.u16()
     )
-
-
-def _encode_ping_response(w: _Writer, m: PingResponse) -> None:
-    w.string(m.uuid)
-    w.f64(m.sent_at)
-    w.string(m.broker_id)
 
 
 def _decode_ping_response(r: _Reader) -> PingResponse:
-    return PingResponse(uuid=r.string(), sent_at=r.f64(), broker_id=r.string())
-
-
-def _encode_subscribe(w: _Writer, m: Subscribe) -> None:
-    w.string(m.uuid)
-    w.string(m.topic)
-    w.string(m.subscriber)
+    return PingResponse(uuid=r.string(), sent_at=r.f64(), broker_id=r.sym())
 
 
 def _decode_subscribe(r: _Reader) -> Subscribe:
-    return Subscribe(uuid=r.string(), topic=r.string(), subscriber=r.string())
-
-
-def _encode_unsubscribe(w: _Writer, m: Unsubscribe) -> None:
-    w.string(m.uuid)
-    w.string(m.topic)
-    w.string(m.subscriber)
+    return Subscribe(uuid=r.string(), topic=r.sym(), subscriber=r.sym())
 
 
 def _decode_unsubscribe(r: _Reader) -> Unsubscribe:
-    return Unsubscribe(uuid=r.string(), topic=r.string(), subscriber=r.string())
-
-
-def _encode_lease_claim(w: _Writer, m: LeaseClaim) -> None:
-    w.string(m.group)
-    w.string(m.candidate)
-    w.u32(m.term)
-    w.f64(m.duration)
-    w.f64(m.sent_at)
+    return Unsubscribe(uuid=r.string(), topic=r.sym(), subscriber=r.sym())
 
 
 def _decode_lease_claim(r: _Reader) -> LeaseClaim:
+    group = r.sym()
+    candidate = r.sym()
+    term, duration, sent_at = r.group(_CLAIM_TAIL)
     return LeaseClaim(
-        group=r.string(),
-        candidate=r.string(),
-        term=r.u32(),
-        duration=r.f64(),
-        sent_at=r.f64(),
+        group=group, candidate=candidate, term=term, duration=duration, sent_at=sent_at
     )
-
-
-def _encode_lease_vote(w: _Writer, m: LeaseVote) -> None:
-    w.string(m.group)
-    w.string(m.voter)
-    w.u32(m.term)
-    w.u8(1 if m.granted else 0)
-    w.f64(m.claim_sent_at)
-    w.string(m.leader_hint)
 
 
 def _decode_lease_vote(r: _Reader) -> LeaseVote:
+    group = r.sym()
+    voter = r.sym()
+    term, granted, claim_sent_at = r.group(_VOTE_TAIL)
     return LeaseVote(
-        group=r.string(),
-        voter=r.string(),
-        term=r.u32(),
-        granted=bool(r.u8()),
-        claim_sent_at=r.f64(),
-        leader_hint=r.string(),
+        group=group,
+        voter=voter,
+        term=term,
+        granted=bool(granted),
+        claim_sent_at=claim_sent_at,
+        leader_hint=r.sym(),
     )
-
-
-def _encode_replica_append(w: _Writer, m: ReplicaAppend) -> None:
-    w.string(m.group)
-    w.string(m.leader)
-    w.u32(m.term)
-    w.u64(m.seq)
-    _encode_advertisement(w, m.ad)
 
 
 def _decode_replica_append(r: _Reader) -> ReplicaAppend:
+    group = r.sym()
+    leader = r.sym()
+    term, seq = r.group(_TERM_SEQ)
     return ReplicaAppend(
-        group=r.string(),
-        leader=r.string(),
-        term=r.u32(),
-        seq=r.u64(),
-        ad=_decode_advertisement(r),
+        group=group, leader=leader, term=term, seq=seq, ad=_decode_advertisement(r)
     )
 
 
-def _encode_replica_ack(w: _Writer, m: ReplicaAck) -> None:
-    w.string(m.group)
-    w.string(m.member)
-    w.u32(m.term)
-    w.u64(m.seq)
-
-
 def _decode_replica_ack(r: _Reader) -> ReplicaAck:
-    return ReplicaAck(group=r.string(), member=r.string(), term=r.u32(), seq=r.u64())
-
-
-def _encode_anti_entropy_digest(w: _Writer, m: AntiEntropyDigest) -> None:
-    w.string(m.group)
-    w.string(m.member)
-    if len(m.entries) > 0xFFFF:
-        raise CodecError(f"digest too large: {len(m.entries)} entries")
-    w.u16(len(m.entries))
-    for broker_id, remaining in m.entries:
-        w.string(broker_id)
-        w.f64(remaining)
+    group = r.sym()
+    member = r.sym()
+    term, seq = r.group(_TERM_SEQ)
+    return ReplicaAck(group=group, member=member, term=term, seq=seq)
 
 
 def _decode_anti_entropy_digest(r: _Reader) -> AntiEntropyDigest:
     return AntiEntropyDigest(
-        group=r.string(),
-        member=r.string(),
-        entries=tuple((r.string(), r.f64()) for _ in range(r.u16())),
+        group=r.sym(),
+        member=r.sym(),
+        entries=tuple((r.sym(), r.f64()) for _ in range(r.u16())),
     )
-
-
-def _encode_anti_entropy_delta(w: _Writer, m: AntiEntropyDelta) -> None:
-    w.string(m.group)
-    w.string(m.member)
-    if len(m.ads) > 0xFFFF:
-        raise CodecError(f"delta too large: {len(m.ads)} advertisements")
-    w.u16(len(m.ads))
-    for ad in m.ads:
-        _encode_advertisement(w, ad)
 
 
 def _decode_anti_entropy_delta(r: _Reader) -> AntiEntropyDelta:
     return AntiEntropyDelta(
-        group=r.string(),
-        member=r.string(),
+        group=r.sym(),
+        member=r.sym(),
         ads=tuple(_decode_advertisement(r) for _ in range(r.u16())),
     )
 
 
-def _encode_advertisement_ack(w: _Writer, m: AdvertisementAck) -> None:
-    w.string(m.broker_id)
-    w.string(m.bdn)
-    w.string(m.leader_hint)
-
-
 def _decode_advertisement_ack(r: _Reader) -> AdvertisementAck:
-    return AdvertisementAck(broker_id=r.string(), bdn=r.string(), leader_hint=r.string())
+    return AdvertisementAck(broker_id=r.sym(), bdn=r.sym(), leader_hint=r.sym())
 
 
 _ENCODERS = {
@@ -528,53 +694,85 @@ _DECODERS = {
     AdvertisementAck.kind: _decode_advertisement_ack,
 }
 
+#: Precomputed 3-byte wire header (magic + tag) per message kind.
+_HEADER_BYTES = {kind: _HEADER.pack(_MAGIC, kind) for kind in _ENCODERS}
+
 
 def encode_message(message: Message) -> bytes:
     """Serialise ``message`` to its binary wire form."""
-    encoder = _ENCODERS.get(type(message).kind)
+    kind = type(message).kind
+    encoder = _ENCODERS.get(kind)
     if encoder is None or type(message) is Message:
         raise CodecError(f"cannot encode message type {type(message).__name__}")
-    w = _Writer()
-    w.u16(_MAGIC)
-    w.u8(type(message).kind)
-    encoder(w, message)
-    if type(message).kind in _HINTABLE_KINDS and message.leader_hint:
-        w.u8(_HINT_MARKER)
-        w.string(message.leader_hint)
+    parts = [_HEADER_BYTES[kind]]
+    encoder(parts, message)
+    if kind in _HINTABLE_KINDS and message.leader_hint:
+        parts.append(b"\x4c")  # _HINT_MARKER
+        _pack_str(parts, message.leader_hint)
     if getattr(message, "trace_flag", False):
-        w.u8(_TRACE_MARKER)
-        w.u16(message.trace_hop)
-    return w.getvalue()
+        parts.append(_TRACE_TAIL.pack(_TRACE_MARKER, message.trace_hop))
+    return b"".join(parts)
 
 
-def decode_message(buf: bytes) -> Message:
+def _check_header(view: memoryview) -> int:
+    """Validate magic and tag; return the tag."""
+    if len(view) < 3:
+        raise CodecError(
+            f"truncated message: need 3 bytes at offset 0, have {len(view)}", offset=0
+        )
+    magic = (view[0] << 8) | view[1]
+    if magic != _MAGIC:
+        raise CodecError(f"bad magic 0x{magic:04x}, expected 0x{_MAGIC:04x}", offset=0)
+    tag = view[2]
+    if tag not in _DECODERS:
+        raise CodecError(f"unknown message type tag {tag}", tag=tag, offset=2)
+    return tag
+
+
+def _decode_body(view: memoryview, tag: int) -> Message:
+    """Decode the message body (and trailers) after a validated header."""
+    r = _reader_acquire(view, 3)
+    try:
+        try:
+            message = _DECODERS[tag](r)
+        except CodecError as exc:
+            if exc.tag is None:
+                exc.tag = tag
+            if exc.offset is None:
+                exc.offset = r.pos
+            raise
+        except ValueError as exc:
+            # Field-level validation (e.g. UsageMetrics range checks) on a
+            # corrupted buffer is a protocol error, not a caller bug.
+            raise CodecError(
+                f"invalid field values in message: {exc}", tag=tag, offset=r.pos
+            ) from exc
+        except (struct.error, IndexError, OverflowError) as exc:
+            # Defence in depth: every read above bounds-checks before it
+            # unpacks, so this should be unreachable -- but a raw
+            # struct.error must never escape the codec.
+            raise CodecError(
+                f"malformed message body: {exc}", tag=tag, offset=r.pos
+            ) from exc
+        if not r.done():
+            message = _decode_trailers(r, tag, message)
+        return message
+    finally:
+        _reader_release(r)
+
+
+def decode_message(buf: bytes | bytearray | memoryview) -> Message:
     """Parse a binary buffer back into its message object.
 
     Raises
     ------
     CodecError
         On a bad magic number, unknown type tag, truncated buffer, or
-        trailing garbage.
+        trailing garbage.  The error carries the message ``tag`` and
+        the byte ``offset`` where decoding stopped.
     """
-    r = _Reader(buf)
-    magic = r.u16()
-    if magic != _MAGIC:
-        raise CodecError(f"bad magic 0x{magic:04x}, expected 0x{_MAGIC:04x}")
-    tag = r.u8()
-    decoder = _DECODERS.get(tag)
-    if decoder is None:
-        raise CodecError(f"unknown message type tag {tag}")
-    try:
-        message = decoder(r)
-    except CodecError:
-        raise
-    except ValueError as exc:
-        # Field-level validation (e.g. UsageMetrics range checks) on a
-        # corrupted buffer is a protocol error, not a caller bug.
-        raise CodecError(f"invalid field values in message: {exc}") from exc
-    if not r.done():
-        message = _decode_trailers(r, tag, message)
-    return message
+    view = buf if type(buf) is memoryview else memoryview(buf)
+    return _decode_body(view, _check_header(view))
 
 
 def _decode_trailers(r: _Reader, tag: int, message: Message) -> Message:
@@ -585,9 +783,9 @@ def _decode_trailers(r: _Reader, tag: int, message: Message) -> Message:
     """
     marker = r.u8()
     if marker == _HINT_MARKER and tag in _HINTABLE_KINDS:
-        hint = r.string()
+        hint = r.sym()
         if not hint:
-            raise CodecError("empty leader-hint trailer")
+            raise CodecError("empty leader-hint trailer", tag=tag, offset=r.pos)
         message = replace(message, leader_hint=hint)
         if r.done():
             return message
@@ -598,17 +796,365 @@ def _decode_trailers(r: _Reader, tag: int, message: Message) -> Message:
         and r.remaining() == _TRACE_TRAILER_LEN - 1
     ):
         return replace(message, trace_flag=True, trace_hop=r.u16())
-    raise CodecError("trailing bytes after message body")
+    raise CodecError("trailing bytes after message body", tag=tag, offset=r.pos)
 
 
-@lru_cache(maxsize=4096)
+# ---------------------------------------------------------------------------
+# Lazy decode
+# ---------------------------------------------------------------------------
+
+#: Tags whose first body field is the request/event UUID, extractable
+#: without touching the rest of the buffer.
+_UUID_FIRST_TAGS = frozenset(
+    {
+        Event.kind,
+        Ack.kind,
+        DiscoveryRequest.kind,
+        DiscoveryResponse.kind,
+        DiscoveryBusy.kind,
+        PingRequest.kind,
+        PingResponse.kind,
+        Subscribe.kind,
+        Unsubscribe.kind,
+    }
+)
+
+
+def _skip_str(view: memoryview, pos: int, end: int) -> int:
+    """Advance past one length-prefixed string without decoding it."""
+    if pos + 2 > end:
+        raise CodecError(
+            f"truncated message: need 2 bytes at offset {pos}, have {end - pos}",
+            offset=pos,
+        )
+    n = (view[pos] << 8) | view[pos + 1]
+    stop = pos + 2 + n
+    if stop > end:
+        raise CodecError(
+            f"truncated message: need {n} bytes at offset {pos + 2}, "
+            f"have {end - pos - 2}",
+            offset=pos + 2,
+        )
+    return stop
+
+
+def _peek_str(view: memoryview, pos: int, end: int) -> tuple[str, int]:
+    """Decode one length-prefixed string, returning (value, next offset)."""
+    stop = _skip_str(view, pos, end)
+    try:
+        return str(view[pos + 2 : stop], "utf-8"), stop
+    except UnicodeDecodeError as exc:
+        raise CodecError(
+            f"invalid UTF-8 in string field: {exc}", offset=pos + 2
+        ) from exc
+
+
+def _lazy_request_key(view: memoryview) -> tuple[str, int]:
+    """Extract a DiscoveryRequest's ``(uuid, attempt)`` dedup key.
+
+    Walks the request layout by length prefixes only: no UTF-8 decode of
+    the skipped fields, no tuple/frozenset construction, no dataclass.
+    Truncation and trailing garbage still raise :class:`CodecError`, so
+    a buffer that yields a key is structurally sound (field *content*
+    is only validated on materialisation).
+    """
+    end = len(view)
+    uuid, pos = _peek_str(view, 3, end)  # uuid
+    pos = _skip_str(view, pos, end)  # requester_host
+    if pos + 3 > end:
+        raise CodecError(
+            f"truncated message: need 3 bytes at offset {pos}, have {end - pos}",
+            offset=pos,
+        )
+    n_transports = view[pos + 2]
+    pos += 3  # requester_port + transport count
+    for _ in range(n_transports):
+        pos = _skip_str(view, pos, end)
+    if pos >= end:
+        raise CodecError(
+            f"truncated message: need 1 bytes at offset {pos}, have 0", offset=pos
+        )
+    n_credentials = view[pos]
+    pos += 1
+    for _ in range(n_credentials):
+        pos = _skip_str(view, pos, end)
+    pos = _skip_str(view, pos, end)  # realm
+    tail = _REQ_TAIL.size
+    if pos + tail > end:
+        raise CodecError(
+            f"truncated message: need {tail} bytes at offset {pos}, "
+            f"have {end - pos}",
+            offset=pos,
+        )
+    attempt = view[pos + tail - 1]
+    pos += tail
+    if pos != end and not (
+        end - pos == _TRACE_TRAILER_LEN and view[pos] == _TRACE_MARKER
+    ):
+        raise CodecError(
+            "trailing bytes after message body", tag=DiscoveryRequest.kind, offset=pos
+        )
+    return uuid, attempt
+
+
+class LazyMessage:
+    """A decoded-on-demand view over one wire buffer.
+
+    Construction (:func:`lazy_decode`) validates only the 3-byte header;
+    the body stays as bytes until a field is needed:
+
+    * :attr:`tag` -- the message type tag, free.
+    * :attr:`request_uuid` -- the leading UUID string for request/
+      response-shaped messages, decoded from a single length-prefixed
+      slice.
+    * :meth:`request_key` -- a DiscoveryRequest's ``(uuid, attempt)``
+      dedup key via a length-prefix walk (no full decode).
+    * :meth:`message` / any other attribute access -- materialises the
+      full message once and caches it; subsequent accesses are plain
+      delegation.
+
+    This is what lets duplicate suppression (the paper's LRU over the
+    last 1000 request UUIDs) drop a duplicate without ever paying for a
+    full decode.
+    """
+
+    __slots__ = ("_view", "tag", "_message", "_uuid")
+
+    def __init__(self, view: memoryview, tag: int) -> None:
+        self._view = view
+        self.tag = tag
+        self._message: Message | None = None
+        self._uuid: str | None = None
+
+    @property
+    def message(self) -> Message:
+        """The fully materialised message (decoded once, cached)."""
+        m = self._message
+        if m is None:
+            m = self._message = _decode_body(self._view, self.tag)
+        return m
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the full decode has already happened."""
+        return self._message is not None
+
+    @property
+    def request_uuid(self) -> str:
+        """The leading UUID without a full decode (where the layout
+        starts with one); falls back to materialising otherwise."""
+        u = self._uuid
+        if u is None:
+            if self._message is not None or self.tag not in _UUID_FIRST_TAGS:
+                m = self.message
+                u = getattr(m, "uuid", None) or getattr(m, "request_uuid", "")
+            else:
+                u, _ = _peek_str(self._view, 3, len(self._view))
+            self._uuid = u
+        return u
+
+    def request_key(self) -> tuple[str, int]:
+        """A DiscoveryRequest's ``(uuid, attempt)`` dedup key, extracted
+        without materialising the message."""
+        if self.tag != DiscoveryRequest.kind:
+            raise CodecError(
+                f"request_key on tag {self.tag}, not a DiscoveryRequest", tag=self.tag
+            )
+        m = self._message
+        if m is not None:
+            return (m.uuid, m.attempt)
+        return _lazy_request_key(self._view)
+
+    def __getattr__(self, name: str):
+        # Only reached for names that are not slots/properties: any
+        # message field access transparently materialises.
+        return getattr(self.message, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "materialized" if self._message is not None else "lazy"
+        return f"<LazyMessage tag={self.tag} {state} {len(self._view)}B>"
+
+
+def lazy_decode(buf: bytes | bytearray | memoryview) -> LazyMessage:
+    """Wrap a wire buffer in a :class:`LazyMessage` view.
+
+    Validates only the magic number and type tag; raises
+    :class:`CodecError` for anything that could never decode.  The body
+    is parsed on first field access.
+    """
+    view = buf if type(buf) is memoryview else memoryview(buf)
+    return LazyMessage(view, _check_header(view))
+
+
+# ---------------------------------------------------------------------------
+# Sizing
+# ---------------------------------------------------------------------------
+#
+# wire_size computes the byte length arithmetically from the same
+# layouts the encoders use -- no encode, no cache, and therefore no
+# pinned message instances (the old ``lru_cache`` kept a strong
+# reference to every message it ever sized for the life of the
+# process).  CPython tracks an ASCII flag per str, so ``len(s)`` is the
+# UTF-8 length for ASCII strings without touching the characters.
+
+
+def _utf8len(s: str) -> int:
+    return len(s) if s.isascii() else len(s.encode("utf-8"))
+
+
+def _size_transports(transports: tuple[tuple[str, int], ...]) -> int:
+    n = 1
+    for proto, _port in transports:
+        n += 4 + _utf8len(proto)
+    return n
+
+
+def _size_event(m: Event) -> int:
+    n = (
+        2 + _utf8len(m.uuid)
+        + 2 + _utf8len(m.topic)
+        + 4 + len(m.payload)
+        + 2 + _utf8len(m.source)
+        + 9  # issued_at f64 + header count u8
+    )
+    for k, v in m.headers:
+        n += 4 + _utf8len(k) + _utf8len(v)
+    return n
+
+
+def _size_ack(m: Ack) -> int:
+    return 4 + _utf8len(m.uuid) + _utf8len(m.acked_by)
+
+
+def _size_advertisement(m: BrokerAdvertisement) -> int:
+    return (
+        2 + _utf8len(m.broker_id)
+        + 2 + _utf8len(m.hostname)
+        + _size_transports(m.transports)
+        + 2 + _utf8len(m.logical_address)
+        + 2 + _utf8len(m.region)
+        + 2 + _utf8len(m.institution)
+        + 16  # issued_at + ttl
+    )
+
+
+def _size_request(m: DiscoveryRequest) -> int:
+    n = (
+        2 + _utf8len(m.uuid)
+        + 2 + _utf8len(m.requester_host)
+        + 3  # requester_port u16 + transport count u8
+    )
+    for proto in m.transports:
+        n += 2 + _utf8len(proto)
+    n += 1
+    for cred in m.credentials:
+        n += 2 + _utf8len(cred)
+    return n + 2 + _utf8len(m.realm) + _REQ_TAIL.size
+
+
+def _size_response(m: DiscoveryResponse) -> int:
+    return (
+        2 + _utf8len(m.request_uuid)
+        + 2 + _utf8len(m.broker_id)
+        + 2 + _utf8len(m.hostname)
+        + _size_transports(m.transports)
+        + _RESP_TAIL.size
+    )
+
+
+def _size_busy(m: DiscoveryBusy) -> int:
+    return 2 + _utf8len(m.request_uuid) + 2 + _utf8len(m.bdn) + _BUSY_TAIL.size
+
+
+def _size_ping_request(m: PingRequest) -> int:
+    return 2 + _utf8len(m.uuid) + 8 + 2 + _utf8len(m.reply_host) + 2
+
+
+def _size_ping_response(m: PingResponse) -> int:
+    return 2 + _utf8len(m.uuid) + 8 + 2 + _utf8len(m.broker_id)
+
+
+def _size_subscription(m: Subscribe | Unsubscribe) -> int:
+    return 6 + _utf8len(m.uuid) + _utf8len(m.topic) + _utf8len(m.subscriber)
+
+
+def _size_lease_claim(m: LeaseClaim) -> int:
+    return 4 + _utf8len(m.group) + _utf8len(m.candidate) + _CLAIM_TAIL.size
+
+
+def _size_lease_vote(m: LeaseVote) -> int:
+    return (
+        4 + _utf8len(m.group) + _utf8len(m.voter)
+        + _VOTE_TAIL.size
+        + 2 + _utf8len(m.leader_hint)
+    )
+
+
+def _size_replica_append(m: ReplicaAppend) -> int:
+    return (
+        4 + _utf8len(m.group) + _utf8len(m.leader)
+        + _TERM_SEQ.size
+        + _size_advertisement(m.ad)
+    )
+
+
+def _size_replica_ack(m: ReplicaAck) -> int:
+    return 4 + _utf8len(m.group) + _utf8len(m.member) + _TERM_SEQ.size
+
+
+def _size_anti_entropy_digest(m: AntiEntropyDigest) -> int:
+    n = 6 + _utf8len(m.group) + _utf8len(m.member)
+    for broker_id, _remaining in m.entries:
+        n += 10 + _utf8len(broker_id)
+    return n
+
+
+def _size_anti_entropy_delta(m: AntiEntropyDelta) -> int:
+    n = 6 + _utf8len(m.group) + _utf8len(m.member)
+    for ad in m.ads:
+        n += _size_advertisement(ad)
+    return n
+
+
+def _size_advertisement_ack(m: AdvertisementAck) -> int:
+    return 6 + _utf8len(m.broker_id) + _utf8len(m.bdn) + _utf8len(m.leader_hint)
+
+
+_SIZERS = {
+    Event.kind: _size_event,
+    Subscribe.kind: _size_subscription,
+    Unsubscribe.kind: _size_subscription,
+    Ack.kind: _size_ack,
+    BrokerAdvertisement.kind: _size_advertisement,
+    DiscoveryRequest.kind: _size_request,
+    DiscoveryResponse.kind: _size_response,
+    DiscoveryBusy.kind: _size_busy,
+    PingRequest.kind: _size_ping_request,
+    PingResponse.kind: _size_ping_response,
+    LeaseClaim.kind: _size_lease_claim,
+    LeaseVote.kind: _size_lease_vote,
+    ReplicaAppend.kind: _size_replica_append,
+    ReplicaAck.kind: _size_replica_ack,
+    AntiEntropyDigest.kind: _size_anti_entropy_digest,
+    AntiEntropyDelta.kind: _size_anti_entropy_delta,
+    AdvertisementAck.kind: _size_advertisement_ack,
+}
+
+
 def wire_size(message: Message) -> int:
     """Byte length of ``message`` on the wire (header included).
 
-    Memoised: the fabric charges size once per hop, so one event
-    flooding a mesh would otherwise be re-encoded per link.  Messages
-    are frozen dataclasses (hashable, equality by value), which makes
-    them safe cache keys; the LRU bound keeps long soaks from pinning
-    every message ever sent.
+    Computed arithmetically from the precompiled layouts -- nothing is
+    encoded and nothing is cached, so sizing a message neither allocates
+    a buffer nor pins the instance in memory.
     """
-    return len(encode_message(message))
+    kind = type(message).kind
+    sizer = _SIZERS.get(kind)
+    if sizer is None or type(message) is Message:
+        raise CodecError(f"cannot encode message type {type(message).__name__}")
+    n = 3 + sizer(message)
+    if kind in _HINTABLE_KINDS and message.leader_hint:
+        n += 3 + _utf8len(message.leader_hint)
+    if getattr(message, "trace_flag", False):
+        n += _TRACE_TRAILER_LEN
+    return n

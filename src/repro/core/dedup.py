@@ -98,8 +98,21 @@ class DedupCache:
         return False
 
     def add(self, key: object) -> None:
-        """Record ``key`` without reporting prior presence."""
-        self.seen(key)
+        """Record ``key`` without reporting prior presence.
+
+        Unlike :meth:`seen` this does not count a hit or miss -- it is
+        the write half only -- but it carries the same recency contract:
+        re-adding a present key refreshes it to most-recently-used, so a
+        hot request UUID that keeps arriving is never evicted out from
+        under an active exchange while quieter keys churn past it.
+        """
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+            return
+        entries[key] = None
+        if len(entries) > self._capacity:
+            entries.popitem(last=False)
 
     def discard(self, key: object) -> None:
         """Forget ``key`` if present."""

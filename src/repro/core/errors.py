@@ -17,7 +17,20 @@ class CodecError(ReproError):
 
     Decoding raises this for truncated buffers, unknown message type
     tags, or field values that fail validation (e.g. negative lengths).
+
+    Decode-side errors carry diagnostic position info: ``tag`` is the
+    wire type tag of the message being decoded (``None`` if the failure
+    happened before the tag was read) and ``offset`` is the byte offset
+    into the buffer where decoding stopped (``None`` for encode-side
+    errors, where there is no buffer).
     """
+
+    def __init__(
+        self, message: str, *, tag: int | None = None, offset: int | None = None
+    ) -> None:
+        super().__init__(message)
+        self.tag = tag
+        self.offset = offset
 
 
 class ConfigError(ReproError):

@@ -45,7 +45,11 @@ class IdGenerator:
         b = bytearray(raw)
         b[6] = (b[6] & 0x0F) | 0x40
         b[8] = (b[8] & 0x3F) | 0x80
-        return str(_uuid.UUID(bytes=bytes(b)))
+        # Format the 8-4-4-4-12 text directly: identical output to
+        # str(uuid.UUID(bytes=...)) without constructing a UUID object,
+        # which is one of the hottest allocations in a discovery run.
+        h = bytes(b).hex()
+        return f"{h[:8]}-{h[8:12]}-{h[12:16]}-{h[16:20]}-{h[20:]}"
 
     def spawn(self) -> "IdGenerator":
         """Derive an independent child generator.

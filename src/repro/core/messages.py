@@ -78,6 +78,8 @@ __all__ = [
     "AntiEntropyDelta",
     "AdvertisementAck",
     "traced",
+    "WIRE_MESSAGE_TYPES",
+    "MESSAGE_TYPE_BY_TAG",
 ]
 
 
@@ -615,6 +617,36 @@ class AdvertisementAck(Message):
     broker_id: str
     bdn: str
     leader_hint: str = ""
+
+
+#: Every concrete wire message type, in tag order.  The codec keys its
+#: encoder/decoder/sizer tables on these tags; the fuzz suite iterates
+#: this registry so a newly added message type is covered automatically.
+WIRE_MESSAGE_TYPES: tuple[type[Message], ...] = (
+    Event,
+    Ack,
+    BrokerAdvertisement,
+    DiscoveryRequest,
+    DiscoveryResponse,
+    PingRequest,
+    PingResponse,
+    Subscribe,
+    Unsubscribe,
+    DiscoveryBusy,
+    LeaseClaim,
+    LeaseVote,
+    ReplicaAppend,
+    ReplicaAck,
+    AntiEntropyDigest,
+    AntiEntropyDelta,
+    AdvertisementAck,
+)
+
+#: Wire type tag -> message class (tags 1-17; 0 is the abstract base).
+MESSAGE_TYPE_BY_TAG: dict[int, type[Message]] = {
+    cls.kind: cls for cls in WIRE_MESSAGE_TYPES
+}
+assert len(MESSAGE_TYPE_BY_TAG) == len(WIRE_MESSAGE_TYPES), "duplicate wire tag"
 
 
 def traced(message: Message, hop: int | None = None) -> Message:

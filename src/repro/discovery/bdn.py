@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.codec import decode_message
+from repro.core.codec import LazyMessage, lazy_decode
 from repro.core.config import BDNConfig, Endpoint
 from repro.core.dedup import DedupCache
 from repro.core.errors import CodecError
@@ -259,12 +259,16 @@ class BDN(Node):
     def _on_topic_advertisement(self, event: Event) -> None:
         if not self.alive:
             return
+        # Lazy decode: the advertisement topic carries other control
+        # traffic too, so check the tag before paying for a full decode.
         try:
-            message = decode_message(event.payload)
+            lazy = lazy_decode(event.payload)
+            if lazy.tag != BrokerAdvertisement.kind:
+                return
+            message = lazy.message
         except CodecError:
             return
-        if isinstance(message, BrokerAdvertisement):
-            self._register(message)
+        self._register(message)
 
     # ------------------------------------------------------------------
     # UDP dispatch
@@ -320,9 +324,19 @@ class BDN(Node):
         AntiEntropyDelta: "on_delta",
     }
 
-    def _on_udp(self, message: Message, src: Endpoint) -> None:
+    def _on_udp(self, message: Message | LazyMessage, src: Endpoint) -> None:
         if not self.alive:
             return
+        if type(message) is LazyMessage:
+            # A runtime may hand us an unmaterialised wire view.  An
+            # undecodable buffer must not crash the ingress-queue
+            # handler -- count it like any other protocol error.
+            try:
+                message = message.message
+            except CodecError as exc:
+                self.unknown_messages += 1
+                self.trace("bdn_unknown_message", type=f"undecodable(tag={exc.tag})")
+                return
         if isinstance(message, BrokerAdvertisement):
             self._register(message, src)
         elif isinstance(message, DiscoveryRequest):

@@ -26,7 +26,7 @@ broker):
 
 from __future__ import annotations
 
-from repro.core.codec import decode_message, encode_message
+from repro.core.codec import decode_message, encode_message, lazy_decode
 from repro.core.config import Endpoint
 from repro.core.dedup import DedupCache
 from repro.core.errors import CodecError, UnknownHostError
@@ -195,14 +195,50 @@ class DiscoveryResponder:
 
         Event routing is already forwarding the event onward, so the
         responder must not re-publish it (that would double-propagate).
+
+        This is the hottest decode site in a discovery run -- a flooded
+        request reaches every broker's responder -- so when no flight
+        recorder is attached it runs the lazy-decode dedup protocol:
+        pull only the ``(uuid, attempt)`` key from the wire buffer,
+        consult the LRU, and materialise the full request only on first
+        sighting.  Observed worlds take the eager path so recv/dup spans
+        carry exactly the same causal order as before.
         """
+        if self.broker._recorder is not None:
+            try:
+                message = decode_message(event.payload)
+            except CodecError:
+                self.broker.trace("discovery_bad_payload", topic=event.topic)
+                return
+            if isinstance(message, DiscoveryRequest):
+                self._process(message, propagate=False)
+            return
         try:
-            message = decode_message(event.payload)
+            lazy = lazy_decode(event.payload)
         except CodecError:
             self.broker.trace("discovery_bad_payload", topic=event.topic)
             return
-        if isinstance(message, DiscoveryRequest):
-            self._process(message, propagate=False)
+        if lazy.tag != DiscoveryRequest.kind:
+            return
+        if not self.active or not self.broker.alive:
+            return
+        try:
+            key = lazy.request_key()
+        except CodecError:
+            self.broker.trace("discovery_bad_payload", topic=event.topic)
+            return
+        if self.dedup.seen(key):
+            return
+        try:
+            request = lazy.message
+        except CodecError:
+            # Structurally sound enough to yield a key, but the body
+            # failed validation: forget the key so a clean retransmit of
+            # the same (uuid, attempt) is not treated as a duplicate.
+            self.dedup.discard(key)
+            self.broker.trace("discovery_bad_payload", topic=event.topic)
+            return
+        self._process(request, propagate=False, _deduped=True)
 
     # ------------------------------------------------------------------
     # Core processing
@@ -217,7 +253,9 @@ class DiscoveryResponder:
         """
         return (request.uuid, request.attempt)
 
-    def _process(self, request: DiscoveryRequest, propagate: bool) -> None:
+    def _process(
+        self, request: DiscoveryRequest, propagate: bool, _deduped: bool = False
+    ) -> None:
         if not self.active or not self.broker.alive:
             return
         traced = request.trace_flag and self.broker._recorder is not None
@@ -229,7 +267,9 @@ class DiscoveryResponder:
                 kind="DiscoveryRequest",
                 via="udp" if propagate else "topic",
             )
-        if self.dedup.seen(self.request_key(request)):
+        # _deduped: the lazy fast path already consulted the LRU before
+        # materialising the request, so don't charge a second lookup.
+        if not _deduped and self.dedup.seen(self.request_key(request)):
             if traced:
                 self.broker.span(
                     "dup_suppressed", request.uuid, hop=request.trace_hop, kind="DiscoveryRequest"

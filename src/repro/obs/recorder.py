@@ -139,19 +139,32 @@ class FlightRecorder:
             raise UnknownEventError(
                 f"unknown span event {event!r}; register it in repro.obs.events"
             )
-        record = SpanEvent(
-            time=float(self._clock()),
-            event=event,
-            node=self.node,
-            trace_id=trace_id,
-            hop=hop,
-            detail=tuple(sorted((k, str(v)) for k, v in detail.items())),
-            seq=self._seq(),
-        )
-        if len(self._ring) < self.capacity:
-            self._ring.append(record)
+        ring = self._ring
+        if len(ring) < self.capacity:
+            ring.append(
+                SpanEvent(
+                    time=float(self._clock()),
+                    event=event,
+                    node=self.node,
+                    trace_id=trace_id,
+                    hop=hop,
+                    detail=tuple(sorted((k, str(v)) for k, v in detail.items())),
+                    seq=self._seq(),
+                )
+            )
         else:
-            self._ring[self._next] = record
+            # Recycle the slot being overwritten in place: a full ring
+            # at steady state emits without allocating a SpanEvent per
+            # span.  snapshot() hands out copies, so recycled slots are
+            # never visible outside the recorder.
+            record = ring[self._next]
+            record.time = float(self._clock())
+            record.event = event
+            record.node = self.node
+            record.trace_id = trace_id
+            record.hop = hop
+            record.detail = tuple(sorted((k, str(v)) for k, v in detail.items()))
+            record.seq = self._seq()
             self._next = (self._next + 1) % self.capacity
             self.dropped += 1
         self.emitted += 1
@@ -162,10 +175,21 @@ class FlightRecorder:
         return len(self._ring)
 
     def snapshot(self) -> tuple[SpanEvent, ...]:
-        """Retained events in chronological (emission) order."""
-        if len(self._ring) < self.capacity or self._next == 0:
-            return tuple(self._ring)
-        return tuple(self._ring[self._next :] + self._ring[: self._next])
+        """Retained events in chronological (emission) order.
+
+        Returns *copies*: ring slots are recycled in place once the ring
+        wraps, so handing out the live objects would let later emissions
+        rewrite a snapshot under its holder.
+        """
+        ring = self._ring
+        if len(ring) < self.capacity or self._next == 0:
+            items = ring
+        else:
+            items = ring[self._next :] + ring[: self._next]
+        return tuple(
+            SpanEvent(e.time, e.event, e.node, e.trace_id, e.hop, e.detail, e.seq)
+            for e in items
+        )
 
     def clear(self) -> None:
         self._ring.clear()

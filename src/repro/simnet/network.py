@@ -64,7 +64,12 @@ _TCP_SETUP_RTTS = 1.0
 
 @dataclass(frozen=True, slots=True)
 class Datagram:
-    """A UDP datagram in flight (exposed mainly to the tracer)."""
+    """A UDP datagram in flight.
+
+    Kept as a public value type for callers that want to model one; the
+    network's own delivery path passes the fields as plain scheduler
+    arguments instead of allocating a record per datagram.
+    """
 
     message: Message
     src: Endpoint
@@ -421,24 +426,24 @@ class Network:
                 self.tracer.record("udp_drop", src.host, dst=dst, kind=type(message).__name__)
             return
         delay = self.latency.delay(path.src_site, path.dst_site, size, self.rng)
-        self.sim.schedule(delay, self._deliver_udp, Datagram(message, src, dst, size))
+        self.sim.schedule(delay, self._deliver_udp, message, src, dst)
 
-    def _deliver_udp(self, dgram: Datagram) -> None:
-        if not self._path(dgram.src.host, dgram.dst.host).reachable:
+    def _deliver_udp(self, message: Message, src: Endpoint, dst: Endpoint) -> None:
+        if not self._path(src.host, dst.host).reachable:
             # A cut landed while the datagram was in flight.
             self.datagrams_dropped += 1
             self.datagrams_cut += 1
             return
-        handler = self._udp_bindings.get(dgram.dst)
+        handler = self._udp_bindings.get(dst)
         if handler is None:
             self.datagrams_dropped += 1
             return
         self.datagrams_delivered += 1
         if self.tracer is not None:
             self.tracer.record(
-                "udp_deliver", dgram.dst.host, src=dgram.src, kind=type(dgram.message).__name__
+                "udp_deliver", dst.host, src=src, kind=type(message).__name__
             )
-        handler(dgram.message, dgram.src)
+        handler(message, src)
 
     # ------------------------------------------------------------------
     # Multicast

@@ -147,7 +147,16 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, fn, *args)
+        # Inlined schedule_at: this is the hottest call in a run (every
+        # send, retransmit, and sweep lands here), and delay >= 0 makes
+        # the monotonicity re-check redundant.
+        time = self._now + delay
+        seq = self._seq
+        ev = ScheduledEvent(time, seq, fn, args, self)
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time, seq, ev))
+        self._live += 1
+        return ev
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
         """Run ``fn(*args)`` at absolute virtual time ``time``."""

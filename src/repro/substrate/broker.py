@@ -562,8 +562,15 @@ class Broker(Node):
         whose payload decodes to a trace-flagged message (the discovery
         request flood); everything else is skipped silently.
         """
+        payload = event.payload
+        # A trace-flagged message always ends in the 3-byte trace
+        # trailer (marker 0x54 + hop), so screen on the tail byte before
+        # paying for a decode.  False positives (a body that happens to
+        # end in 0x54) just fall through to the trace_context check.
+        if len(payload) < 6 or payload[-3] != 0x54:
+            return
         try:
-            message = decode_message(event.payload)
+            message = decode_message(payload)
         except CodecError:
             return
         ctx = trace_context(message)

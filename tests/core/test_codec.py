@@ -207,6 +207,25 @@ def test_property_wire_size_matches_encoding(message):
     assert wire_size(message) == len(encode_message(message))
 
 
+def test_wire_size_does_not_pin_message_instances():
+    """Regression: wire_size was once an lru_cache keyed on message
+    *instances*, pinning every message it ever sized for the life of
+    the process.  Sized messages must be garbage-collected normally."""
+    import gc
+
+    class _Canary(Ack):
+        pass
+
+    def live_canaries() -> int:
+        gc.collect()
+        return sum(1 for o in gc.get_objects() if type(o) is _Canary)
+
+    before = live_canaries()
+    for i in range(200):
+        wire_size(_Canary(uuid=f"gc-probe-{i}", acked_by="x" * (i % 40)))
+    assert live_canaries() <= before
+
+
 class TestErrors:
     def test_bad_magic_rejected(self):
         buf = encode_message(Ack(uuid="u", acked_by="x"))

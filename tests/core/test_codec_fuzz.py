@@ -12,9 +12,123 @@ import struct
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.codec import decode_message, encode_message
+from repro.core.codec import decode_message, encode_message, lazy_decode
 from repro.core.errors import CodecError
-from repro.core.messages import Ack, BrokerAdvertisement, DiscoveryRequest
+from repro.core.messages import (
+    Ack,
+    AdvertisementAck,
+    AntiEntropyDelta,
+    AntiEntropyDigest,
+    BrokerAdvertisement,
+    DiscoveryBusy,
+    DiscoveryRequest,
+    DiscoveryResponse,
+    Event,
+    LeaseClaim,
+    LeaseVote,
+    PingRequest,
+    PingResponse,
+    ReplicaAck,
+    ReplicaAppend,
+    Subscribe,
+    Unsubscribe,
+    WIRE_MESSAGE_TYPES,
+    traced,
+)
+from repro.core.metrics import UsageMetrics
+
+_AD = BrokerAdvertisement(
+    broker_id="b0",
+    hostname="b0.host",
+    transports=(("tcp", 5045), ("udp", 5046)),
+    logical_address="/lab/b0",
+    region="eu",
+    institution="uni",
+    issued_at=1.0,
+    ttl=6.0,
+)
+
+#: One representative (non-degenerate) instance per wire tag, including
+#: trailer variants: a traced request (0x54 trailer) and a leader-hinted
+#: response (0x4C trailer) plus a response carrying both.
+_SAMPLES: list = [
+    Event(
+        uuid="ev-1",
+        topic="discovery/requests",
+        payload=b"\x01\x02payload",
+        source="b1",
+        issued_at=2.0,
+        headers=(("k", "v"), ("x", "y")),
+    ),
+    Ack(uuid="u" * 36, acked_by="bdn-1"),
+    _AD,
+    DiscoveryRequest(
+        uuid="req-uuid-1234",
+        requester_host="client.example",
+        requester_port=7500,
+        transports=("udp", "tcp"),
+        credentials=frozenset({"a", "bb"}),
+        realm="lab",
+        issued_at=1.5,
+        hop_count=3,
+        attempt=1,
+    ),
+    DiscoveryResponse(
+        request_uuid="req-uuid-1234",
+        broker_id="b0",
+        hostname="b0.host",
+        transports=(("tcp", 5045),),
+        issued_at=2.5,
+        metrics=UsageMetrics(
+            free_memory=1 << 20,
+            total_memory=1 << 22,
+            num_links=3,
+            num_connections=9,
+            cpu_load=0.25,
+            queue_depth=2,
+        ),
+    ),
+    PingRequest(uuid="ping-1", sent_at=3.0, reply_host="client.example", reply_port=7501),
+    PingResponse(uuid="ping-1", sent_at=3.0, broker_id="b0"),
+    Subscribe(uuid="s-1", topic="a/b/**", subscriber="c0"),
+    Unsubscribe(uuid="s-1", topic="a/b/**", subscriber="c0"),
+    DiscoveryBusy(request_uuid="req-uuid-1234", bdn="bdn-1", retry_after=0.5, queue_depth=7),
+    LeaseClaim(group="g", candidate="bdn-1", term=4, duration=2.0, sent_at=5.0),
+    LeaseVote(
+        group="g", voter="bdn-2", term=4, granted=True, claim_sent_at=5.0, leader_hint="bdn-1"
+    ),
+    ReplicaAppend(group="g", leader="bdn-1", term=4, seq=17, ad=_AD),
+    ReplicaAck(group="g", member="bdn-2", term=4, seq=17),
+    AntiEntropyDigest(group="g", member="bdn-2", entries=(("b0", 3.5), ("b1", 1.0))),
+    AntiEntropyDelta(group="g", member="bdn-1", ads=(_AD,)),
+    AdvertisementAck(broker_id="b0", bdn="bdn-1", leader_hint="bdn-2"),
+]
+assert {type(m) for m in _SAMPLES} == set(WIRE_MESSAGE_TYPES)
+_SAMPLES += [
+    traced(_SAMPLES[3], hop=2),  # request + trace trailer
+    DiscoveryResponse(
+        request_uuid="req-uuid-1234",
+        broker_id="b0",
+        hostname="b0.host",
+        transports=(),
+        issued_at=2.5,
+        metrics=UsageMetrics(
+            free_memory=1, total_memory=2, num_links=0, num_connections=0
+        ),
+        leader_hint="bdn-1",
+    ),  # hint trailer
+    traced(
+        DiscoveryBusy(
+            request_uuid="r",
+            bdn="bdn-1",
+            retry_after=0.5,
+            queue_depth=7,
+            leader_hint="bdn-2",
+        ),
+        hop=1,
+    ),  # hint + trace trailers together
+]
+_WIRES = [encode_message(m) for m in _SAMPLES]
 
 
 @given(buf=st.binary(max_size=600))
@@ -95,3 +209,131 @@ def test_property_hostile_ttl_rejected_at_decode(bad_ttl):
     buf[-8:] = struct.pack(">d", bad_ttl)
     with pytest.raises(CodecError, match="invalid field values"):
         decode_message(bytes(buf))
+
+
+# ---------------------------------------------------------------------------
+# Every wire tag (1-17), including the 0x54 / 0x4C trailer variants
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("message", _SAMPLES, ids=lambda m: type(m).__name__)
+def test_every_tag_roundtrips_eagerly_and_lazily(message):
+    buf = encode_message(message)
+    assert decode_message(buf) == message
+    assert lazy_decode(buf).message == message
+
+
+@given(data=st.data())
+def test_property_every_tag_truncation_is_codec_error(data):
+    i = data.draw(st.integers(min_value=0, max_value=len(_SAMPLES) - 1))
+    buf = _WIRES[i]
+    cut = data.draw(st.integers(min_value=0, max_value=len(buf)))
+    try:
+        decoded = decode_message(buf[:cut])
+    except CodecError:
+        assert cut < len(buf)
+    else:
+        # A cut that lands exactly on an optional-trailer boundary is a
+        # valid shorter message; anything that decodes must re-encode to
+        # exactly the bytes that were decoded.
+        assert encode_message(decoded) == buf[:cut]
+        if cut == len(buf):
+            assert decoded == _SAMPLES[i]
+
+
+@given(data=st.data())
+def test_property_every_tag_bitflip_never_crashes(data):
+    """Any single-byte corruption of any tag's encoding either still
+    decodes or raises CodecError -- both eagerly and lazily."""
+    i = data.draw(st.integers(min_value=0, max_value=len(_SAMPLES) - 1))
+    buf = bytearray(_WIRES[i])
+    position = data.draw(st.integers(min_value=0, max_value=len(buf) - 1))
+    buf[position] ^= data.draw(st.integers(min_value=1, max_value=255))
+    corrupted = bytes(buf)
+    try:
+        decode_message(corrupted)
+    except CodecError:
+        pass
+    try:
+        lazy = lazy_decode(corrupted)
+        if lazy.tag == DiscoveryRequest.kind:
+            _ = lazy.request_uuid
+        _ = lazy.message
+    except CodecError:
+        pass
+
+
+@given(data=st.data())
+def test_property_hostile_length_prefixes_rejected(data):
+    """Inflating any 2-byte window of the wire (the attack shape for a
+    length prefix claiming more bytes than the buffer holds) must never
+    escape as struct.error / IndexError / MemoryError."""
+    i = data.draw(st.integers(min_value=0, max_value=len(_SAMPLES) - 1))
+    buf = bytearray(_WIRES[i])
+    if len(buf) < 5:
+        return
+    position = data.draw(st.integers(min_value=3, max_value=len(buf) - 2))
+    buf[position] = 0xFF
+    buf[position + 1] = 0xFF
+    try:
+        decode_message(bytes(buf))
+    except CodecError:
+        pass
+
+
+def test_codec_error_carries_tag_and_offset():
+    buf = encode_message(_SAMPLES[3])  # DiscoveryRequest, tag 4
+    with pytest.raises(CodecError) as excinfo:
+        decode_message(buf[: len(buf) - 2])
+    assert excinfo.value.tag == DiscoveryRequest.kind
+    assert isinstance(excinfo.value.offset, int)
+    assert 0 < excinfo.value.offset <= len(buf)
+
+
+def test_codec_error_tag_none_before_header_read():
+    with pytest.raises(CodecError) as excinfo:
+        decode_message(b"\x4e")
+    assert excinfo.value.tag is None
+    assert excinfo.value.offset == 0
+
+
+@pytest.mark.parametrize("message", _SAMPLES, ids=lambda m: type(m).__name__)
+def test_every_tag_trailer_garbage_rejected(message):
+    """A stray trailer marker byte after any body is trailing garbage."""
+    buf = encode_message(message)
+    for marker in (b"\x54", b"\x4c", b"\x00"):
+        with pytest.raises(CodecError):
+            decode_message(buf + marker)
+
+
+def test_lazy_decode_validates_header_eagerly():
+    with pytest.raises(CodecError, match="magic"):
+        lazy_decode(b"\x00\x00\x01rest")
+    with pytest.raises(CodecError, match="unknown message type"):
+        lazy_decode(b"\x4e\x42\x63")
+    with pytest.raises(CodecError, match="truncated"):
+        lazy_decode(b"\x4e\x42")
+
+
+@given(data=st.data())
+def test_property_lazy_request_key_matches_eager_decode(data):
+    """For any (possibly corrupted) request buffer, the lazy key walk and
+    the eager decode must agree: both succeed with the same (uuid,
+    attempt), or the buffer is undecodable and the lazy path may reject
+    it too -- the key walk must never yield a key for a buffer whose
+    structure the eager decoder rejects."""
+    buf = bytearray(_WIRES[3])  # DiscoveryRequest sample
+    if data.draw(st.booleans()):
+        position = data.draw(st.integers(min_value=0, max_value=len(buf) - 1))
+        buf[position] ^= data.draw(st.integers(min_value=1, max_value=255))
+    corrupted = bytes(buf)
+    try:
+        eager = decode_message(corrupted)
+    except CodecError:
+        eager = None
+    try:
+        key = lazy_decode(corrupted).request_key()
+    except CodecError:
+        key = None
+    if eager is not None and isinstance(eager, DiscoveryRequest) and key is not None:
+        assert key == (eager.uuid, eager.attempt)

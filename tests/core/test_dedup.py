@@ -120,6 +120,58 @@ class TestCounters:
         assert cache.misses == 2
 
 
+class TestAddRecency:
+    """The eviction-order contract of add() at the paper's capacity.
+
+    A hot request UUID that keeps being re-added must never be evicted
+    while quieter keys churn past it -- add() refreshes recency exactly
+    like seen() does, without charging the hit/miss counters.
+    """
+
+    def test_re_add_refreshes_recency_at_capacity_1000(self):
+        cache = DedupCache(capacity=1000)
+        for i in range(1000):
+            cache.add(i)
+        # Key 0 is now the LRU eviction candidate.  Re-adding it must
+        # move it to the MRU end, so the next insertion evicts key 1.
+        cache.add(0)
+        cache.add(1000)
+        assert 0 in cache
+        assert 1 not in cache
+        assert len(cache) == 1000
+        assert next(iter(cache)) == 2  # new LRU candidate
+
+    def test_hot_key_survives_full_churn(self):
+        cache = DedupCache(capacity=1000)
+        cache.add("hot")
+        for i in range(5000):
+            cache.add(i)
+            if i % 500 == 0:
+                cache.add("hot")
+        assert "hot" in cache
+
+    def test_add_does_not_charge_hit_miss_counters(self):
+        cache = DedupCache(capacity=1000)
+        cache.add("a")
+        cache.add("a")
+        cache.add("b")
+        assert cache.hits == 0
+        assert cache.misses == 0
+        # seen() still accounts normally afterwards.
+        assert cache.seen("a") is True
+        assert cache.hits == 1
+
+    def test_add_and_seen_share_one_eviction_order(self):
+        cache = DedupCache(capacity=3)
+        cache.add("a")
+        cache.seen("b")
+        cache.add("c")
+        cache.seen("a")  # refresh "a" via seen
+        cache.add("b")  # refresh "b" via add
+        cache.add("d")  # evicts "c", the true LRU
+        assert list(cache) == ["a", "b", "d"]
+
+
 @given(
     keys=st.lists(st.integers(min_value=0, max_value=50), max_size=300),
     capacity=st.integers(min_value=1, max_value=20),

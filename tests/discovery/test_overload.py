@@ -230,6 +230,49 @@ class TestBDNAdmission:
         world.sim.run_for(1.0)
         assert world.bdn.unknown_messages == 1
 
+    def test_undecodable_lazy_message_counted_not_crashing(self):
+        """An undecodable wire view delivered to the BDN's UDP handler
+        (the ingress-queue callback) must be counted as an unknown
+        message, not crash the queue drain."""
+        from repro.core.codec import encode_message, lazy_decode
+        from repro.core.messages import DiscoveryRequest
+
+        world = World(
+            bdn_config=BDNConfig(
+                service=ServiceConfig(queue_capacity=8, service_time=0.01)
+            )
+        )
+        buf = encode_message(
+            DiscoveryRequest(uuid="u-crash", requester_host="h", requester_port=1)
+        )
+        lazy = lazy_decode(buf[:-3])  # valid header, truncated body
+        world.bdn.ingress.deliver(lazy, world.client.udp_endpoint)
+        world.sim.run_for(1.0)
+        assert world.bdn.unknown_messages == 1
+        assert world.bdn.alive
+
+    def test_lazy_message_materialized_and_dispatched(self):
+        """A well-formed lazy view through the same path is processed
+        exactly like the eager message."""
+        from repro.core.codec import encode_message, lazy_decode
+        from repro.core.messages import BrokerAdvertisement
+
+        world = World(register=False)
+        ad = BrokerAdvertisement(
+            broker_id="lazy-b",
+            hostname=world.brokers[0].host,
+            transports=(("udp", 5044), ("tcp", 5045)),
+            logical_address="/lab/lazy-b",
+            region="",
+            institution="",
+            issued_at=world.sim.now,
+            ttl=60.0,
+        )
+        lazy = lazy_decode(encode_message(ad))
+        world.bdn._on_udp(lazy, world.client.udp_endpoint)
+        assert world.bdn.store.get("lazy-b") is not None
+        assert world.bdn.unknown_messages == 0
+
 
 # ---------------------------------------------------------------------------
 # Broker response suppression

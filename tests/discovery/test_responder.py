@@ -212,3 +212,84 @@ class TestStoppedBroker:
         )
         world.sim.run_for(2.0)
         assert [m for m in box if isinstance(m, DiscoveryResponse)] == []
+
+
+class TestLazyControlPath:
+    """The control-topic fast path: dedup before decode (PR 7).
+
+    Without a flight recorder attached, _on_control_event extracts only
+    the (uuid, attempt) key from the wire buffer, consults the LRU, and
+    materialises the full request only on first sighting.
+    """
+
+    @staticmethod
+    def _wrap(world: World, payload: bytes, uuid="ev-1"):
+        from repro.core.messages import Event
+
+        return Event(
+            uuid=uuid,
+            topic=REQUEST_TOPIC,
+            payload=payload,
+            source="peer",
+            issued_at=world.sim.now,
+        )
+
+    def test_duplicate_suppressed_without_full_decode(self):
+        from repro.core.codec import encode_message
+
+        world = World(n_brokers=1)
+        responder = world.responders["b0"]
+        payload = encode_message(make_request(world, uuid="lazy-dup"))
+        for i in range(3):
+            responder._on_control_event(self._wrap(world, payload, uuid=f"e{i}"), None)
+        world.sim.run_for(1.0)
+        assert responder.requests_processed == 1
+        assert responder.dedup.hits == 2  # two lazy-key LRU hits
+
+    def test_corrupt_payload_ignored_without_crash(self):
+        world = World(n_brokers=1)
+        responder = world.responders["b0"]
+        responder._on_control_event(self._wrap(world, b"\xde\xad\xbe\xef"), None)
+        responder._on_control_event(self._wrap(world, b""), None)
+        world.sim.run_for(1.0)
+        assert responder.requests_processed == 0
+
+    def test_truncated_request_ignored_without_crash(self):
+        from repro.core.codec import encode_message
+
+        world = World(n_brokers=1)
+        responder = world.responders["b0"]
+        payload = encode_message(make_request(world, uuid="lazy-cut"))
+        responder._on_control_event(self._wrap(world, payload[:-3]), None)
+        world.sim.run_for(1.0)
+        assert responder.requests_processed == 0
+
+    def test_invalid_body_forgets_key_so_clean_retransmit_processed(self):
+        """A buffer whose skip-walk yields a key but whose body fails
+        materialisation (invalid UTF-8 in a skipped field) must not
+        poison the LRU against the clean retransmission."""
+        from repro.core.codec import encode_message
+
+        world = World(n_brokers=1)
+        responder = world.responders["b0"]
+        request = make_request(world, uuid="lazy-poison", realm="zz-realm-zz")
+        clean = encode_message(request)
+        corrupt = clean.replace(b"zz-realm-zz", b"\xff" * 11)
+        assert corrupt != clean
+        responder._on_control_event(self._wrap(world, corrupt, uuid="e-bad"), None)
+        assert responder.requests_processed == 0
+        responder._on_control_event(self._wrap(world, clean, uuid="e-good"), None)
+        world.sim.run_for(1.0)
+        assert responder.requests_processed == 1
+
+    def test_non_request_payload_ignored_by_tag(self):
+        from repro.core.codec import encode_message
+        from repro.core.messages import Ack
+
+        world = World(n_brokers=1)
+        responder = world.responders["b0"]
+        payload = encode_message(Ack(uuid="a", acked_by="x"))
+        responder._on_control_event(self._wrap(world, payload), None)
+        world.sim.run_for(1.0)
+        assert responder.requests_processed == 0
+        assert len(responder.dedup) == 0
