@@ -1,0 +1,155 @@
+"""``python -m repro.cluster`` -- live cluster smoke and soak runs.
+
+``smoke``
+    One seeded run sized for CI: spawn the full tier set, start the
+    load replay, perform a staggered rolling restart of the replicated
+    BDN group *while load is running*, then collect every worker's exit
+    report, assert the soak invariants, and write the merged cluster
+    timeline artifact.  Exits non-zero on any violation or lost report.
+
+``soak``
+    Duration-driven fault soak: the load schedule is sized to span
+    ``--duration`` seconds and the injector keeps cycling rolling
+    restarts and load storms until the load drains.  Writes a
+    ``BENCH_cluster.json``-style summary for trend tracking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.cluster.coordinator import ClusterError, ClusterHarness
+from repro.cluster.report import check_invariants, merged_cluster_snapshot, summarize
+from repro.cluster.spec import ClusterSpec
+
+__all__ = ["main"]
+
+#: Seconds of heartbeat warm-up between "all workers ready" and load
+#: start, so every broker is registered at the BDN tier before the
+#: first discovery fires (two broker heartbeat intervals + slack).
+WARMUP = 2.5
+
+
+def _print_summary(summary: dict) -> None:
+    lat = summary["latency"]
+    print(
+        f"rounds={summary['rounds']} failures={summary['failures']} "
+        f"aborted={summary['aborted']} "
+        f"p50={lat['p50'] * 1e3:.0f}ms p99={lat['p99'] * 1e3:.0f}ms"
+    )
+    for member, term, start, until in summary["leadership_intervals"]:
+        print(f"  leader {member} term {term:g} held {until - start:.1f}s")
+    for label in summary["reports_missing"]:
+        print(f"  lost report: {label}")
+    for violation in summary["violations"]:
+        print(f"  VIOLATION: {violation}")
+
+
+def _finish(harness: ClusterHarness, spec: ClusterSpec, args) -> int:
+    harness.shutdown()
+    reports, missing = harness.collect()
+    summary = summarize(spec, reports, missing, harness.injector.injected)
+    _print_summary(summary)
+    if args.summary:
+        with open(args.summary, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2)
+        print(f"summary -> {args.summary}")
+    if args.timeline:
+        with open(args.timeline, "w", encoding="utf-8") as fh:
+            json.dump(merged_cluster_snapshot(reports), fh)
+        print(f"merged timeline -> {args.timeline}")
+    violations = check_invariants(spec, reports)
+    return 1 if violations or missing else 0
+
+
+def _smoke(args) -> int:
+    spec = ClusterSpec(
+        n_bdns=args.bdns,
+        n_brokers=args.brokers,
+        n_clients=args.clients,
+        seed=args.seed,
+        rounds=args.rounds,
+        mean_gap=args.mean_gap,
+    )
+    harness = ClusterHarness(spec, args.workdir)
+    harness.start()
+    print(f"{len(spec.roles())} workers ready (workdir {args.workdir})")
+    time.sleep(WARMUP)
+    harness.start_load()
+    # The restart runs while clients are mid-schedule: that overlap is
+    # the point of the smoke -- discovery must survive it unharmed.
+    harness.injector.rolling_restart(settle=args.settle)
+    print("rolling restart of the BDN tier complete")
+    done = harness.wait_load_done(timeout=args.load_timeout)
+    print(f"load drained: {done['rounds']} rounds, {done['failures']} failures")
+    return _finish(harness, spec, args)
+
+
+def _soak(args) -> int:
+    rounds = max(1, int(args.duration / args.mean_gap))
+    spec = ClusterSpec(
+        n_bdns=args.bdns,
+        n_brokers=args.brokers,
+        n_clients=args.clients,
+        seed=args.seed,
+        rounds=rounds,
+        mean_gap=args.mean_gap,
+    )
+    harness = ClusterHarness(spec, args.workdir)
+    harness.start()
+    print(f"soak: {len(spec.roles())} workers, {rounds} rounds/client, ~{args.duration:.0f}s")
+    time.sleep(WARMUP)
+    harness.start_load()
+    end = time.monotonic() + args.duration
+    cycle = 0
+    while time.monotonic() < end:
+        cycle += 1
+        try:
+            harness.injector.storm(factor=3.0, duration=2.0)
+            harness.injector.rolling_restart(settle=args.settle)
+        except ClusterError as exc:
+            print(f"soak cycle {cycle} fault injection failed: {exc}")
+            break
+        print(f"soak cycle {cycle}: storm + rolling restart done")
+        time.sleep(min(args.cycle_gap, max(0.0, end - time.monotonic())))
+    done = harness.wait_load_done(timeout=args.duration + 60.0)
+    print(f"load drained: {done['rounds']} rounds, {done['failures']} failures")
+    return _finish(harness, spec, args)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.cluster", description=__doc__)
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workdir", default="cluster-run", help="reports + spec directory")
+        p.add_argument("--bdns", type=int, default=3)
+        p.add_argument("--brokers", type=int, default=4)
+        p.add_argument("--clients", type=int, default=2)
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--mean-gap", type=float, default=0.15, dest="mean_gap")
+        p.add_argument("--settle", type=float, default=1.5, help="pause between BDN restarts")
+        p.add_argument("--summary", default=None, help="write run summary JSON here")
+        p.add_argument("--timeline", default=None, help="write merged timeline JSON here")
+
+    smoke = sub.add_parser("smoke", help="one seeded run with a rolling restart")
+    common(smoke)
+    smoke.add_argument("--rounds", type=int, default=60, help="discoveries per client")
+    smoke.add_argument("--load-timeout", type=float, default=90.0, dest="load_timeout")
+
+    soak = sub.add_parser("soak", help="duration-driven fault soak")
+    common(soak)
+    soak.add_argument("--duration", type=float, default=300.0, help="soak seconds")
+    soak.add_argument("--cycle-gap", type=float, default=5.0, dest="cycle_gap")
+
+    args = parser.parse_args(argv)
+    os.makedirs(args.workdir, exist_ok=True)
+    return _smoke(args) if args.mode == "smoke" else _soak(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,17 @@ class ConfigError(ReproError):
     """
 
 
+class EndpointParseError(ConfigError):
+    """Raised when a ``"host:port"`` endpoint string is malformed.
+
+    Covers a missing ``:`` separator, an empty host, a non-numeric
+    port, and a port outside ``[1, 65535]``.  A subclass of
+    :class:`ConfigError` because the offending strings come from the
+    same places configuration does: leader hints on the wire, node
+    config files, and cluster specs.
+    """
+
+
 class TransportError(ReproError):
     """Raised on misuse of a simulated transport.
 

@@ -41,7 +41,11 @@ from repro.discovery.advertisement import (
     start_group_heartbeat,
     start_periodic_advertisement,
 )
-from repro.discovery.replication import ReplicationState, parse_endpoint
+from repro.discovery.replication import (
+    ReplicationState,
+    parse_endpoint,
+    try_parse_endpoint,
+)
 from repro.discovery.responder import REQUEST_TOPIC, DiscoveryResponder
 from repro.discovery.bdn import BDN, BDN_UDP_PORT
 from repro.discovery.selection import Candidate, make_candidate, select_target_set
@@ -92,6 +96,7 @@ __all__ = [
     "DiscoveryOutcome",
     "ReplicationState",
     "parse_endpoint",
+    "try_parse_endpoint",
     "FaultInjector",
     "CHAOS_KINDS",
     "REPLICATED_CHAOS_KINDS",

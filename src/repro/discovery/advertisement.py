@@ -27,14 +27,17 @@ from dataclasses import dataclass
 from repro.core.codec import encode_message
 from repro.core.config import Endpoint
 from repro.core.messages import AdvertisementAck, BrokerAdvertisement, Event
+from repro.discovery.replication import try_parse_endpoint
 from repro.substrate.broker import BROKER_TCP_PORT, BROKER_UDP_PORT, Broker
 
 __all__ = [
     "AD_TOPIC",
     "BDN_ANNOUNCE_TOPIC",
+    "WITHDRAW_TTL",
     "build_advertisement",
     "advertise_direct",
     "advertise_on_topic",
+    "withdraw_registration",
     "start_periodic_advertisement",
     "start_group_heartbeat",
     "GroupHeartbeat",
@@ -98,6 +101,34 @@ def advertise_direct(
         broker.span("send", f"ad:{broker.name}", kind="BrokerAdvertisement", bdn=bdn_endpoint)
     broker.send_udp(bdn_endpoint, ad)
     return ad
+
+
+#: Lease length of a withdrawal advertisement.  There is no explicit
+#: withdrawal message on the wire; a draining broker re-advertises with
+#: a lease so short it has lapsed by the time any BDN reads it, which
+#: overwrites the live registration through the ordinary direct-register
+#: path.  Strictly positive (ttl=0 means "never expires").
+WITHDRAW_TTL = 1e-6
+
+
+def withdraw_registration(
+    broker: Broker, bdn_endpoints, region: str = ""
+) -> int:
+    """Withdraw the broker's registration from every listed BDN.
+
+    Sent directly to each group member rather than through replication:
+    the direct-register path accepts unconditionally, whereas the
+    replicated newest-lease-wins merge would reject a shorter lease.
+    Returns the number of withdrawal datagrams sent (UDP: any of them
+    may be lost, in which case the old lease simply expires on its own).
+    """
+    sent = 0
+    for bdn_endpoint in bdn_endpoints:
+        advertise_direct(broker, bdn_endpoint, region=region, ttl=WITHDRAW_TTL)
+        sent += 1
+    if sent:
+        broker.trace("registration_withdrawn", bdns=sent)
+    return sent
 
 
 def advertise_on_topic(broker: Broker, region: str = "", ttl: float = 0.0) -> BrokerAdvertisement:
@@ -275,12 +306,8 @@ class GroupHeartbeat:
         self._unacked = 0
         if not ack.leader_hint:
             return
-        host, _, port_text = ack.leader_hint.rpartition(":")
-        try:
-            hinted = Endpoint(host, int(port_text))
-        except ValueError:
-            return
-        if hinted not in self.endpoints or hinted == self.leader:
+        hinted = try_parse_endpoint(ack.leader_hint)
+        if hinted is None or hinted not in self.endpoints or hinted == self.leader:
             return
         self.rehomes += 1
         self.leader = hinted

@@ -57,6 +57,7 @@ from dataclasses import replace
 from typing import TYPE_CHECKING
 
 from repro.core.config import Endpoint, ReplicationConfig
+from repro.core.errors import EndpointParseError
 from repro.core.messages import (
     AntiEntropyDelta,
     AntiEntropyDigest,
@@ -71,7 +72,7 @@ from repro.runtime.api import TimerHandle
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.discovery.bdn import BDN
 
-__all__ = ["ReplicationState", "parse_endpoint", "MAX_DELTA_ADS"]
+__all__ = ["ReplicationState", "parse_endpoint", "try_parse_endpoint", "MAX_DELTA_ADS"]
 
 #: Ship at most this many advertisements per anti-entropy delta; a
 #: bigger registry repairs over several periods (and the truncation is
@@ -88,14 +89,38 @@ CANDIDATE = "candidate"
 LEADER = "leader"
 
 
-def parse_endpoint(text: str) -> Endpoint | None:
-    """Parse a ``"host:port"`` leader hint; ``None`` if malformed."""
+def parse_endpoint(text: str) -> Endpoint:
+    """Parse a strict ``"host:port"`` string into an :class:`Endpoint`.
+
+    Raises :class:`~repro.core.errors.EndpointParseError` (never a bare
+    ``ValueError``) for a missing separator, an empty host, a
+    non-decimal port (``int()`` quirks like ``"1_000"`` or ``" 7000"``
+    are rejected), or a port outside ``[1, 65535]``.  Wire-facing
+    callers that merely *prefer* a well-formed hint should use
+    :func:`try_parse_endpoint` instead.
+    """
     host, sep, port_text = text.rpartition(":")
-    if not sep or not host:
-        return None
+    if not sep:
+        raise EndpointParseError(f"endpoint {text!r} has no ':' separator")
+    if not host:
+        raise EndpointParseError(f"endpoint {text!r} has an empty host")
+    if not (port_text.isascii() and port_text.isdecimal()):
+        raise EndpointParseError(f"endpoint {text!r} has a non-numeric port")
+    port = int(port_text)
+    if not 0 < port <= 65535:
+        raise EndpointParseError(f"endpoint {text!r} port {port} outside [1, 65535]")
+    return Endpoint(host, port)
+
+
+def try_parse_endpoint(text: str) -> Endpoint | None:
+    """:func:`parse_endpoint`, but ``None`` for malformed input.
+
+    The forgiving form for hints heard on the wire: a garbled
+    ``leader_hint`` should be ignored, not crash a handler.
+    """
     try:
-        return Endpoint(host, int(port_text))
-    except ValueError:
+        return parse_endpoint(text)
+    except EndpointParseError:
         return None
 
 

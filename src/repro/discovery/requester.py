@@ -45,7 +45,7 @@ from repro.simnet.node import Node
 from repro.simnet.trace import Tracer
 from repro.discovery.overload import CircuitBreaker, DecorrelatedJitterBackoff, TokenBucket
 from repro.discovery.phases import PhaseTimer
-from repro.discovery.replication import parse_endpoint
+from repro.discovery.replication import try_parse_endpoint
 from repro.discovery.ping import Pinger
 from repro.discovery.selection import Candidate, make_candidate, select_target_set
 
@@ -312,7 +312,7 @@ class DiscoveryClient(Node):
         """
         if not hint:
             return
-        endpoint = parse_endpoint(hint)
+        endpoint = try_parse_endpoint(hint)
         if endpoint is None or endpoint not in self.config.bdn_endpoints:
             return
         if endpoint == self.preferred_bdn:
@@ -754,7 +754,7 @@ class DiscoveryClient(Node):
         """
         nxt = run.bdn_index + 1
         if hint and not run.hint_jumped:
-            hinted = parse_endpoint(hint)
+            hinted = try_parse_endpoint(hint)
             if hinted is not None:
                 try:
                     j = run.bdn_order.index(hinted)

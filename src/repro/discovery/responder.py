@@ -81,6 +81,11 @@ class DiscoveryResponder:
         self.policy_rejections = 0
         self.responses_suppressed = 0
         self.active = True
+        #: Draining (see :meth:`drain`): in-flight responses finish,
+        #: new requests are ignored, the registration is withdrawn.
+        self.draining = False
+        #: Withdrawal advertisements sent by the last :meth:`drain`.
+        self.withdrawals_sent = 0
         self._heartbeats: list = []
         #: Set by :meth:`attach_group_heartbeat`; its leader belief is
         #: echoed in responses as ``leader_hint``.
@@ -95,10 +100,12 @@ class DiscoveryResponder:
     def start(self) -> None:
         """(Re)activate the responder; idempotent.
 
-        Heartbeats detached by :meth:`stop` are *not* re-armed here --
-        call :meth:`attach_heartbeat` again with the desired schedule.
+        Clears any drain in progress.  Heartbeats detached by
+        :meth:`stop` or :meth:`drain` are *not* re-armed here -- call
+        :meth:`attach_heartbeat` again with the desired schedule.
         """
         self.active = True
+        self.draining = False
 
     def stop(self) -> None:
         """Deactivate the responder; idempotent.
@@ -110,11 +117,44 @@ class DiscoveryResponder:
         if not self.active:
             return
         self.active = False
+        self.draining = False
         for timer in self._response_timers:
             timer.cancel()
         self._response_timers.clear()
         self.detach_heartbeat()
         self.broker.trace("responder_stop")
+
+    def drain(self, withdraw_endpoints=()) -> None:
+        """Begin a graceful drain; idempotent.
+
+        The SIGTERM half of the responder lifecycle: new requests are
+        ignored from this call on, but responses already scheduled (the
+        paper's per-request processing delay is pending) still fire --
+        a client that was promised an answer gets it.  The registration
+        heartbeats stop first and a withdrawal advertisement (see
+        :func:`~repro.discovery.advertisement.withdraw_registration`)
+        goes to every endpoint in ``withdraw_endpoints``, so BDNs stop
+        handing out this broker before its lease would have lapsed.
+
+        Callers poll :attr:`pending_responses` for zero, then
+        :meth:`stop` and exit.
+        """
+        if self.draining or not self.active:
+            return
+        self.draining = True
+        self.detach_heartbeat()
+        if withdraw_endpoints and self.broker.config.advertise and self.broker.alive:
+            from repro.discovery.advertisement import withdraw_registration
+
+            self.withdrawals_sent = withdraw_registration(
+                self.broker, tuple(withdraw_endpoints)
+            )
+        self.broker.trace("responder_drain", pending=len(self._response_timers))
+
+    @property
+    def pending_responses(self) -> int:
+        """Responses scheduled but not yet sent (the drain barrier)."""
+        return len(self._response_timers)
 
     # ------------------------------------------------------------------
     # Registration heartbeats
@@ -220,7 +260,7 @@ class DiscoveryResponder:
             return
         if lazy.tag != DiscoveryRequest.kind:
             return
-        if not self.active or not self.broker.alive:
+        if not self.active or self.draining or not self.broker.alive:
             return
         try:
             key = lazy.request_key()
@@ -256,7 +296,7 @@ class DiscoveryResponder:
     def _process(
         self, request: DiscoveryRequest, propagate: bool, _deduped: bool = False
     ) -> None:
-        if not self.active or not self.broker.alive:
+        if not self.active or self.draining or not self.broker.alive:
             return
         traced = request.trace_flag and self.broker._recorder is not None
         if traced:

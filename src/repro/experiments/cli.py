@@ -183,7 +183,7 @@ def _replication(runs: int, seed: int) -> str:
 
 TARGETS = (
     "table1", "fig2", "fig3-7", "fig9", "fig11", "fig12", "fig13", "fig14",
-    "replication", "trace", "all",
+    "replication", "trace", "cluster_compare", "all",
 )
 
 
@@ -212,9 +212,30 @@ def main(argv: list[str] | None = None) -> int:
     trace_group.add_argument(
         "--prom-out", default=None, help="write Prometheus text metrics here"
     )
+    cluster_group = parser.add_argument_group("cluster_compare target")
+    cluster_group.add_argument(
+        "--cluster-rounds",
+        type=int,
+        default=40,
+        help="discoveries per client on each side of the comparison",
+    )
+    cluster_group.add_argument(
+        "--cluster-workdir",
+        default="cluster-run",
+        help="directory for the live run's spec and worker reports",
+    )
     args = parser.parse_args(argv)
     if args.runs < 1:
         parser.error("--runs must be >= 1")
+
+    if args.target == "cluster_compare":
+        from repro.experiments.cluster_compare import run_cluster_compare
+
+        return run_cluster_compare(
+            seed=args.seed,
+            rounds=args.cluster_rounds,
+            workdir=args.cluster_workdir,
+        )
 
     if args.target == "trace":
         from repro.experiments.trace_cli import run_trace

@@ -1,0 +1,156 @@
+"""Sim-vs-cluster comparison: the same rolling-restart drill, twice.
+
+The sim side runs the replicated chaos world (deterministic clock,
+modelled latency) through a scripted sequential crash-restart of every
+BDN replica while a seeded discovery schedule replays.  The cluster
+side runs the *same protocol code* as real OS processes over loopback
+UDP/TCP (``repro.cluster``) with the fault injector performing a live
+rolling restart mid-load.  Both report per-phase mean latencies and the
+zero-failed-discoveries + election-safety invariants, rendered side by
+side by :func:`repro.experiments.report.cluster_table`.
+
+The two columns are *not* expected to match absolutely -- the sim
+models 10 ms links while loopback is microseconds, and live BDN service
+time is configured faster -- but the structure must: every phase the
+sim predicts shows up live, failures stay at zero on both sides, and no
+two replicas ever hold overlapping leases.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.cluster.coordinator import ClusterHarness
+from repro.cluster.report import (
+    check_election_safety,
+    check_invariants,
+    summarize,
+)
+from repro.cluster.spec import ClusterSpec, derive_schedule
+from repro.discovery.chaos import ChaosAction, ChaosWorld, apply_schedule
+from repro.experiments.report import cluster_table
+
+__all__ = ["simulate_rolling_restart", "run_live_cluster", "run_cluster_compare"]
+
+#: Sim-side gap between consecutive replica crash-restarts (seconds).
+#: Long enough for a re-election plus catch-up, short enough that the
+#: whole restart overlaps the discovery schedule -- the same stagger
+#: role the live injector's ``settle`` plays.
+SIM_RESTART_STAGGER = 3.5
+SIM_RESTART_OUTAGE = 2.0
+
+
+def _mean_phases(rows: list[dict]) -> dict[str, float]:
+    sums: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for row in rows:
+        for phase, duration in row["phases"].items():
+            sums[phase] = sums.get(phase, 0.0) + duration
+            counts[phase] = counts.get(phase, 0) + 1
+    return {phase: sums[phase] / counts[phase] for phase in sums}
+
+
+def simulate_rolling_restart(seed: int, rounds: int, mean_gap: float) -> dict:
+    """The sim column: replicated chaos world + scripted rolling restart."""
+    world = ChaosWorld(seed, replicated=True)
+    start = world.sim.now + 1.0
+    actions = []
+    for bdn in world.bdns:
+        actions.append(
+            ChaosAction("bdn_crash_restart", start, SIM_RESTART_OUTAGE, targets=(bdn.name,))
+        )
+        start += SIM_RESTART_STAGGER
+    apply_schedule(world, tuple(actions))
+
+    records: list[dict] = []
+    failures = 0
+    for gap in derive_schedule(seed * 1009, rounds, mean_gap):
+        world.sim.run_for(gap)
+        box: list = []
+        world.client.discover(box.append)
+        deadline = world.sim.now + 30.0
+        while not box and world.sim.step() and world.sim.now <= deadline:
+            pass
+        if not box or not box[0].success:
+            failures += 1
+            continue
+        outcome = box[0]
+        records.append(
+            {"phases": dict(outcome.phases.durations()), "total": outcome.total_time}
+        )
+    world.sim.run_for(SIM_RESTART_STAGGER)  # let the last revival settle
+
+    intervals = []
+    for bdn in world.bdns:
+        for term, begin, until in bdn.replication.leadership_intervals:
+            intervals.append((bdn.name, float(term), begin, until))
+    totals = [r["total"] for r in records]
+    return {
+        "phases": _mean_phases(records),
+        "total_time": sum(totals) / len(totals) if totals else 0.0,
+        "rounds": len(records),
+        "failures": failures,
+        # Sim clocks are exact; any overlap beyond float noise is real.
+        "election_violations": check_election_safety(sorted(
+            intervals, key=lambda row: row[2]
+        ), eps=1e-9),
+    }
+
+
+def run_live_cluster(seed: int, rounds: int, mean_gap: float, workdir: str) -> dict:
+    """The cluster column: real processes, live rolling restart mid-load."""
+    import time
+
+    spec = ClusterSpec(seed=seed, rounds=rounds, mean_gap=mean_gap)
+    harness = ClusterHarness(spec, workdir)
+    harness.start()
+    time.sleep(2.5)  # broker heartbeats must register before load starts
+    harness.start_load()
+    harness.injector.rolling_restart(settle=1.5)
+    harness.wait_load_done(timeout=rounds * mean_gap * spec.n_clients + 90.0)
+    harness.shutdown()
+    reports, missing = harness.collect()
+    summary = summarize(spec, reports, missing, harness.injector.injected)
+    rounds_rec = [
+        r
+        for report in reports
+        for r in report.get("load", {}).get("rounds", ())
+        if not r.get("aborted")
+    ]
+    return {
+        "phases": _mean_phases(rounds_rec),
+        "total_time": summary["latency"]["mean"],
+        "rounds": summary["rounds"],
+        "failures": summary["failures"],
+        "violations": check_invariants(spec, reports),
+        "missing": missing,
+        "summary": summary,
+    }
+
+
+def run_cluster_compare(
+    seed: int = 7, rounds: int = 40, mean_gap: float = 0.15, workdir: str = "cluster-run"
+) -> int:
+    """Run both sides, print the phase table, return a process exit code."""
+    os.makedirs(workdir, exist_ok=True)
+    print(f"sim: replicated chaos world, {rounds} rounds, scripted rolling restart ...")
+    sim = simulate_rolling_restart(seed, rounds, mean_gap)
+    print(
+        f"live: {ClusterSpec().n_bdns}-BDN/{ClusterSpec().n_brokers}-broker cluster, "
+        "rolling restart mid-load ..."
+    )
+    live = run_live_cluster(seed, rounds, mean_gap, workdir)
+    print()
+    print(cluster_table(sim, live))
+    print()
+    problems = list(sim["election_violations"]) + list(live["violations"])
+    if sim["failures"]:
+        problems.append(f"sim side recorded {sim['failures']} failed discoveries")
+    for label in live["missing"]:
+        problems.append(f"live report lost: {label}")
+    if problems:
+        for problem in problems:
+            print(f"VIOLATION: {problem}")
+        return 1
+    print("zero failed discoveries and election safety held on both sides")
+    return 0

@@ -19,6 +19,7 @@ __all__ = [
     "comparison_table",
     "overload_table",
     "runtime_table",
+    "cluster_table",
 ]
 
 
@@ -105,6 +106,49 @@ def runtime_table(
         lines.append("".join(cells))
     selected = (sim.get("selected"), live.get("selected"))
     lines.append(f"{'selected broker':<24}{str(selected[0]):>12}{str(selected[1]):>12}")
+    return "\n".join(lines)
+
+
+def cluster_table(
+    sim: Mapping[str, object],
+    cluster: Mapping[str, object],
+    title: str = "Rolling BDN restart under load: sim vs live cluster",
+) -> str:
+    """Mean per-phase latency, sim chaos world vs multi-process cluster.
+
+    Both mappings come out of :mod:`repro.experiments.cluster_compare`:
+    a ``phases`` mapping of mean per-phase seconds, a mean
+    ``total_time``, and ``rounds`` / ``failures`` counts.  The ratio
+    column is live-over-sim; phases only one side entered render ``-``.
+    """
+    sim_phases: Mapping[str, float] = sim.get("phases", {})  # type: ignore[assignment]
+    live_phases: Mapping[str, float] = cluster.get("phases", {})  # type: ignore[assignment]
+    names = list(sim_phases) + [n for n in live_phases if n not in sim_phases]
+    rows = [(name, sim_phases.get(name), live_phases.get(name)) for name in names]
+    rows.append(("mean total", sim.get("total_time"), cluster.get("total_time")))
+
+    header = f"{'Phase (mean)':<24}{'Sim (ms)':>12}{'Cluster (ms)':>14}{'Cluster/Sim':>13}"
+    lines = [title, header]
+    for name, predicted, measured in rows:
+        cells = [f"{name:<24}"]
+        cells.append(
+            f"{predicted * 1e3:>12.2f}" if isinstance(predicted, (int, float)) else f"{'-':>12}"
+        )
+        cells.append(
+            f"{measured * 1e3:>14.2f}" if isinstance(measured, (int, float)) else f"{'-':>14}"
+        )
+        both = isinstance(predicted, (int, float)) and isinstance(measured, (int, float))
+        if both and predicted > 0:
+            cells.append(f"{measured / predicted:>12.2f}x")
+        else:
+            cells.append(f"{'-':>13}")
+        lines.append("".join(cells))
+    lines.append(
+        f"{'rounds completed':<24}{sim.get('rounds', 0):>12}{cluster.get('rounds', 0):>14}"
+    )
+    lines.append(
+        f"{'failed discoveries':<24}{sim.get('failures', 0):>12}{cluster.get('failures', 0):>14}"
+    )
     return "\n".join(lines)
 
 

@@ -127,6 +127,8 @@ TRACE_EVENTS: frozenset[str] = frozenset(
         "discover_failed",
         # discovery responder
         "responder_stop",
+        "responder_drain",
+        "registration_withdrawn",
         "discovery_bad_payload",
         "discovery_policy_reject",
         "discovery_response_suppressed",

@@ -41,7 +41,8 @@ import asyncio
 import socket
 import struct
 import time
-from collections.abc import Callable
+from collections import deque
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -166,13 +167,31 @@ class AioRuntime:
         Optional :class:`~repro.simnet.trace.Tracer`; receives
         ``udp_deliver`` / ``udp_drop`` / ``handler_error`` records so
         live runs produce the same style of evidence as simulations.
+    port_plan:
+        Optional mapping of symbolic :class:`Endpoint` to a concrete OS
+        port.  A planned endpoint binds exactly that port instead of an
+        ephemeral one -- how a cluster coordinator hands each worker
+        process the ports its peers were told about.  Unplanned
+        endpoints keep the default bind-port-0 behaviour.
+    max_errors:
+        Capacity of the :attr:`errors` ring.  Handler failures past the
+        cap evict the oldest entry and bump :attr:`errors_dropped`, so a
+        soak run with a flapping peer cannot grow memory without bound.
     """
 
     kind = "aio"
 
-    def __init__(self, bind_ip: str = "127.0.0.1", tracer: Tracer | None = None) -> None:
+    def __init__(
+        self,
+        bind_ip: str = "127.0.0.1",
+        tracer: Tracer | None = None,
+        *,
+        port_plan: Mapping[Endpoint, int] | None = None,
+        max_errors: int = 256,
+    ) -> None:
         self.bind_ip = bind_ip
         self.tracer = tracer
+        self._port_plan: dict[Endpoint, int] = dict(port_plan or {})
         self._loop: asyncio.AbstractEventLoop | None = None
         self._t0: float | None = None
         self._hosts: dict[str, _AioHostInfo] = {}
@@ -183,7 +202,8 @@ class AioRuntime:
         self._multicast_groups: dict[str, set[Endpoint]] = {}
         self._tasks: set[asyncio.Task] = set()
         self._egress: socket.socket | None = None
-        self.errors: list[str] = []
+        self.errors: deque[str] = deque(maxlen=max_errors)
+        self.errors_dropped = 0
         # Optional telemetry: attach_observability() wires a world's
         # Observability in, and aclose() freezes its final snapshot.
         self.observability = None
@@ -259,6 +279,8 @@ class AioRuntime:
         self._tasks.clear()
 
     def _note_error(self, text: str) -> None:
+        if self.errors.maxlen is not None and len(self.errors) == self.errors.maxlen:
+            self.errors_dropped += 1
         self.errors.append(text)
         if self.tracer is not None:
             self.tracer.record("handler_error", "runtime", error=text)
@@ -396,7 +418,7 @@ class AioRuntime:
             raise TransportError(f"UDP endpoint {endpoint} already bound")
         sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         sock.setblocking(False)
-        sock.bind((self.bind_ip, 0))
+        sock.bind((self.bind_ip, self._port_plan.get(endpoint, 0)))
         binding = _UdpBinding(sock=sock, handler=handler)
         self._udp[endpoint] = binding
         self.map_endpoint(endpoint, *sock.getsockname()[:2])
@@ -530,7 +552,7 @@ class AioRuntime:
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setblocking(False)
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        sock.bind((self.bind_ip, 0))
+        sock.bind((self.bind_ip, self._port_plan.get(endpoint, 0)))
         sock.listen(64)
         listener = _TcpListener(sock=sock, on_accept=on_accept)
         self._listeners[endpoint] = listener

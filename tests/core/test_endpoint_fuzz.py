@@ -1,0 +1,74 @@
+"""Fuzz tests: endpoint parsing must never fail with a bare ValueError.
+
+Leader hints arrive on the wire as free-form ``"host:port"`` strings;
+``parse_endpoint`` must reject every malformed shape with the typed
+:class:`EndpointParseError`, and ``try_parse_endpoint`` must map exactly
+that failure set to ``None`` -- never let ``int()`` quirks (underscores,
+surrounding whitespace, unicode digits) smuggle a bogus port through.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.config import Endpoint
+from repro.core.errors import EndpointParseError
+from repro.discovery.replication import parse_endpoint, try_parse_endpoint
+
+_HOST = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters=".-"),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(text=st.text(max_size=80))
+def test_property_arbitrary_text_parses_or_typed_error(text):
+    try:
+        endpoint = parse_endpoint(text)
+    except EndpointParseError:
+        assert try_parse_endpoint(text) is None
+    else:
+        assert isinstance(endpoint, Endpoint)
+        assert try_parse_endpoint(text) == endpoint
+        assert 0 < endpoint.port <= 65535
+        assert endpoint.host
+
+
+@given(host=_HOST, port=st.integers(min_value=1, max_value=65535))
+def test_property_wellformed_roundtrips(host, port):
+    endpoint = parse_endpoint(f"{host}:{port}")
+    assert endpoint == Endpoint(host, port)
+    # Endpoint.__str__ is the wire form; parsing it must be a fixpoint.
+    assert parse_endpoint(str(endpoint)) == endpoint
+
+
+@given(host=_HOST, port=st.integers())
+def test_property_out_of_range_ports_rejected(host, port):
+    text = f"{host}:{port}"
+    if 0 < port <= 65535:
+        assert parse_endpoint(text).port == port
+    else:
+        with pytest.raises(EndpointParseError):
+            parse_endpoint(text)
+
+
+@given(host=_HOST)
+def test_property_int_quirks_rejected(host):
+    """Strings ``int()`` accepts but the wire grammar must not."""
+    for quirky in ("1_000", " 7000", "7000 ", "+7000", "-1", "０７", "7000\n"):
+        assert try_parse_endpoint(f"{host}:{quirky}") is None
+
+
+@given(port=st.integers(min_value=1, max_value=65535))
+def test_property_empty_host_rejected(port):
+    with pytest.raises(EndpointParseError):
+        parse_endpoint(f":{port}")
+
+
+def test_error_is_config_error_subclass():
+    from repro.core.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        parse_endpoint("nonsense")

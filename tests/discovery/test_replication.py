@@ -28,7 +28,13 @@ from repro.core.messages import BrokerAdvertisement, DiscoveryBusy, DiscoveryReq
 from repro.discovery.advertisement import AdvertisementStore, advertise_direct
 from repro.discovery.bdn import BDN, BDN_UDP_PORT
 from repro.discovery.faults import FaultInjector
-from repro.discovery.replication import FOLLOWER, LEADER, parse_endpoint
+from repro.core.errors import EndpointParseError
+from repro.discovery.replication import (
+    FOLLOWER,
+    LEADER,
+    parse_endpoint,
+    try_parse_endpoint,
+)
 from repro.discovery.requester import DiscoveryClient
 from repro.discovery.responder import DiscoveryResponder
 from repro.experiments.harness import run_discovery_once
@@ -210,10 +216,17 @@ class TestReplicationConfig:
 
     def test_parse_endpoint(self):
         assert parse_endpoint("d0.host:7000") == Endpoint("d0.host", 7000)
-        assert parse_endpoint("") is None
-        assert parse_endpoint("no-port") is None
-        assert parse_endpoint(":7000") is None
-        assert parse_endpoint("host:not-a-port") is None
+        for bad in ("", "no-port", ":7000", "host:not-a-port", "host:", "host:0", "host:65536"):
+            with pytest.raises(EndpointParseError):
+                parse_endpoint(bad)
+
+    def test_try_parse_endpoint(self):
+        assert try_parse_endpoint("d0.host:7000") == Endpoint("d0.host", 7000)
+        assert try_parse_endpoint("") is None
+        assert try_parse_endpoint("no-port") is None
+        assert try_parse_endpoint(":7000") is None
+        assert try_parse_endpoint("host:not-a-port") is None
+        assert try_parse_endpoint("host:70000") is None
 
 
 # ---------------------------------------------------------------------------

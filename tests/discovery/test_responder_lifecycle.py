@@ -147,7 +147,7 @@ class TestAioRuntimeLifecycle:
             rt.send_udp(probe, broker.udp_endpoint, self._request(broker, "live-3"))
             await self._settle()
             assert len([m for m in box if isinstance(m, DiscoveryResponse)]) == 2
-            assert rt.errors == []
+            assert not rt.errors
             await rt.aclose()
 
         asyncio.run(scenario())
@@ -171,7 +171,7 @@ class TestAioRuntimeLifecycle:
             await self._settle(0.3)
             after = len([m for m in box if isinstance(m, BrokerAdvertisement)])
             assert after == baseline
-            assert rt.errors == []
+            assert not rt.errors
             await rt.aclose()
 
         asyncio.run(scenario())

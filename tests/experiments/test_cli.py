@@ -59,4 +59,5 @@ class TestCli:
         assert "all" in TARGETS
         assert "trace" in TARGETS
         assert "replication" in TARGETS
-        assert len(TARGETS) == 11
+        assert "cluster_compare" in TARGETS
+        assert len(TARGETS) == 12

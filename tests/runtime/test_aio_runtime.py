@@ -195,6 +195,72 @@ class TestUdp:
         run(scenario())
 
 
+class TestErrorRing:
+    def test_errors_bounded_with_dropped_counter(self):
+        async def scenario():
+            rt = AioRuntime(max_errors=4)
+            for i in range(10):
+                rt._note_error(f"boom {i}")
+            assert len(rt.errors) == 4
+            assert rt.errors_dropped == 6
+            # The ring keeps the newest entries -- the evidence that
+            # matters when a soak run finally gets looked at.
+            assert list(rt.errors) == [f"boom {i}" for i in range(6, 10)]
+
+        run(scenario())
+
+    def test_default_capacity_never_drops_in_short_runs(self):
+        async def scenario():
+            rt = AioRuntime()
+            rt._note_error("only one")
+            assert list(rt.errors) == ["only one"]
+            assert rt.errors_dropped == 0
+
+        run(scenario())
+
+
+class TestPortPlan:
+    def test_planned_endpoints_bind_assigned_ports(self):
+        async def scenario():
+            import socket as socket_mod
+
+            # Grab two free ports the way a cluster coordinator would.
+            probes = []
+            ports = []
+            for _ in range(2):
+                probe = socket_mod.socket()
+                probe.bind(("127.0.0.1", 0))
+                probes.append(probe)
+                ports.append(probe.getsockname()[1])
+            for probe in probes:
+                probe.close()
+            udp_ep = Endpoint("a.local", 100)
+            tcp_ep = Endpoint("a.local", 500)
+            rt = AioRuntime(port_plan={udp_ep: ports[0], tcp_ep: ports[1]})
+            rt.register_host("a.local", "sa")
+            rt.bind_udp(udp_ep, lambda m, s: None)
+            rt.listen_tcp(tcp_ep, lambda c: None)
+            await rt.ready()
+            assert rt.real_address(udp_ep) == ("127.0.0.1", ports[0])
+            assert rt.real_address(tcp_ep) == ("127.0.0.1", ports[1])
+            await rt.aclose()
+
+        run(scenario())
+
+    def test_unplanned_endpoints_keep_ephemeral_ports(self):
+        async def scenario():
+            rt = AioRuntime(port_plan={})
+            rt.register_host("a.local", "sa")
+            ep = Endpoint("a.local", 100)
+            rt.bind_udp(ep, lambda m, s: None)
+            await rt.ready()
+            real = rt.real_address(ep)
+            assert real is not None and real[1] > 0
+            await rt.aclose()
+
+        run(scenario())
+
+
 class TestMulticast:
     def test_realm_scoped_fanout(self):
         async def scenario():
@@ -281,7 +347,7 @@ class TestTcpLinks:
             assert not accepted[0].open
             with pytest.raises(TransportError):
                 links[0].send(Ack(uuid="late", acked_by="cli"))
-            assert rt.errors == []
+            assert not rt.errors
             await rt.aclose()
 
         run(scenario())
