@@ -50,6 +50,8 @@ from repro.experiments.scenarios import DiscoveryScenario, ScenarioSpec  # noqa:
 from repro.substrate.builder import BrokerNetwork, Topology  # noqa: E402
 from repro.substrate.client import PubSubClient  # noqa: E402
 
+from bench_mega import run_mega_flash_crowd  # noqa: E402
+
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_perf.json"
 SCHEMA_VERSION = 1
 
@@ -57,8 +59,20 @@ SCHEMA_VERSION = 1
 #: ``repeats`` runs each scenario in a fresh world that many times and
 #: keeps the fastest, suppressing scheduler/GC noise in the wall clock.
 PROFILES = {
-    "full": {"discovery_runs": 150, "soak_publishes": 3000, "codec_ops": 20_000, "repeats": 2},
-    "quick": {"discovery_runs": 40, "soak_publishes": 800, "codec_ops": 5_000, "repeats": 1},
+    "full": {
+        "discovery_runs": 150,
+        "soak_publishes": 3000,
+        "codec_ops": 20_000,
+        "mega_clients": 20_000,
+        "repeats": 2,
+    },
+    "quick": {
+        "discovery_runs": 40,
+        "soak_publishes": 800,
+        "codec_ops": 5_000,
+        "mega_clients": 4_000,
+        "repeats": 1,
+    },
 }
 
 
@@ -106,12 +120,18 @@ def run_discovery_scenario(topology: str, runs: int, seed: int = 42) -> dict:
     outcomes = scenario.run(runs=runs)
     wall = time.perf_counter() - start
     events = sim.events_processed - events_before
+    # Per-discovery latency in *simulated* seconds: deterministic for a
+    # given seed, so the gate compares the percentiles exactly (no
+    # machine calibration).
+    times = np.array([o.total_time for o in outcomes])
     return {
         "events_per_sec": events / wall,
         "wall_time_s": wall,
         "sim_time_s": sim.now - sim_before,
         "events_processed": events,
         "peak_rss_kb": _peak_rss_kb(),
+        "latency_p50_s": float(np.percentile(times, 50)),
+        "latency_p99_s": float(np.percentile(times, 99)),
         "detail": {
             "runs": runs,
             "successes": sum(1 for o in outcomes if o.success),
@@ -414,6 +434,7 @@ def run_all(profile: str, only: list[str] | None = None) -> dict:
         ),
         "substrate_soak": lambda: run_substrate_soak(sizes["soak_publishes"]),
         "codec_micro": lambda: run_codec_micro(sizes["codec_ops"]),
+        "bench_mega": lambda: run_mega_flash_crowd(sizes["mega_clients"]),
     }
     scenarios: dict[str, dict] = {}
     for name, runner in runners.items():
@@ -478,6 +499,25 @@ def check_against_baseline(current: dict, baseline: dict, tolerance: float) -> l
                 f"{(1.0 - ratio) * 100:.1f}% below the machine-adjusted baseline "
                 f"{expected:.0f} (tolerance {tolerance * 100:.0f}%)"
             )
+        # Per-op latency gate.  The percentiles are virtual-time, hence
+        # deterministic for a fixed seed: no calibration scaling, and
+        # the comparison is inverted (higher latency = worse).
+        base_p99 = base.get("latency_p99_s")
+        cur_p99 = cur.get("latency_p99_s")
+        if base_p99 and cur_p99:
+            p99_ratio = cur_p99 / base_p99
+            p_verdict = "OK" if p99_ratio <= 1.0 + tolerance else "REGRESSION"
+            print(
+                f"{'':>24}  p99 {cur_p99 * 1e3:8.1f} ms"
+                f"  vs baseline {base_p99 * 1e3:8.1f} ms"
+                f"  ({p99_ratio:5.2f}x)  {p_verdict}"
+            )
+            if p99_ratio > 1.0 + tolerance:
+                failures.append(
+                    f"{name}: p99 latency {cur_p99 * 1e3:.1f} ms is "
+                    f"{(p99_ratio - 1.0) * 100:.1f}% above the baseline "
+                    f"{base_p99 * 1e3:.1f} ms (tolerance {tolerance * 100:.0f}%)"
+                )
     return failures
 
 

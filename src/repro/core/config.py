@@ -394,6 +394,17 @@ class BDNConfig:
         Membership of the BDN's replication group, or ``None`` for the
         paper's island behaviour.  A replicated BDN must find its own
         node name in ``replication.members``.
+    shards:
+        Number of consistent-hash partitions of the advertisement table
+        and duplicate-request cache (see
+        :mod:`repro.discovery.sharding`).  1 (default) is the paper's
+        single flat table, bit-identical to the unsharded code.  Raise
+        it for mega-scale registries (>~10k ads): lease sweeps, ingress
+        queues and dedup eviction then operate per shard.
+    dedup_budget:
+        Global duplicate-cache entry budget, divided evenly across
+        shards.  ``None`` means the paper's 1000 ("the last 1000
+        broker discovery requests").  Must be >= ``shards``.
     """
 
     injection: str = "closest_farthest"
@@ -405,6 +416,8 @@ class BDNConfig:
     admission_high_watermark: int = 0
     busy_retry_after: float = 1.0
     replication: ReplicationConfig | None = None
+    shards: int = 1
+    dedup_budget: int | None = None
 
     _INJECTIONS = ("closest_farthest", "single", "all")
 
@@ -426,6 +439,18 @@ class BDNConfig:
             )
         if self.busy_retry_after <= 0:
             raise ConfigError("busy_retry_after must be positive")
+        if self.shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {self.shards}")
+        if self.dedup_budget is not None:
+            if self.dedup_budget < 1:
+                raise ConfigError(
+                    f"dedup_budget must be >= 1, got {self.dedup_budget}"
+                )
+            if self.dedup_budget < self.shards:
+                raise ConfigError(
+                    f"dedup_budget {self.dedup_budget} is smaller than "
+                    f"shard count {self.shards}"
+                )
 
 
 @dataclass(frozen=True, slots=True)

@@ -396,6 +396,10 @@ class AdvertisementStore:
         self._ads: dict[str, StoredAdvertisement] = {}
         self.ignored = 0
         self.leases_expired = 0
+        # Sorted-key view, rebuilt lazily after any key-set change.  A
+        # BDN calls all() once per discovery request; without this the
+        # sort is O(n log n) per request, which dominates past ~10k ads.
+        self._sorted_ids: list[str] | None = None
 
     def __len__(self) -> int:
         return len(self._ads)
@@ -415,6 +419,8 @@ class AdvertisementStore:
             self.ignored += 1
             return False
         expires = now + ad.ttl if ad.ttl > 0 else math.inf
+        if ad.broker_id not in self._ads:
+            self._sorted_ids = None
         self._ads[ad.broker_id] = StoredAdvertisement(
             advertisement=ad, received_at=now, expires_at=expires
         )
@@ -438,10 +444,14 @@ class AdvertisementStore:
     def clear(self) -> None:
         """Forget every registration (a cold restart's empty table)."""
         self._ads.clear()
+        self._sorted_ids = None
 
     def remove(self, broker_id: str) -> bool:
         """Drop a broker's registration (e.g. after repeated ping failures)."""
-        return self._ads.pop(broker_id, None) is not None
+        if self._ads.pop(broker_id, None) is None:
+            return False
+        self._sorted_ids = None
+        return True
 
     def get(self, broker_id: str) -> StoredAdvertisement | None:
         """Look up one registration (expired entries included until evicted)."""
@@ -455,9 +465,13 @@ class AdvertisementStore:
         a stale broker is never handed to a requester even between
         eviction sweeps.
         """
+        ids = self._sorted_ids
+        if ids is None:
+            ids = self._sorted_ids = sorted(self._ads)
+        ads = self._ads
         if now is None:
-            return [self._ads[k] for k in sorted(self._ads)]
-        return [self._ads[k] for k in sorted(self._ads) if not self._ads[k].is_expired(now)]
+            return [ads[k] for k in ids]
+        return [ads[k] for k in ids if not ads[k].is_expired(now)]
 
     def broker_ids(self, now: float | None = None) -> list[str]:
         """Registered broker ids, sorted (lease-filtered when ``now`` given)."""
@@ -468,5 +482,7 @@ class AdvertisementStore:
         expired = sorted(k for k, s in self._ads.items() if s.is_expired(now))
         for broker_id in expired:
             del self._ads[broker_id]
+        if expired:
+            self._sorted_ids = None
         self.leases_expired += len(expired)
         return expired

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.core.codec import LazyMessage, lazy_decode
 from repro.core.config import BDNConfig, Endpoint
-from repro.core.dedup import DedupCache
+from repro.core.dedup import DEFAULT_CAPACITY
 from repro.core.errors import CodecError
 from repro.core.messages import (
     Ack,
@@ -55,10 +55,10 @@ from repro.simnet.trace import Tracer
 from repro.discovery.advertisement import (
     AD_TOPIC,
     BDN_ANNOUNCE_TOPIC,
-    AdvertisementStore,
     StoredAdvertisement,
 )
 from repro.discovery.ping import Pinger
+from repro.discovery.sharding import ShardedRegistry
 from repro.discovery.replication import ReplicationState
 from repro.substrate.broker import Broker
 from repro.substrate.client import PubSubClient
@@ -103,30 +103,58 @@ class BDN(Node):
             name, host, network, rng, site=site, realm=realm, tracer=tracer, obs=obs
         )
         self.config = config if config is not None else BDNConfig()
-        self.store = AdvertisementStore(self.config.interest_regions)
+        # The registry partitions the advertisement table and the dedup
+        # cache by consistent hash of broker id (shards=1, the default,
+        # is a single flat table, bit-identical to the paper's BDN).
+        # ``self.store`` and ``self.dedup`` are the same objects under
+        # their historical names; every consumer keeps the old API.
+        self.registry = ShardedRegistry(
+            shards=self.config.shards,
+            interest_regions=self.config.interest_regions,
+            dedup_budget=(
+                self.config.dedup_budget
+                if self.config.dedup_budget is not None
+                else DEFAULT_CAPACITY
+            ),
+        )
+        self.store = self.registry
+        self.dedup = self.registry.dedup
         self.pinger = Pinger(self, self.endpoint(BDN_UDP_PORT))
-        self.dedup = DedupCache()
         self.alive = False
         self._registered_at: dict[str, float] = {}
         self._network_client: PubSubClient | None = None
         # Outstanding timers, cancelled on stop() so a dead BDN leaves
-        # nothing ticking in the scheduler.
-        self._sweep_timer: TimerHandle | None = None
+        # nothing ticking in the scheduler.  One lease-sweep series per
+        # shard, phase-staggered across the ping interval.
+        self._sweep_timers: list[TimerHandle] = []
         self._fanout_timers: set[TimerHandle] = set()
         # Optional service-time model: requests queue in a bounded FIFO
         # and, above the admission high-watermark, are refused with a
         # DiscoveryBusy instead of queued.  Built once so the counters
         # span restarts; None (the default) keeps instant processing.
+        # With shards > 1 each shard gets its own queue (independent
+        # service lanes, the PR 3 model applied per partition) and
+        # ``self.ingress`` stays None; datagrams are routed to a lane by
+        # hashing the sender, so one sender's traffic stays FIFO.
         self.ingress: IngressQueue | None = None
+        self.ingress_shards: list[IngressQueue] = []
         if self.config.service is not None:
-            self.ingress = IngressQueue(
-                self.runtime,
-                self._on_udp,
-                self.config.service,
-                trace=self.trace,
-                admit=self._admit,
-                span=self._queue_span if self._recorder is not None else None,
-            )
+            def _make_queue() -> IngressQueue:
+                return IngressQueue(
+                    self.runtime,
+                    self._on_udp,
+                    self.config.service,
+                    trace=self.trace,
+                    admit=self._admit,
+                    span=self._queue_span if self._recorder is not None else None,
+                )
+
+            if self.config.shards == 1:
+                self.ingress = _make_queue()
+            else:
+                self.ingress_shards = [
+                    _make_queue() for _ in range(self.config.shards)
+                ]
         # Replicated control plane (None = the paper's island BDN).
         self.replication: ReplicationState | None = None
         if self.config.replication is not None:
@@ -152,8 +180,10 @@ class BDN(Node):
 
     @property
     def queue_depth(self) -> int:
-        """Current ingress-queue depth (0 without a service model)."""
-        return self.ingress.depth if self.ingress is not None else 0
+        """Current ingress depth, summed over lanes (0 without a service model)."""
+        if self.ingress is not None:
+            return self.ingress.depth
+        return sum(q.depth for q in self.ingress_shards)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -169,9 +199,29 @@ class BDN(Node):
             return
         super().start()
         self.alive = True
-        handler = self.ingress.deliver if self.ingress is not None else self._on_udp
+        if self.ingress is not None:
+            handler = self.ingress.deliver
+        elif self.ingress_shards:
+            handler = self._ingress_dispatch
+        else:
+            handler = self._on_udp
         self.runtime.bind_udp(self.udp_endpoint, handler)
-        self._sweep_timer = self.runtime.call_every(self.config.ping_interval, self._sweep)
+        # One sweep series per shard, phases spread evenly across the
+        # ping interval so a mega-scale registry amortises its lease
+        # work instead of walking every ad in one simulated instant.
+        # With shards=1 the single series fires at interval, 2*interval,
+        # ... -- exactly the historical schedule.
+        interval = self.config.ping_interval
+        shards = self.registry.shard_count
+        self._sweep_timers = [
+            self.runtime.call_every(
+                interval,
+                self._sweep_shard,
+                i,
+                first_delay=interval * (i + 1) / shards,
+            )
+            for i in range(shards)
+        ]
         if self.replication is not None:
             self.replication.start(cold=self._cold_pending)
         self._cold_pending = False
@@ -183,14 +233,16 @@ class BDN(Node):
             return
         self.alive = False
         self.runtime.unbind_udp(self.udp_endpoint)
-        if self._sweep_timer is not None:
-            self._sweep_timer.cancel()
-            self._sweep_timer = None
+        for timer in self._sweep_timers:
+            timer.cancel()
+        self._sweep_timers = []
         for timer in self._fanout_timers:
             timer.cancel()
         self._fanout_timers.clear()
         if self.ingress is not None:
             self.ingress.reset()  # a dead process loses its socket buffer
+        for queue in self.ingress_shards:
+            queue.reset()
         if self.replication is not None:
             self.replication.stop()
         if self._network_client is not None:
@@ -212,7 +264,7 @@ class BDN(Node):
             self.pinger.forget(stored.broker_id)
         self.store.clear()
         self._registered_at.clear()
-        self.dedup = DedupCache()
+        self.dedup.reset()
         if self.replication is not None:
             self._cold_pending = True
         self.trace("bdn_cold_restart")
@@ -308,6 +360,16 @@ class BDN(Node):
             self.span("busy", message.uuid, hop=busy.trace_hop, retry_after=busy.retry_after)
         self.trace("bdn_busy", request=message.uuid, depth=self.queue_depth)
         return False
+
+    def _ingress_dispatch(self, message: Message | LazyMessage, src: Endpoint) -> None:
+        """Route a datagram to its shard's service lane (shards > 1).
+
+        Hashing the sender keeps each sender's traffic FIFO within one
+        lane, while the aggregate load spreads across the independent
+        per-shard queues.
+        """
+        lane = self.registry.ring.shard_of(f"{src.host}:{src.port}")
+        self.ingress_shards[lane].deliver(message, src)
 
     def _queue_span(self, event: str, message: Message) -> None:
         """Ingress-queue hook: record enqueue/dequeue of traced messages."""
@@ -526,22 +588,35 @@ class BDN(Node):
     # ------------------------------------------------------------------
     def _sweep(self) -> None:
         """Ping every registered broker; evict lapsed leases and prune
-        long-silent ones."""
+        long-silent ones.  Convenience wrapper sweeping every shard at
+        once; the armed timers call :meth:`_sweep_shard` individually."""
+        for i in range(self.registry.shard_count):
+            self._sweep_shard(i)
+
+    def _sweep_shard(self, index: int) -> None:
+        """One shard's lease sweep: evict, prune, then ping survivors.
+
+        With a single shard this is exactly the historical global sweep.
+        With many, each series owns one partition of the table, so the
+        per-tick work is ~1/shards of the registry and the phases are
+        staggered across the ping interval by :meth:`start`.
+        """
         if not self.alive:
             return
         now = self.runtime.now
-        for broker_id in self.store.evict_expired(now):
+        shard = self.registry.shard(index)
+        for broker_id in shard.evict_expired(now):
             self._registered_at.pop(broker_id, None)
             self.pinger.forget(broker_id)
             self.trace("bdn_lease_expired", broker=broker_id)
         horizon = _PRUNE_MISSED_SWEEPS * self.config.ping_interval
-        for stored in self.store.all():
+        for stored in shard.all():
             broker_id = stored.broker_id
             last = self.pinger.last_heard(broker_id)
             registered = self._registered_at.get(broker_id, now)
             reference = last if last is not None else registered
             if now - reference > horizon:
-                self.store.remove(broker_id)
+                shard.remove(broker_id)
                 self._registered_at.pop(broker_id, None)
                 self.pinger.forget(broker_id)
                 self.trace("bdn_pruned", broker=broker_id)

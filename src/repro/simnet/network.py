@@ -128,10 +128,40 @@ class Connection:
         self.messages_sent = 0
 
     def send(self, message: Message) -> None:
-        """Reliably deliver ``message`` to the peer, preserving order."""
+        """Reliably deliver ``message`` to the peer, preserving order.
+
+        The transfer body is inlined here (rather than delegating to a
+        Network method) because broker links call it at six figures per
+        second and the extra call frame was measurable on the soak.
+        """
         if not self.open or self.peer is None:
             raise TransportError(f"send on closed connection {self.local}->{self.remote}")
-        self._network._tcp_transfer(self, message)
+        net = self._network
+        if message is net._sized_message:
+            size = net._sized_bytes
+        else:
+            size = wire_size(message)
+            net._sized_message = message
+            net._sized_bytes = size
+        self.bytes_sent += size
+        self.messages_sent += 1
+        net.bytes_sent += size
+        local_host = self.local.host
+        remote_host = self.remote.host
+        path = (
+            net._path_cache.get((local_host, remote_host)) if net.use_path_cache else None
+        )
+        if path is None:
+            path = net._path(local_host, remote_host)
+        delay = net.latency.delay(path.src_site, path.dst_site, size, net.rng)
+        # FIFO: never deliver before the previous message on this side.
+        sim = net.sim
+        arrival = sim._now + delay
+        if arrival < self._last_arrival:
+            arrival = self._last_arrival
+        else:
+            self._last_arrival = arrival
+        sim.schedule_fire_at(arrival, net._deliver_tcp, self, message)
 
     def close(self) -> None:
         """Tear down both sides (idempotent)."""
@@ -198,6 +228,13 @@ class Network:
         self.use_path_cache = True
         self._path_cache: dict[tuple[str, str], _PathRecord] = {}
         self._mcast_cache: dict[tuple[str, str], tuple[Endpoint, ...]] = {}
+        # One-entry wire-size memo: a fan-out sends the *same* message
+        # object over many links back to back, so the last (object,
+        # size) pair hits almost every time.  Holding one reference is
+        # bounded by design (the lru_cache this replaces pinned every
+        # message ever sized -- see the codec GC canary test).
+        self._sized_message: Message | None = None
+        self._sized_bytes = 0
         # Counters.
         self.datagrams_sent = 0
         self.datagrams_delivered = 0
@@ -409,10 +446,19 @@ class Network:
         A datagram to an unbound destination is charged and counted but
         vanishes -- just like the real network.
         """
-        size = wire_size(message)
+        if message is self._sized_message:
+            size = self._sized_bytes
+        else:
+            size = wire_size(message)
+            self._sized_message = message
+            self._sized_bytes = size
         self.datagrams_sent += 1
         self.bytes_sent += size
-        path = self._path(src.host, dst.host)
+        # Inlined hot-path cache probe: _path() does the same lookup,
+        # but the call frame itself is measurable at fabric rates.
+        path = self._path_cache.get((src.host, dst.host)) if self.use_path_cache else None
+        if path is None:
+            path = self._path(src.host, dst.host)
         if not path.reachable:
             self.datagrams_dropped += 1
             self.datagrams_cut += 1
@@ -426,10 +472,15 @@ class Network:
                 self.tracer.record("udp_drop", src.host, dst=dst, kind=type(message).__name__)
             return
         delay = self.latency.delay(path.src_site, path.dst_site, size, self.rng)
-        self.sim.schedule(delay, self._deliver_udp, message, src, dst)
+        # Deliveries are never cancelled: the no-handle fast path skips
+        # the ScheduledEvent allocation on the hottest schedule in a run.
+        self.sim.schedule_fire(delay, self._deliver_udp, message, src, dst)
 
     def _deliver_udp(self, message: Message, src: Endpoint, dst: Endpoint) -> None:
-        if not self._path(src.host, dst.host).reachable:
+        path = self._path_cache.get((src.host, dst.host)) if self.use_path_cache else None
+        if path is None:
+            path = self._path(src.host, dst.host)
+        if not path.reachable:
             # A cut landed while the datagram was in flight.
             self.datagrams_dropped += 1
             self.datagrams_cut += 1
@@ -567,23 +618,18 @@ class Network:
 
         self.sim.schedule(setup, establish)
 
-    def _tcp_transfer(self, side: Connection, message: Message) -> None:
-        size = wire_size(message)
-        side.bytes_sent += size
-        side.messages_sent += 1
-        self.bytes_sent += size
-        path = self._path(side.local.host, side.remote.host)
-        delay = self.latency.delay(path.src_site, path.dst_site, size, self.rng)
-        # FIFO: never deliver before the previous message on this side.
-        arrival = max(self.sim.now + delay, side._last_arrival)
-        side._last_arrival = arrival
-        self.sim.schedule_at(arrival, self._deliver_tcp, side, message)
-
     def _deliver_tcp(self, side: Connection, message: Message) -> None:
         peer = side.peer
         if peer is None or not peer.open:
             return  # connection torn down while the message was in flight
-        if not self.reachable(side.local.host, side.remote.host):
+        path = (
+            self._path_cache.get((side.local.host, side.remote.host))
+            if self.use_path_cache
+            else None
+        )
+        if path is None:
+            path = self._path(side.local.host, side.remote.host)
+        if not path.reachable:
             return  # cut landed while the segment was in flight
         if peer.on_receive is not None:
             peer.on_receive(message, side.local)

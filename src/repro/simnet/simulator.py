@@ -1,45 +1,58 @@
 """The discrete-event loop.
 
-A :class:`Simulator` owns virtual time and a priority queue of pending
+A :class:`Simulator` owns virtual time and a store of pending
 callbacks.  Two properties matter for reproducibility:
 
 * **Deterministic ordering** -- events at equal timestamps fire in the
   order they were scheduled (a monotone sequence number breaks ties),
   so runs are bit-for-bit repeatable for a fixed seed.
-* **Cancellation without rebuild** -- cancelling marks the entry dead
-  and it is skipped on pop (the standard lazy-deletion heap idiom),
-  keeping both ``schedule`` and ``cancel`` O(log n) amortised.
+* **Cancellation without rebuild** -- cancelling marks the entry dead;
+  it is dropped lazily, never by restructuring the pending store at
+  cancel time.
 
-The event loop is the hot path of every benchmark; it deliberately uses
-plain slotted objects on :mod:`heapq` rather than richer abstractions.
-Two optimisations keep long runs flat:
+Two interchangeable schedulers implement the store, selected by the
+``scheduler`` constructor argument:
+
+* ``"wheel"`` (default) -- a hierarchical timer wheel
+  (:mod:`repro.simnet.wheel`): O(1) ``schedule`` into per-tick buckets,
+  O(1) ``cancel`` with amortised dead-entry sweeps, and per-slot
+  batched delivery (one small ``heapify`` per millisecond of virtual
+  time instead of a global log-n heap per event).
+* ``"heap"`` -- the reference binary-heap scheduler: ``(time, seq,
+  event)`` tuples on :mod:`heapq` with lazy deletion.  The PR 2
+  ``compaction_threshold`` knob lives only here now (the wheel reclaims
+  cancelled entries unconditionally); pass ``None`` for the
+  pre-optimisation reference behaviour the determinism suite compares
+  against.
+
+Both schedulers fire callbacks in exactly ``(time, seq)`` order, so a
+fixed seed produces bit-identical traces in either mode -- the golden
+sha256 digests in ``tests/simnet`` pin this.
+
+The event loop is the hot path of every benchmark.  Besides the wheel,
+two fast paths keep long runs flat:
 
 * a **live-event counter** makes :attr:`Simulator.pending` O(1) instead
-  of an O(n) heap scan -- monitors and soak harnesses poll it freely;
-* heap entries are ``(time, seq, event)`` tuples, so sift comparisons
-  resolve on the floats at C level instead of calling a Python
-  ``__lt__`` per comparison; ``seq`` is unique, so the tie-break never
-  reaches the event object and the order is exactly ``(time, seq)``;
-* **heap compaction** rebuilds the queue without its cancelled entries
-  once they exceed :attr:`Simulator.compaction_threshold` of the heap.
-  Cancelled far-future entries (retry probes, lease timers, watchdogs
-  that were re-armed) otherwise accumulate unboundedly across long
-  chaos runs, because lazy deletion only reclaims entries whose fire
-  time is actually reached.  Compaction removes only entries that could
-  never fire and ``heapq.heapify`` respects the same total order
-  ``(time, seq)``, so virtual-time results are bit-for-bit unchanged.
+  of an O(n) scan -- monitors and soak harnesses poll it freely;
+* :meth:`Simulator.schedule_fire` / :meth:`Simulator.schedule_fire_at`
+  enqueue a bare ``(time, seq, fn, args)`` tuple with no handle.  The
+  network fabric uses them for datagram/segment deliveries, which are
+  never cancelled: no :class:`ScheduledEvent` allocation, no
+  cancellation check on the fire path.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Callable
+from heapq import heapify, heappop, heappush
 from typing import Any
+
+from .wheel import DEFAULT_GRANULARITY, TimerWheel
 
 __all__ = ["Simulator", "ScheduledEvent"]
 
-#: Compaction never runs below this queue size; tiny heaps are cheap to
-#: scan and rebuilding them would thrash.
+#: Heap-mode compaction never runs below this queue size; tiny heaps
+#: are cheap to scan and rebuilding them would thrash.
 _MIN_COMPACTION_SIZE = 64
 
 
@@ -92,11 +105,20 @@ class Simulator:
 
     Parameters
     ----------
+    scheduler:
+        ``"wheel"`` (default) for the hierarchical timer wheel,
+        ``"heap"`` for the reference binary-heap scheduler.
     compaction_threshold:
-        Rebuild the heap without cancelled entries once they make up
-        more than this fraction of it (and the heap holds at least 64
-        entries).  ``None`` disables compaction -- the pre-optimisation
-        reference behaviour the determinism tests compare against.
+        Heap mode only: rebuild the heap without cancelled entries once
+        they make up more than this fraction of it (and the heap holds
+        at least 64 entries).  ``None`` disables compaction -- the
+        pre-optimisation reference behaviour the determinism tests
+        compare against.  Ignored by the wheel, which sweeps dead
+        entries unconditionally (see :mod:`repro.simnet.wheel`).
+    granularity:
+        Wheel mode only: virtual seconds per level-0 tick (default
+        1 ms).  Exact fire times are unaffected; the tick only selects
+        the delivery bucket.
 
     Examples
     --------
@@ -109,19 +131,46 @@ class Simulator:
     (['b', 'a'], 1.5)
     """
 
-    def __init__(self, compaction_threshold: float | None = 0.5) -> None:
+    def __init__(
+        self,
+        scheduler: str = "wheel",
+        compaction_threshold: float | None = 0.5,
+        granularity: float = DEFAULT_GRANULARITY,
+    ) -> None:
+        if scheduler not in ("wheel", "heap"):
+            raise ValueError(f"scheduler must be 'wheel' or 'heap', got {scheduler!r}")
         if compaction_threshold is not None and not 0.0 < compaction_threshold < 1.0:
             raise ValueError(
                 f"compaction_threshold must be in (0, 1) or None, got {compaction_threshold}"
             )
+        self.scheduler = scheduler
         self._now = 0.0
         self._seq = 0
-        self._queue: list[tuple[float, int, ScheduledEvent]] = []
         self._events_processed = 0
         self._live = 0  # queued entries that are not cancelled
-        self._dead = 0  # queued entries that are cancelled (lazy-deleted)
+        self._dead = 0  # heap mode: queued cancelled entries (lazy-deleted)
         self.compaction_threshold = compaction_threshold
-        self.compactions = 0
+        self._compactions = 0
+        if scheduler == "wheel":
+            self._wheel: TimerWheel | None = TimerWheel(granularity)
+            #: Min-heap of entries at or before the wheel cursor -- the
+            #: slot currently being drained plus same-tick arrivals.
+            self._active: list[tuple] = []
+            self.schedule = self._schedule_wheel
+            self.schedule_at = self._schedule_at_wheel
+            self.schedule_fire = self._schedule_fire_wheel
+            self.schedule_fire_at = self._schedule_fire_at_wheel
+            self.step = self._step_wheel
+            self.run = self._run_wheel
+        else:
+            self._wheel = None
+            self._queue = []
+            self.schedule = self._schedule_heap
+            self.schedule_at = self._schedule_at_heap
+            self.schedule_fire = self._schedule_fire_heap
+            self.schedule_fire_at = self._schedule_fire_at_heap
+            self.step = self._step_heap
+            self.run = self._run_heap
 
     @property
     def now(self) -> float:
@@ -135,39 +184,143 @@ class Simulator:
 
     @property
     def queue_size(self) -> int:
-        """Physical heap size, cancelled entries included."""
-        return len(self._queue)
+        """Physical store size, cancelled entries included."""
+        wheel = self._wheel
+        if wheel is None:
+            return len(self._queue)
+        return len(self._active) + wheel.bucketed
 
     @property
     def events_processed(self) -> int:
         """Total callbacks executed so far."""
         return self._events_processed
 
-    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
+    @property
+    def compactions(self) -> int:
+        """Dead-entry reclamations performed (heap rebuilds or wheel sweeps)."""
+        wheel = self._wheel
+        if wheel is None:
+            return self._compactions
+        return wheel.sweeps
+
+    # ------------------------------------------------------------------
+    # Scheduling -- wheel mode
+    # ------------------------------------------------------------------
+    def _schedule_wheel(self, delay: float, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
         """Run ``fn(*args)`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        # Inlined schedule_at: this is the hottest call in a run (every
-        # send, retransmit, and sweep lands here), and delay >= 0 makes
-        # the monotonicity re-check redundant.
         time = self._now + delay
         seq = self._seq
-        ev = ScheduledEvent(time, seq, fn, args, self)
         self._seq = seq + 1
-        heapq.heappush(self._queue, (time, seq, ev))
+        ev = ScheduledEvent(time, seq, fn, args, self)
+        wheel = self._wheel
+        tick = int(time * wheel.inv_granularity)
+        if tick <= wheel.cur_tick:
+            heappush(self._active, (time, seq, ev))
+        else:
+            wheel.insert((time, seq, ev), tick)
         self._live += 1
         return ev
 
-    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
+    def _schedule_at_wheel(self, time: float, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
         """Run ``fn(*args)`` at absolute virtual time ``time``."""
         if time < self._now:
             raise ValueError(f"cannot schedule into the past (t={time} < now={self._now})")
-        ev = ScheduledEvent(time, self._seq, fn, args, self)
-        self._seq += 1
-        heapq.heappush(self._queue, (time, ev.seq, ev))
+        seq = self._seq
+        self._seq = seq + 1
+        ev = ScheduledEvent(time, seq, fn, args, self)
+        wheel = self._wheel
+        tick = int(time * wheel.inv_granularity)
+        if tick <= wheel.cur_tick:
+            heappush(self._active, (time, seq, ev))
+        else:
+            wheel.insert((time, seq, ev), tick)
         self._live += 1
         return ev
 
+    def _schedule_fire_wheel(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, not cancellable.
+
+        The fabric's delivery path -- every datagram and TCP segment --
+        lands here; skipping the handle allocation and the cancellation
+        check is a measurable share of the event loop.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        wheel = self._wheel
+        tick = int(time * wheel.inv_granularity)
+        if tick <= wheel.cur_tick:
+            heappush(self._active, (time, seq, fn, args))
+        else:
+            wheel.insert((time, seq, fn, args), tick)
+        self._live += 1
+
+    def _schedule_fire_at_wheel(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no handle, not cancellable."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule into the past (t={time} < now={self._now})")
+        seq = self._seq
+        self._seq = seq + 1
+        wheel = self._wheel
+        tick = int(time * wheel.inv_granularity)
+        if tick <= wheel.cur_tick:
+            heappush(self._active, (time, seq, fn, args))
+        else:
+            wheel.insert((time, seq, fn, args), tick)
+        self._live += 1
+
+    # ------------------------------------------------------------------
+    # Scheduling -- heap mode
+    # ------------------------------------------------------------------
+    def _schedule_heap(self, delay: float, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Run ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        ev = ScheduledEvent(time, seq, fn, args, self)
+        heappush(self._queue, (time, seq, ev))
+        self._live += 1
+        return ev
+
+    def _schedule_at_heap(self, time: float, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Run ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule into the past (t={time} < now={self._now})")
+        seq = self._seq
+        self._seq = seq + 1
+        ev = ScheduledEvent(time, seq, fn, args, self)
+        heappush(self._queue, (time, seq, ev))
+        self._live += 1
+        return ev
+
+    def _schedule_fire_heap(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, not cancellable."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (time, seq, fn, args))
+        self._live += 1
+
+    def _schedule_fire_at_heap(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no handle, not cancellable."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule into the past (t={time} < now={self._now})")
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (time, seq, fn, args))
+        self._live += 1
+
+    # ------------------------------------------------------------------
+    # Periodic timers (shared by both modes)
+    # ------------------------------------------------------------------
     def call_every(
         self,
         interval: float,
@@ -182,6 +335,12 @@ class Simulator:
         A tick that raises does **not** kill the series: the next tick
         is re-armed before the exception propagates, so periodic
         services (heartbeat renewals, sweeps) survive one bad callback.
+
+        The cancellation check runs both *before* the callback (a
+        cancel elsewhere in the same delivery batch must suppress the
+        tick) and *after* it (a callback cancelling its own handle
+        mid-fire must not re-arm a dead timer) -- the wheel's batched
+        same-tick delivery makes both orderings reachable in one slot.
         """
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
@@ -193,6 +352,9 @@ class Simulator:
             try:
                 fn(*args)
             finally:
+                # Re-arm strictly after the callback: fn may have
+                # cancelled the series (directly or transitively), and
+                # scheduling first would leave an orphan live tick.
                 if not series.cancelled:
                     self.schedule(interval, tick)
 
@@ -203,8 +365,12 @@ class Simulator:
     # Cancelled-entry accounting
     # ------------------------------------------------------------------
     def _note_cancelled(self) -> None:
-        """A queued entry was cancelled; compact if the heap is mostly dead."""
+        """A queued entry was cancelled; reclaim if the store is mostly dead."""
         self._live -= 1
+        wheel = self._wheel
+        if wheel is not None:
+            wheel.note_cancelled()
+            return
         self._dead += 1
         threshold = self.compaction_threshold
         if (
@@ -215,68 +381,178 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the heap without cancelled entries.
+        """Heap mode: rebuild the heap without cancelled entries.
 
         Only entries that could never fire are removed, and heapify
         re-establishes the identical ``(time, seq)`` total order, so
         pop order -- and therefore every virtual-time result -- is
         unchanged.
         """
-        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
-        heapq.heapify(self._queue)
+        self._queue = [e for e in self._queue if len(e) == 4 or not e[2].cancelled]
+        heapify(self._queue)
         self._dead = 0
-        self.compactions += 1
-
-    def _pop(self) -> ScheduledEvent:
-        """Pop the heap top and detach it from the accounting."""
-        ev = heapq.heappop(self._queue)[2]
-        if ev.cancelled:
-            self._dead -= 1
-        else:
-            self._live -= 1
-        ev._sim = None  # late cancel() must not touch the counters
-        return ev
+        self._compactions += 1
 
     # ------------------------------------------------------------------
-    # Execution
+    # Execution -- wheel mode
     # ------------------------------------------------------------------
-    def step(self) -> bool:
-        """Fire the single next event.  Returns False if the queue is empty."""
-        while self._queue:
-            ev = self._pop()
-            if ev.cancelled:
+    def _step_wheel(self) -> bool:
+        """Fire the single next event.  Returns False if the store is empty."""
+        wheel = self._wheel
+        while True:
+            active = self._active
+            if not active:
+                batch = wheel.promote()
+                if batch is None:
+                    return False
+                if batch:
+                    heapify(batch)
+                    self._active = batch
                 continue
-            self._now = ev.time
+            entry = heappop(active)
+            if len(entry) == 3:
+                ev = entry[2]
+                if ev.cancelled:
+                    if wheel.dead:
+                        wheel.dead -= 1
+                    continue
+                ev._sim = None
+                self._now = entry[0]
+                self._events_processed += 1
+                self._live -= 1
+                ev.fn(*ev.args)
+                return True
+            self._now = entry[0]
             self._events_processed += 1
-            ev.fn(*ev.args)
+            self._live -= 1
+            entry[2](*entry[3])
+            return True
+
+    def _run_wheel(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Drain the store, optionally stopping at virtual time ``until``.
+
+        With ``until`` set, time is advanced exactly to ``until`` when
+        the store runs dry early, so post-run ``now`` is predictable.
+        ``max_events`` bounds runaway simulations (raises RuntimeError).
+        """
+        fired = 0
+        wheel = self._wheel
+        bounded = max_events is not None
+        active = self._active
+        while True:
+            if not active:
+                batch = wheel.promote()
+                if batch is None:
+                    break
+                if batch:
+                    heapify(batch)
+                    self._active = active = batch
+                continue
+            entry = active[0]
+            if len(entry) == 3:
+                ev = entry[2]
+                if ev.cancelled:
+                    heappop(active)
+                    ev._sim = None
+                    if wheel.dead:
+                        wheel.dead -= 1
+                    continue
+                time = entry[0]
+                if until is not None and time > until:
+                    break
+                heappop(active)
+                ev._sim = None
+                self._now = time
+                self._events_processed += 1
+                self._live -= 1
+                ev.fn(*ev.args)
+            else:
+                time = entry[0]
+                if until is not None and time > until:
+                    break
+                heappop(active)
+                self._now = time
+                self._events_processed += 1
+                self._live -= 1
+                entry[2](*entry[3])
+            fired += 1
+            if bounded and fired >= max_events:
+                raise RuntimeError(f"simulation exceeded max_events={max_events}")
+        if until is not None and until > self._now:
+            self._now = until
+
+    # ------------------------------------------------------------------
+    # Execution -- heap mode
+    # ------------------------------------------------------------------
+    def _step_heap(self) -> bool:
+        """Fire the single next event.  Returns False if the store is empty."""
+        while self._queue:
+            entry = heappop(self._queue)
+            if len(entry) == 3:
+                ev = entry[2]
+                if ev.cancelled:
+                    self._dead -= 1
+                    ev._sim = None
+                    continue
+                ev._sim = None
+                self._live -= 1
+                self._now = entry[0]
+                self._events_processed += 1
+                ev.fn(*ev.args)
+                return True
+            self._live -= 1
+            self._now = entry[0]
+            self._events_processed += 1
+            entry[2](*entry[3])
             return True
         return False
 
-    def run(self, until: float | None = None, max_events: int | None = None) -> None:
-        """Drain the queue, optionally stopping at virtual time ``until``.
+    def _run_heap(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Drain the store, optionally stopping at virtual time ``until``.
 
         With ``until`` set, time is advanced exactly to ``until`` when
-        the queue runs dry early, so post-run ``now`` is predictable.
+        the store runs dry early, so post-run ``now`` is predictable.
         ``max_events`` bounds runaway simulations (raises RuntimeError).
         """
         fired = 0
         while self._queue:
-            ev = self._queue[0][2]
-            if ev.cancelled:
-                self._pop()
-                continue
-            if until is not None and ev.time > until:
-                break
-            self._pop()
-            self._now = ev.time
-            self._events_processed += 1
-            ev.fn(*ev.args)
+            # self._queue is re-read every iteration: a callback's
+            # cancel() can trigger compaction, which rebinds it.
+            entry = self._queue[0]
+            if len(entry) == 3:
+                ev = entry[2]
+                if ev.cancelled:
+                    heappop(self._queue)
+                    self._dead -= 1
+                    ev._sim = None
+                    continue
+                time = entry[0]
+                if until is not None and time > until:
+                    break
+                heappop(self._queue)
+                ev._sim = None
+                self._live -= 1
+                self._now = time
+                self._events_processed += 1
+                ev.fn(*ev.args)
+            else:
+                time = entry[0]
+                if until is not None and time > until:
+                    break
+                heappop(self._queue)
+                self._live -= 1
+                self._now = time
+                self._events_processed += 1
+                entry[2](*entry[3])
             fired += 1
             if max_events is not None and fired >= max_events:
                 raise RuntimeError(f"simulation exceeded max_events={max_events}")
         if until is not None and until > self._now:
             self._now = until
 
+    # ------------------------------------------------------------------
+    # Shared execution helpers
+    # ------------------------------------------------------------------
     def run_for(self, duration: float) -> None:
         """Advance virtual time by ``duration`` seconds, firing due events."""
         self.run(until=self._now + duration)

@@ -69,6 +69,12 @@ class BrokerNetwork:
         broker built here.  Off by default: observed worlds mark
         discovery traffic on the wire, which perturbs byte-level
         determinism digests.
+    scheduler:
+        Explicit scheduler choice (``"wheel"`` or ``"heap"``),
+        overriding the one implied by ``optimized`` while keeping every
+        other cache setting.  Benchmarks use this to price the wheel
+        against the compacting heap on otherwise identical worlds;
+        virtual-time results are identical either way.
     """
 
     def __init__(
@@ -79,9 +85,23 @@ class BrokerNetwork:
         keep_trace: bool = False,
         optimized: bool = True,
         observe: bool = False,
+        scheduler: str | None = None,
     ) -> None:
         self.optimized = optimized
-        self.sim = Simulator(compaction_threshold=0.5 if optimized else None)
+        # Optimized worlds run the hierarchical timer wheel; reference
+        # worlds run the plain binary heap with lazy deletion and no
+        # compaction (the pre-optimisation behaviour).  Both fire in
+        # identical (time, seq) order -- the golden digests pin it.
+        if scheduler is None:
+            self.sim = (
+                Simulator("wheel")
+                if optimized
+                else Simulator("heap", compaction_threshold=None)
+            )
+        elif scheduler == "wheel":
+            self.sim = Simulator("wheel")
+        else:
+            self.sim = Simulator(scheduler)  # compacting heap default
         self.master_rng = np.random.default_rng(seed)
         self.obs = Observability(clock=lambda: self.sim.now) if observe else None
         self.tracer = Tracer(lambda: self.sim.now, keep_records=keep_trace)
