@@ -34,6 +34,8 @@ import time
 
 import repro
 from repro.cluster.spec import ClusterSpec
+from repro.obs.live import LiveTelemetry
+from repro.obs.slo import SloMonitor
 
 __all__ = ["ClusterHarness", "ClusterFaultInjector", "ClusterError"]
 
@@ -43,22 +45,42 @@ class ClusterError(RuntimeError):
 
 
 class _ControlServer:
-    """Threaded JSON-lines TCP server the workers dial into."""
+    """Threaded JSON-lines TCP server the workers dial into.
 
-    def __init__(self, bind_ip: str) -> None:
+    ``on_telemetry`` is an optional callable invoked *on the reader
+    thread* for every ``type == "telemetry"`` frame; the dict it returns
+    (if any) is written back on the same connection as the ack.  Routed
+    frames never enter the inbox, so streaming telemetry cannot starve
+    or reorder the coordinator's ``wait_for`` calls.  Without a handler
+    telemetry frames park in ``_unclaimed`` like any other unsolicited
+    message -- buffered, never dropped.
+    """
+
+    def __init__(self, bind_ip: str, on_telemetry=None) -> None:
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self.sock.bind((bind_ip, 0))
         self.sock.listen(32)
         self.port = self.sock.getsockname()[1]
+        self.on_telemetry = on_telemetry
         self.inbox: queue.Queue[dict] = queue.Queue()
         #: Messages received but not yet claimed by a ``wait_for`` call
         #: (e.g. a ``load_done`` arriving while waiting on a ``ready``).
         self._unclaimed: list[dict] = []
         self.conns: dict[str, socket.socket] = {}
         self._lock = threading.Lock()
+        #: Per-connection write locks: acks (reader threads) and commands
+        #: (coordinator thread) must not interleave on one socket.
+        self._send_locks: dict[socket.socket, threading.Lock] = {}
         self._closing = False
         threading.Thread(target=self._accept_loop, daemon=True).start()
+
+    def _send_lock(self, conn: socket.socket) -> threading.Lock:
+        with self._lock:
+            lock = self._send_locks.get(conn)
+            if lock is None:
+                lock = self._send_locks[conn] = threading.Lock()
+            return lock
 
     def _accept_loop(self) -> None:
         while not self._closing:
@@ -89,6 +111,18 @@ class _ControlServer:
                     role = message["role"]
                     with self._lock:
                         self.conns[role] = conn  # respawn replaces the old conn
+                if message.get("type") == "telemetry" and self.on_telemetry is not None:
+                    try:
+                        ack = self.on_telemetry(message)
+                    except Exception:  # noqa: BLE001 - telemetry must not kill the reader
+                        ack = None
+                    if ack is not None:
+                        try:
+                            with self._send_lock(conn):
+                                conn.sendall((json.dumps(ack) + "\n").encode("utf-8"))
+                        except OSError:
+                            pass  # worker went away mid-ack; the next frame re-deltas
+                    continue
                 self.inbox.put(message)
 
     def send(self, role: str, command: dict) -> None:
@@ -96,7 +130,8 @@ class _ControlServer:
             conn = self.conns.get(role)
         if conn is None:
             raise ClusterError(f"no control connection for role {role!r}")
-        conn.sendall((json.dumps(command) + "\n").encode("utf-8"))
+        with self._send_lock(conn):
+            conn.sendall((json.dumps(command) + "\n").encode("utf-8"))
 
     def wait_for(self, predicate, timeout: float) -> dict:
         """Next message satisfying ``predicate`` within ``timeout``.
@@ -135,6 +170,7 @@ class _ControlServer:
                 except OSError:
                     pass
             self.conns.clear()
+            self._send_locks.clear()
 
 
 class ClusterHarness:
@@ -151,6 +187,10 @@ class ClusterHarness:
         self.spawned: list[tuple[str, int, str, bool]] = []
         self.control: _ControlServer | None = None
         self.injector = ClusterFaultInjector(self)
+        #: The live telemetry plane: folds worker frames into a rolling
+        #: cluster view and evaluates SLO windows continuously.  Built
+        #: in :meth:`start` unless the spec disables streaming.
+        self.live: LiveTelemetry | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -159,10 +199,16 @@ class ClusterHarness:
         if not self.spec.ports:
             self.spec.assign_ports()
         self.spec.save(self.spec_path)
-        self.control = _ControlServer(self.spec.bind_ip)
+        on_telemetry = None
+        if self.spec.telemetry_interval > 0:
+            self.live = LiveTelemetry(monitor=SloMonitor(self.spec.slo_config()))
+            on_telemetry = self.live.on_frame
+        self.control = _ControlServer(self.spec.bind_ip, on_telemetry=on_telemetry)
         for role in self.spec.roles():
             self.spawn(role)
         self.wait_ready(self.spec.roles(), timeout=ready_timeout)
+        if self.live is not None:
+            self.live.start()
 
     def _worker_env(self) -> dict[str, str]:
         env = dict(os.environ)
@@ -195,6 +241,8 @@ class ClusterHarness:
             str(self.control.port),
             "--report",
             report,
+            "--incarnation",
+            str(incarnation),
         ]
         if cold:
             argv.append("--cold")
@@ -242,6 +290,8 @@ class ClusterHarness:
                 proc.kill()
                 proc.wait()
                 codes[role] = None  # refused to drain: recorded, not hidden
+        if self.live is not None:
+            self.live.stop()  # idempotent; flushes the open SLO window
         if self.control is not None:
             self.control.close()
         return codes

@@ -169,8 +169,14 @@ def summarize(
     reports: list[dict],
     missing: list[str],
     injected: list[tuple[float, str, str]],
+    live: dict | None = None,
 ) -> dict:
-    """The run's JSON summary: outcomes, invariants, merged telemetry refs."""
+    """The run's JSON summary: outcomes, invariants, merged telemetry refs.
+
+    ``live`` is the :meth:`~repro.obs.live.LiveTelemetry.summary` of the
+    streaming plane (frames folded, SLO windows, violations, trend); the
+    CI smoke asserts on ``summary["slo"]`` when present.
+    """
     rounds = collect_rounds(reports)
     successes = [r for r in rounds if r["success"]]
     totals = [r["total_time"] for r in rounds]
@@ -178,7 +184,18 @@ def summarize(
     for report in reports:
         for name, counters in report.get("load", {}).get("clients", {}).items():
             client_counters[name] = counters
+    # Per-phase CPU attribution per profiled process; the raw collapsed
+    # stacks are written separately (``--flamegraph``), not inlined here.
+    profiles = {
+        report["label"]: {
+            k: v for k, v in report["profile"].items() if k != "collapsed"
+        }
+        for report in reports
+        if report.get("profile") and report.get("label")
+    }
     return {
+        "slo": live,
+        "profiles": profiles,
         "spec": {
             "n_bdns": spec.n_bdns,
             "n_brokers": spec.n_brokers,

@@ -83,9 +83,31 @@ class ClusterSpec:
     #: Soak invariant bounds.
     p99_bound: float = 3.0
     drain_deadline: float = 5.0
+    #: Live telemetry plane (see ``repro.obs.live``): workers stream
+    #: delta-encoded telemetry frames on the control channel every
+    #: ``telemetry_interval`` seconds; 0 disables streaming entirely.
+    telemetry_interval: float = 1.0
+    #: SLO monitor evaluation window (wall-clock seconds) and the
+    #: fraction of windows allowed to breach the p99 bound before the
+    #: latency error budget is exhausted.
+    slo_window: float = 5.0
+    slo_latency_budget: float = 0.25
+    #: Overload protection master switch.  ``False`` zeroes the BDN
+    #: admission watermark -- the violation-injection drill the SLO
+    #: monitor's queue-overflow invariant is meant to catch live.
+    admission_control: bool = True
+    #: Continuous profiling: stack-sampling rate in Hz (0 = profiler
+    #: never constructed) for the roles whose kind is in
+    #: ``profile_roles`` (``load`` | ``bdn`` | ``broker``).
+    profile_rate: float = 0.0
+    profile_roles: tuple = ("load",)
     #: Symbolic ``"host:port"`` -> real OS port, filled by
     #: :meth:`assign_ports` on the coordinator.
     ports: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # JSON has no tuples: normalise so load(save(spec)) == spec.
+        self.profile_roles = tuple(self.profile_roles)
 
     # ------------------------------------------------------------------
     # Naming
@@ -219,10 +241,27 @@ class ClusterSpec:
             service=ServiceConfig(
                 queue_capacity=self.queue_capacity, service_time=self.service_time
             ),
-            admission_high_watermark=self.admission_watermark,
+            admission_high_watermark=(
+                self.admission_watermark if self.admission_control else 0
+            ),
             busy_retry_after=0.5,
             replication=self.replication_config() if self.n_bdns > 1 else None,
         )
+
+    def slo_config(self):
+        """The live :class:`~repro.obs.slo.SloConfig` this spec implies."""
+        from repro.obs.slo import SloConfig
+
+        return SloConfig(
+            window=self.slo_window,
+            queue_capacity=self.queue_capacity,
+            p99_bound=self.p99_bound,
+            latency_budget=self.slo_latency_budget,
+        )
+
+    def profiled(self, role: str) -> bool:
+        """Whether ``role`` runs the opt-in sampling profiler."""
+        return self.profile_rate > 0 and role.partition(":")[0] in self.profile_roles
 
     def retry_policy(self) -> RetryPolicyConfig:
         return RetryPolicyConfig(

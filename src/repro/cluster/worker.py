@@ -21,6 +21,17 @@ The exit report carries the process's telemetry snapshot plus a
 ``wall_offset`` so :func:`repro.obs.cluster.merge_process_snapshots`
 can rebase all per-process flight-recorder rings onto one cluster
 timeline.
+
+Telemetry is no longer exit-only: with ``spec.telemetry_interval > 0``
+the worker also streams periodic ``telemetry`` frames up the control
+channel -- delta-encoded against the last snapshot the coordinator
+acknowledged (:class:`~repro.obs.live.DeltaEncoder`), carrying the
+changed registry metrics, flat per-role stats (queue depth, rounds,
+breaker states) and, for BDN members, the full leadership-interval
+list.  With ``spec.profiled(role)`` a
+:class:`~repro.obs.profiling.SamplingProfiler` samples the event-loop
+thread for the whole run and lands its collapsed stacks in the exit
+report.
 """
 
 from __future__ import annotations
@@ -36,11 +47,14 @@ import time
 import numpy as np
 
 from repro.cluster.spec import ClusterSpec
+from repro.core.messages import DiscoveryRequest
 from repro.discovery.bdn import BDN
-from repro.discovery.requester import DiscoveryClient
+from repro.discovery.requester import CLIENT_UDP_PORT, DiscoveryClient
 from repro.discovery.responder import DiscoveryResponder
 from repro.obs import Observability
 from repro.obs.export import telemetry_snapshot
+from repro.obs.live import DeltaEncoder
+from repro.obs.profiling import SamplingProfiler
 from repro.runtime.aio import AioRuntime
 from repro.substrate.broker import Broker
 
@@ -50,11 +64,19 @@ _POLL = 0.02
 
 
 class Worker:
-    def __init__(self, spec: ClusterSpec, role: str, cold: bool, report_path: str) -> None:
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        role: str,
+        cold: bool,
+        report_path: str,
+        incarnation: int = 0,
+    ) -> None:
         self.spec = spec
         self.role = role
         self.cold = cold
         self.report_path = report_path
+        self.incarnation = incarnation
         self.kind, _, index_text = role.partition(":")
         self.index = int(index_text) if index_text else 0
         self.rt = AioRuntime(
@@ -75,9 +97,17 @@ class Worker:
         self.rounds: list[dict] = []
         self.aborted_rounds = 0
         self.storm_factor = 1.0
+        self.surge_sent = 0
+        self.surge_task: asyncio.Task | None = None
         self.drain_requested = asyncio.Event()
         self.load_tasks: list[asyncio.Task] = []
         self.writer: asyncio.StreamWriter | None = None
+        self.encoder = DeltaEncoder()
+        self.frames_sent = 0
+        self.telemetry_task: asyncio.Task | None = None
+        self.profiler: SamplingProfiler | None = (
+            SamplingProfiler(rate_hz=spec.profile_rate) if spec.profiled(role) else None
+        )
 
     # ------------------------------------------------------------------
     # Boot
@@ -191,7 +221,122 @@ class Worker:
         def calm() -> None:
             self.storm_factor = 1.0
 
-        asyncio.get_event_loop().call_later(float(duration), calm)
+        loop = asyncio.get_event_loop()
+        loop.call_later(float(duration), calm)
+        if self.clients and (self.surge_task is None or self.surge_task.done()):
+            self.surge_task = loop.create_task(
+                self._storm_surge(self.storm_factor, float(duration))
+            )
+
+    async def _storm_surge(self, factor: float, duration: float) -> None:
+        """Open-loop request surge: raw discovery requests at the BDN tier.
+
+        The schedule clients are closed-loop -- each awaits its outcome
+        before the next round, so dividing their gaps can never push a
+        BDN ingress queue past capacity.  A storm therefore also fires
+        the offered rate the schedule *implies*
+        (``factor x clients / mean_gap``) as fire-and-forget datagrams
+        no client waits on: admission control sheds the excess politely,
+        and with admission disabled this is exactly the queue-overflow
+        drill the SLO monitor must catch mid-run.  Responses come back
+        to the first client's endpoint with unknown UUIDs and are
+        counted as late there.
+        """
+        client = self.clients[0]
+        credentials = self.spec.client_config().credentials
+        rate = factor * len(self.clients) / max(self.spec.mean_gap, 1e-6)
+        tick = 0.02
+        bdns = self.spec.bdn_endpoints()
+        loop = asyncio.get_event_loop()
+        end = loop.time() + duration
+        carry = 0.0
+        while loop.time() < end and not self.drain_requested.is_set():
+            await asyncio.sleep(tick)
+            carry += rate * tick
+            burst, carry = int(carry), carry - int(carry)
+            for _ in range(burst):
+                request = DiscoveryRequest(
+                    uuid=f"storm:{self.incarnation}:{self.surge_sent}",
+                    requester_host=client.host,
+                    requester_port=CLIENT_UDP_PORT,
+                    credentials=credentials,
+                    realm=client.realm,
+                    issued_at=client.utc(),
+                )
+                for bdn in bdns:
+                    self.rt.send_udp(client.udp_endpoint, bdn, request)
+                self.surge_sent += 1
+
+    # ------------------------------------------------------------------
+    # Streaming telemetry
+    # ------------------------------------------------------------------
+    def live_stats(self) -> dict:
+        """Flat per-role gauges/counters for one telemetry frame."""
+        stats: dict = {}
+        if self.bdn is not None:
+            bdn = self.bdn
+            stats.update(
+                name=bdn.name,
+                requests_received=bdn.requests_received,
+                requests_shed=bdn.requests_shed,
+                stale_targets=bdn.stale_targets,
+                queue_depth=bdn.ingress.depth if bdn.ingress else 0,
+                queue_max_depth=bdn.ingress.max_depth if bdn.ingress else 0,
+                queue_overflows=bdn.ingress.overflows if bdn.ingress else 0,
+                is_leader=bool(bdn.replication and bdn.replication.is_leader()),
+            )
+        if self.responder is not None:
+            stats.update(
+                name=self.broker.name,
+                requests_processed=self.responder.requests_processed,
+                responses_sent=self.responder.responses_sent,
+                responses_suppressed=self.responder.responses_suppressed,
+                pending_responses=self.responder.pending_responses,
+            )
+        if self.clients:
+            recorded = [r for r in self.rounds if not r["aborted"]]
+            breakers: dict[str, str] = {}
+            for client in self.clients:
+                for bdn, state in client.breaker_states().items():
+                    breakers[f"{client.name}:{bdn}"] = state
+            stats.update(
+                rounds=len(recorded),
+                failures=sum(1 for r in recorded if not r["success"]),
+                busy_received=sum(c.busy_received for c in self.clients),
+                retries_denied=sum(c.retries_denied for c in self.clients),
+                breaker_trips=sum(c.breaker_trips for c in self.clients),
+                breaker_states=breakers,
+                surge_sent=self.surge_sent,
+            )
+        return stats
+
+    async def send_telemetry(self) -> None:
+        """One delta frame: changed metrics since the last acked snapshot."""
+        seq, delta = self.encoder.encode(self.obs.registry.snapshot())
+        frame = {
+            "type": "telemetry",
+            "role": self.role,
+            "incarnation": self.incarnation,
+            "seq": seq,
+            "now": self.rt.now,
+            "wall_offset": time.time() - self.rt.now,
+            "metrics": delta,
+            "stats": self.live_stats(),
+        }
+        if self.bdn is not None and self.bdn.replication is not None:
+            frame["intervals"] = [
+                list(row) for row in self.bdn.replication.leadership_intervals
+            ]
+        await self.send(frame)
+        self.frames_sent += 1
+
+    async def telemetry_loop(self) -> None:
+        interval = self.spec.telemetry_interval
+        while not self.drain_requested.is_set():
+            await asyncio.sleep(interval)
+            if self.drain_requested.is_set():
+                return
+            await self.send_telemetry()
 
     # ------------------------------------------------------------------
     # Drain / report
@@ -201,6 +346,14 @@ class Worker:
         if self.drain_requested.is_set():
             return
         self.drain_requested.set()
+        if self.telemetry_task is not None:
+            self.telemetry_task.cancel()
+            self.telemetry_task = None
+        if self.surge_task is not None:
+            self.surge_task.cancel()
+            self.surge_task = None
+        if self.profiler is not None:
+            self.profiler.stop()
         deadline = self.rt.now + self.spec.drain_deadline
         if self.responder is not None:
             self.responder.drain(withdraw_endpoints=self.spec.bdn_endpoints())
@@ -225,6 +378,8 @@ class Worker:
             "cold": self.cold,
             "wall_offset": time.time() - self.rt.now,
             "telemetry": telemetry_snapshot(self.obs),
+            "telemetry_frames_sent": self.frames_sent,
+            "telemetry_frames_acked": self.encoder.acked_seq + 1,
             "errors": list(self.rt.errors),
             "errors_dropped": self.rt.errors_dropped,
             "datagrams": {
@@ -280,6 +435,8 @@ class Worker:
                     for c in self.clients
                 },
             }
+        if self.profiler is not None:
+            report["profile"] = self.profiler.report()
         return report
 
     def write_report(self) -> None:
@@ -320,17 +477,28 @@ class Worker:
                 await self.start_load()
             elif cmd == "storm":
                 self.storm(command.get("factor", 4.0), command.get("duration", 2.0))
+            elif cmd == "telemetry_ack":
+                self.encoder.ack(int(command.get("seq", -1)))
             elif cmd in ("drain", "stop"):
                 stop.set()
                 return
 
 
-async def run(spec: ClusterSpec, role: str, cold: bool, report: str, control_port: int) -> int:
-    worker = Worker(spec, role, cold, report)
+async def run(
+    spec: ClusterSpec,
+    role: str,
+    cold: bool,
+    report: str,
+    control_port: int,
+    incarnation: int = 0,
+) -> int:
+    worker = Worker(spec, role, cold, report, incarnation=incarnation)
     worker.boot()
     await worker.rt.ready()
     for node in worker.nodes():
         node.ntp.sync_now()
+    if worker.profiler is not None:
+        worker.profiler.start()  # samples this (event-loop) thread
 
     stop = asyncio.Event()
     loop = asyncio.get_event_loop()
@@ -339,9 +507,15 @@ async def run(spec: ClusterSpec, role: str, cold: bool, report: str, control_por
     worker.writer = writer
     await worker.send({"type": "ready", "role": role, "pid": os.getpid()})
     control = loop.create_task(worker.control_loop(reader, stop))
+    if spec.telemetry_interval > 0:
+        worker.telemetry_task = loop.create_task(worker.telemetry_loop())
 
     await stop.wait()
     await worker.drain()
+    if spec.telemetry_interval > 0:
+        # One last frame so the coordinator's rolling view matches the
+        # exit report (the ack may never come; the report notes both).
+        await worker.send_telemetry()
     worker.write_report()
     await worker.send({"type": "bye", "role": role})
     control.cancel()
@@ -356,9 +530,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--control-port", type=int, required=True)
     parser.add_argument("--report", required=True, help="exit report JSON path")
     parser.add_argument("--cold", action="store_true", help="restart with a cleared registry")
+    parser.add_argument(
+        "--incarnation", type=int, default=0, help="respawn count, stamped on telemetry frames"
+    )
     args = parser.parse_args(argv)
     spec = ClusterSpec.load(args.spec)
-    return asyncio.run(run(spec, args.role, args.cold, args.report, args.control_port))
+    return asyncio.run(
+        run(
+            spec,
+            args.role,
+            args.cold,
+            args.report,
+            args.control_port,
+            incarnation=args.incarnation,
+        )
+    )
 
 
 if __name__ == "__main__":

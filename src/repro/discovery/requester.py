@@ -278,6 +278,10 @@ class DiscoveryClient(Node):
         """Total circuit-breaker trips across every tracked BDN."""
         return sum(b.trips for b in self._breakers.values())
 
+    def breaker_states(self) -> dict[str, str]:
+        """Current circuit-breaker state per BDN endpoint (for telemetry)."""
+        return {str(bdn): breaker.state for bdn, breaker in self._breakers.items()}
+
     def _breaker(self, bdn: Endpoint) -> CircuitBreaker:
         """The (lazily created) circuit breaker guarding one BDN."""
         breaker = self._breakers.get(bdn)

@@ -183,7 +183,7 @@ def _replication(runs: int, seed: int) -> str:
 
 TARGETS = (
     "table1", "fig2", "fig3-7", "fig9", "fig11", "fig12", "fig13", "fig14",
-    "replication", "trace", "cluster_compare", "all",
+    "replication", "trace", "cluster_compare", "cluster_live", "all",
 )
 
 
@@ -224,6 +224,12 @@ def main(argv: list[str] | None = None) -> int:
         default="cluster-run",
         help="directory for the live run's spec and worker reports",
     )
+    live_group = parser.add_argument_group("cluster_live target")
+    live_group.add_argument(
+        "--cluster-summary",
+        default="cluster_summary.json",
+        help="summary JSON a `python -m repro.cluster` run wrote",
+    )
     args = parser.parse_args(argv)
     if args.runs < 1:
         parser.error("--runs must be >= 1")
@@ -236,6 +242,11 @@ def main(argv: list[str] | None = None) -> int:
             rounds=args.cluster_rounds,
             workdir=args.cluster_workdir,
         )
+
+    if args.target == "cluster_live":
+        from repro.experiments.live_cli import run_cluster_live
+
+        return run_cluster_live(summary_path=args.cluster_summary)
 
     if args.target == "trace":
         from repro.experiments.trace_cli import run_trace

@@ -20,6 +20,8 @@ __all__ = [
     "overload_table",
     "runtime_table",
     "cluster_table",
+    "slo_table",
+    "profile_table",
 ]
 
 
@@ -149,6 +151,73 @@ def cluster_table(
     lines.append(
         f"{'failed discoveries':<24}{sim.get('failures', 0):>12}{cluster.get('failures', 0):>14}"
     )
+    return "\n".join(lines)
+
+
+def slo_table(
+    slo: Mapping[str, object],
+    title: str = "Live SLO monitor: per-window trend",
+) -> str:
+    """The streaming SLO monitor's window-by-window trend, one row each.
+
+    ``slo`` is ``summary["slo"]`` from a cluster run summary (the
+    :meth:`repro.obs.live.LiveTelemetry.summary` block): window count,
+    budget burn, and a ``trend`` list of per-window rows.
+    """
+    lines = [
+        title,
+        f"{'Window':>7}{'Span (s)':>10}{'Rounds':>8}{'Fails':>7}"
+        f"{'p99 (ms)':>10}{'Burn':>7}  Violations",
+    ]
+    for row in slo.get("trend", []):  # type: ignore[union-attr]
+        p99 = row.get("p99")
+        p99_text = f"{p99 * 1e3:.1f}" if isinstance(p99, (int, float)) else "-"
+        if row.get("p99_breached"):
+            p99_text += "!"
+        names = sorted({v["invariant"] for v in row.get("violations", [])})
+        lines.append(
+            f"{row['window']:>7}{row['end'] - row['start']:>10.1f}"
+            f"{row.get('rounds', 0):>8.0f}{row.get('failures', 0):>7.0f}"
+            f"{p99_text:>10}{row.get('burn_rate', 0.0):>6.0%}"
+            f"  {', '.join(names) if names else '-'}"
+        )
+    lines.append(
+        f"{slo.get('windows_evaluated', 0)} windows of "
+        f"{slo.get('window_seconds', 0.0)}s; "
+        f"{len(slo.get('violations', []))} violation(s); "  # type: ignore[arg-type]
+        f"latency budget burned {slo.get('budget_burned', 0.0):.0%}"
+    )
+    return "\n".join(lines)
+
+
+def profile_table(
+    profiles: Mapping[str, Mapping[str, object]],
+    title: str = "Continuous profiling: CPU attribution per process",
+) -> str:
+    """Sampled CPU attribution (``summary["profiles"]``), one process per block.
+
+    Each value is a :meth:`repro.obs.profiling.SamplingProfiler.report`
+    minus its collapsed stacks: total samples, elapsed seconds, and the
+    per-module attribution rows the sampler assembled.
+    """
+    lines = [title]
+    for label in sorted(profiles):
+        profile = profiles[label]
+        elapsed = profile.get("elapsed")
+        elapsed_text = (
+            f"{elapsed:.1f}s" if isinstance(elapsed, (int, float)) else "?"
+        )
+        lines.append(
+            f"{label}: {profile.get('samples', 0)} samples @ "
+            f"{profile.get('rate_hz', 0.0):g} Hz over {elapsed_text}"
+        )
+        attribution = profile.get("attribution", {})
+        for module, row in attribution.items():  # type: ignore[union-attr]
+            lines.append(
+                f"  {module:<38}{row['samples']:>8}{row['percent']:>8.1f}%"
+            )
+    if len(lines) == 1:
+        lines.append("(no profiled processes; run with --profile-rate > 0)")
     return "\n".join(lines)
 
 

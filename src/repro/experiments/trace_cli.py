@@ -31,15 +31,30 @@ from repro.obs import Observability
 from repro.obs.export import prometheus_text
 from repro.obs.timeline import assemble, phase_agreement, render_ascii
 
-__all__ = ["run_trace", "trace_sim", "trace_aio"]
+__all__ = ["run_trace", "trace_sim", "trace_aio", "EXIT_NO_TIMELINE", "NoTimelineError"]
 
 #: Largest tolerated |timeline% - PhaseTimer%| over all phases, in
 #: percentage points (the subsystem's acceptance bound).
 AGREEMENT_BOUND = 1.0
 
+#: Exit code when the traced request id assembled an *empty* timeline
+#: (no recorder saw the trace at all) -- distinct from 1, which means
+#: the discovery ran and was reconstructed but failed a check.
+EXIT_NO_TIMELINE = 3
+
+
+class NoTimelineError(RuntimeError):
+    """The requested run id produced no flight-recorder events."""
+
 
 def _render(obs: Observability, outcome, runtime_label: str) -> tuple[bool, str]:
     timeline = assemble(obs, outcome.request_uuid)
+    if not len(timeline):
+        raise NoTimelineError(
+            f"run id {outcome.request_uuid!r} has no assembled timeline: "
+            "no flight recorder captured any event for it (was tracing "
+            "enabled, or did the ring evict the run?)"
+        )
     agreement = phase_agreement(timeline, outcome.phases.percentages())
     within = agreement < AGREEMENT_BOUND
     verdict = "within" if within else "EXCEEDS"
@@ -136,8 +151,10 @@ async def _trace_aio(seed: int, timeout: float) -> tuple[bool, str, Observabilit
     except asyncio.TimeoutError:
         await rt.aclose()
         return False, "=== AioRuntime ===\nFAIL: discovery timed out", obs
-    ok, text = _render(obs, outcome, "AioRuntime, localhost sockets")
-    await rt.aclose()
+    try:
+        ok, text = _render(obs, outcome, "AioRuntime, localhost sockets")
+    finally:
+        await rt.aclose()
     if rt.errors:
         ok = False
         text += f"\nFAIL: handler errors: {rt.errors}"
@@ -166,10 +183,14 @@ def run_trace(
     last_obs: Observability | None = None
     blocks = []
     for kind in runtimes:
-        if kind == "sim":
-            ok, text, obs = trace_sim(seed=seed, topology=topology)
-        else:
-            ok, text, obs = trace_aio(seed=seed, timeout=timeout)
+        try:
+            if kind == "sim":
+                ok, text, obs = trace_sim(seed=seed, topology=topology)
+            else:
+                ok, text, obs = trace_aio(seed=seed, timeout=timeout)
+        except NoTimelineError as exc:
+            print("\n\n".join(blocks + [f"=== {kind} ===\nERROR: {exc}"]))
+            return EXIT_NO_TIMELINE
         all_ok = all_ok and ok
         last_obs = obs
         blocks.append(text)

@@ -27,8 +27,11 @@ from collections.abc import Callable
 from itertools import count
 
 from repro.obs.events import KNOWN_EVENTS, SPAN_EVENTS, TRACE_EVENTS, UnknownEventError
+from repro.obs.live import DeltaEncoder, LiveTelemetry, RollingClusterView
+from repro.obs.profiling import SamplingProfiler
 from repro.obs.recorder import DEFAULT_RING_CAPACITY, FlightRecorder, SpanEvent
 from repro.obs.registry import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.slo import SloConfig, SloMonitor, SloViolation
 
 __all__ = [
     "Observability",
@@ -37,8 +40,15 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
     "DEFAULT_RING_CAPACITY",
+    "DeltaEncoder",
     "KNOWN_EVENTS",
+    "LiveTelemetry",
+    "RollingClusterView",
     "SPAN_EVENTS",
+    "SamplingProfiler",
+    "SloConfig",
+    "SloMonitor",
+    "SloViolation",
     "TRACE_EVENTS",
     "UnknownEventError",
     "trace_context",

@@ -57,9 +57,18 @@ def _merge_metric(merged: dict, name: str, entry: dict) -> None:
         existing["merge_conflicts"] += 1
         return
     if kind == "counter":
+        # Counters sum across parts, explicitly and always: each process
+        # (and each respawned incarnation) counted disjoint events, so
+        # the cluster-wide total is the sum.  Last-write-wins here would
+        # silently erase every earlier incarnation's work.
         existing["value"] += entry["value"]
     elif kind == "gauge":
-        # Gauges are instantaneous; the last part's view wins.
+        # Gauges are instantaneous; the last part's view wins.  But two
+        # parts reporting *different* values for one name usually means
+        # a per-process gauge escaped without a per-process label --
+        # flag it so the discrepancy is visible in the merged output.
+        if existing["value"] != entry["value"]:
+            existing["gauge_conflicts"] = existing.get("gauge_conflicts", 0) + 1
         existing["value"] = entry["value"]
     elif kind == "histogram":
         ours, theirs = existing["value"], entry["value"]

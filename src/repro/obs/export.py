@@ -19,6 +19,7 @@ __all__ = [
     "telemetry_snapshot",
     "telemetry_json",
     "prometheus_text",
+    "escape_label_value",
 ]
 
 SNAPSHOT_VERSION = 1
@@ -58,22 +59,72 @@ def _prom_float(value: float) -> str:
     return repr(float(value))
 
 
-def prometheus_text(registry: MetricsRegistry, prefix: str = "repro") -> str:
-    """The registry in Prometheus text exposition format (version 0.0.4)."""
+def escape_label_value(value: str) -> str:
+    """Escape one label value per the 0.0.4 text exposition format.
+
+    Inside a quoted label value, exactly three characters are escaped:
+    backslash (``\\\\``), the line feed (``\\n``) and the double quote
+    (``\\"``).  Backslash must be replaced first or the escapes it
+    introduces would themselves be re-escaped.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _label_text(labels: dict[str, str] | None, extra: str = "") -> str:
+    """Render a ``{k="v",...}`` block, values escaped; empty dict -> ''."""
+    pairs = [
+        f'{key}="{escape_label_value(value)}"'
+        for key, value in (labels or {}).items()
+    ]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def prometheus_text(
+    registry: MetricsRegistry,
+    prefix: str = "repro",
+    labels: dict[str, str] | None = None,
+) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4).
+
+    ``labels`` are attached to every sample (e.g. ``{"process":
+    "bdn:0#1"}`` on a cluster worker's dump); values are escaped per the
+    exposition format, so hostile process names cannot corrupt the
+    output.  For each histogram the ``+Inf`` bucket is emitted from the
+    histogram's total observation count, and the last finite cumulative
+    bucket is asserted to never exceed it -- an inconsistent histogram
+    raises instead of exporting silently-wrong quantile data.
+    """
     lines: list[str] = []
     for metric in registry.metrics():
         name = _prom_name(metric.name, prefix)
+        plain = _label_text(labels)
         if isinstance(metric, Counter):
             lines.append(f"# TYPE {name} counter")
-            lines.append(f"{name} {metric.value}")
+            lines.append(f"{name}{plain} {metric.value}")
         elif isinstance(metric, Gauge):
             lines.append(f"# TYPE {name} gauge")
-            lines.append(f"{name} {_prom_float(metric.value)}")
+            lines.append(f"{name}{plain} {_prom_float(metric.value)}")
         elif isinstance(metric, Histogram):
+            cumulative = metric.cumulative()
+            if cumulative and cumulative[-1] > metric.count:
+                raise ValueError(
+                    f"histogram {metric.name!r} is inconsistent: cumulative "
+                    f"bucket count {cumulative[-1]} exceeds total count "
+                    f"{metric.count}; +Inf would not be the largest bucket"
+                )
             lines.append(f"# TYPE {name} histogram")
-            for bound, cumulative in zip(metric.bounds, metric.cumulative()):
-                lines.append(f'{name}_bucket{{le="{_prom_float(bound)}"}} {cumulative}')
-            lines.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
-            lines.append(f"{name}_sum {_prom_float(metric.sum)}")
-            lines.append(f"{name}_count {metric.count}")
+            for bound, running in zip(metric.bounds, cumulative):
+                le = _label_text(labels, f'le="{_prom_float(bound)}"')
+                lines.append(f"{name}_bucket{le} {running}")
+            inf = _label_text(labels, 'le="+Inf"')
+            lines.append(f"{name}_bucket{inf} {metric.count}")
+            lines.append(f"{name}_sum{plain} {_prom_float(metric.sum)}")
+            lines.append(f"{name}_count{plain} {metric.count}")
     return "\n".join(lines) + "\n"

@@ -124,6 +124,20 @@ class Histogram:
             out.append(running)
         return tuple(out)
 
+    def quantile(self, q: float) -> float:
+        """Upper-bound quantile estimate from the fixed buckets.
+
+        Returns the smallest bucket bound covering the ``q``-quantile
+        (the last bound when the quantile falls in ``+Inf``): a
+        conservative read at bucket resolution, matching what the live
+        SLO monitor computes from windowed bucket deltas.
+        """
+        from repro.obs.live import quantile_from_buckets
+
+        return quantile_from_buckets(
+            list(self.bounds), list(self.cumulative()), self.count, q
+        )
+
     def read(self) -> dict[str, object]:
         return {
             "bounds": list(self.bounds),

@@ -1,0 +1,174 @@
+"""Control-channel backpressure: telemetry mid-collect loses nothing.
+
+These tests run a real :class:`repro.cluster.coordinator._ControlServer`
+against fake worker sockets (no subprocesses), pinning the routing
+contract of the streaming telemetry plane:
+
+* with a handler wired, ``telemetry`` frames are consumed on the reader
+  thread and acked on the same connection -- they never enter the inbox,
+  so a coordinator blocked in ``wait_for`` cannot be starved or handed
+  the wrong message by a telemetry flood;
+* without a handler, frames park in the unclaimed buffer like any other
+  unsolicited message: buffered, never dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cluster.coordinator import _ControlServer
+
+
+class FakeWorker:
+    """One blocking-socket 'worker' dialled into the control server."""
+
+    def __init__(self, server: _ControlServer, role: str) -> None:
+        self.role = role
+        self.sock = socket.create_connection(("127.0.0.1", server.port), timeout=5)
+        self.sock.settimeout(5)
+        self._buffer = b""
+        self.send({"type": "ready", "role": role, "pid": 0})
+
+    def send(self, message: dict) -> None:
+        self.sock.sendall((json.dumps(message) + "\n").encode("utf-8"))
+
+    def recv(self) -> dict:
+        while b"\n" not in self._buffer:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return json.loads(line)
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+def telemetry(role: str, seq: int) -> dict:
+    return {"type": "telemetry", "role": role, "incarnation": 0, "seq": seq,
+            "metrics": {}, "stats": {}}
+
+
+@pytest.fixture
+def handled():
+    """A server whose telemetry handler records frames and acks them."""
+    frames: list[dict] = []
+    lock = threading.Lock()
+
+    def on_telemetry(frame: dict) -> dict:
+        with lock:
+            frames.append(frame)
+        return {"cmd": "telemetry_ack", "seq": frame["seq"]}
+
+    server = _ControlServer("127.0.0.1", on_telemetry=on_telemetry)
+    try:
+        yield server, frames
+    finally:
+        server.close()
+
+
+@pytest.fixture
+def unhandled():
+    server = _ControlServer("127.0.0.1")
+    try:
+        yield server
+    finally:
+        server.close()
+
+
+def _drain_ready(server: _ControlServer, count: int) -> None:
+    for _ in range(count):
+        server.wait_for(lambda m: m.get("type") == "ready", timeout=5)
+
+
+class TestHandledTelemetry:
+    def test_frames_mid_wait_are_routed_not_lost(self, handled):
+        server, frames = handled
+        worker = FakeWorker(server, "load")
+        _drain_ready(server, 1)
+
+        # Stream a burst of frames, then the message the coordinator is
+        # actually blocked on.  wait_for must return load_done -- not a
+        # telemetry frame -- and every frame must reach the handler.
+        for seq in range(20):
+            worker.send(telemetry("load", seq))
+        worker.send({"type": "load_done", "rounds": 3, "failures": 0})
+
+        done = server.wait_for(lambda m: m.get("type") == "load_done", timeout=5)
+        assert done["rounds"] == 3
+        deadline = time.monotonic() + 5
+        while len(frames) < 20 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert [f["seq"] for f in frames] == list(range(20))
+        assert server._unclaimed == []  # nothing leaked into the buffer
+        worker.close()
+
+    def test_acks_flow_back_on_the_same_connection(self, handled):
+        server, _ = handled
+        worker = FakeWorker(server, "load")
+        _drain_ready(server, 1)
+        worker.send(telemetry("load", 0))
+        worker.send(telemetry("load", 1))
+        acks = [worker.recv(), worker.recv()]
+        assert [a["cmd"] for a in acks] == ["telemetry_ack", "telemetry_ack"]
+        assert [a["seq"] for a in acks] == [0, 1]
+        worker.close()
+
+    def test_interleaved_workers_keep_per_worker_frame_order(self, handled):
+        server, frames = handled
+        workers = [FakeWorker(server, f"bdn:{i}") for i in range(3)]
+        _drain_ready(server, 3)
+        for seq in range(10):
+            for worker in workers:
+                worker.send(telemetry(worker.role, seq))
+        deadline = time.monotonic() + 5
+        while len(frames) < 30 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert len(frames) == 30
+        for worker in workers:
+            seqs = [f["seq"] for f in frames if f["role"] == worker.role]
+            assert seqs == list(range(10))  # per-conn order is preserved
+            worker.close()
+
+    def test_handler_exception_does_not_kill_the_reader(self, handled):
+        server, frames = handled
+        worker = FakeWorker(server, "load")
+        _drain_ready(server, 1)
+        worker.send({"type": "telemetry", "role": "load"})  # no seq: KeyError
+        worker.send(telemetry("load", 1))
+        deadline = time.monotonic() + 5
+        while not any(f.get("seq") == 1 for f in frames):
+            assert time.monotonic() < deadline, "reader thread died on bad frame"
+            time.sleep(0.01)
+        # The connection still serves commands after the bad frame.
+        worker.send({"type": "load_done", "rounds": 1, "failures": 0})
+        assert server.wait_for(
+            lambda m: m.get("type") == "load_done", timeout=5
+        )["rounds"] == 1
+        worker.close()
+
+
+class TestUnhandledTelemetry:
+    def test_frames_buffer_unclaimed_without_a_handler(self, unhandled):
+        server = unhandled
+        worker = FakeWorker(server, "load")
+        _drain_ready(server, 1)
+        for seq in range(5):
+            worker.send(telemetry("load", seq))
+        worker.send({"type": "load_done", "rounds": 2, "failures": 0})
+
+        # The coordinator waits for load_done; the five telemetry frames
+        # land in the unclaimed buffer rather than being dropped...
+        done = server.wait_for(lambda m: m.get("type") == "load_done", timeout=5)
+        assert done["rounds"] == 2
+        assert [m["seq"] for m in server._unclaimed] == list(range(5))
+        # ...and a later wait_for can still claim them in order.
+        first = server.wait_for(lambda m: m.get("type") == "telemetry", timeout=5)
+        assert first["seq"] == 0
+        worker.close()

@@ -28,6 +28,9 @@ def run(tmp_path_factory):
         mean_gap=0.05,
         broker_heartbeat=0.5,
         broker_lease_ttl=1.5,
+        telemetry_interval=0.25,
+        slo_window=2.0,
+        profile_rate=50.0,
     )
     workdir = str(tmp_path_factory.mktemp("cluster"))
     harness = ClusterHarness(spec, workdir)
@@ -57,6 +60,7 @@ def run(tmp_path_factory):
         "codes": codes,
         "reports": {r["label"]: r for r in reports},
         "missing": missing,
+        "live": harness.live.summary() if harness.live else None,
     }
 
 
@@ -104,3 +108,48 @@ class TestRun:
         for label, report in run["reports"].items():
             assert report["errors"] == [], f"{label}: {report['errors'][:3]}"
             assert report["errors_dropped"] == 0
+
+
+class TestLiveTelemetryPlane:
+    def test_every_surviving_worker_streamed_frames(self, run):
+        for label, report in run["reports"].items():
+            assert report["telemetry_frames_sent"] >= 1, label
+
+    def test_coordinator_acked_frames(self, run):
+        # At least one frame per worker made the round trip: folded by
+        # the coordinator, acked on the same conn, recorded by the
+        # worker's encoder.  (The final post-drain frame may go unacked.)
+        for label, report in run["reports"].items():
+            assert report["telemetry_frames_acked"] >= 1, label
+            assert (
+                report["telemetry_frames_acked"] <= report["telemetry_frames_sent"]
+            ), label
+
+    def test_rolling_view_saw_every_process(self, run):
+        live = run["live"]
+        assert live is not None
+        # broker:1 was SIGKILLed but streamed before dying; every spawned
+        # incarnation should appear in the rolling view.
+        assert set(live["processes"]) >= {"bdn:0#0", "broker:0#0", "load#0"}
+        assert live["frames_folded"] >= len(live["processes"])
+
+    def test_slo_monitor_evaluated_and_found_nothing(self, run):
+        live = run["live"]
+        assert live["windows_evaluated"] >= 1  # flush closes the partial window
+        assert live["violations"] == []
+        assert len(live["trend"]) == live["windows_evaluated"]
+
+    def test_load_generator_profile_in_exit_report(self, run):
+        profile = run["reports"]["load#0"].get("profile")
+        assert profile is not None
+        assert profile["samples"] > 0
+        assert profile["collapsed"], "collapsed flamegraph stacks missing"
+        # Every collapsed line is `frames... count` with a positive count.
+        for line in profile["collapsed"]:
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) > 0
+        assert profile["attribution"], "per-module CPU attribution missing"
+
+    def test_unprofiled_roles_carry_no_profile(self, run):
+        assert "profile" not in run["reports"]["bdn:0#0"]
+        assert "profile" not in run["reports"]["broker:0#0"]

@@ -120,6 +120,48 @@ class TestMergeSnapshots:
         assert merged["metrics"]["m"]["value"] == 1
         assert merged["metrics"]["m"]["merge_conflicts"] == 1
 
+    def test_crash_respawn_sequence_sums_counters_across_incarnations(self):
+        # bdn:0 crashed (SIGKILL: no snapshot), respawned as #1, crashed
+        # again, respawned as #2.  The merged counter must sum every
+        # incarnation that reported -- last-write-wins would erase the
+        # pre-crash history.
+        def incarnation(n, reqs, depth):
+            return {
+                "label": f"bdn:0#{n}",
+                "wall_offset": float(n),
+                "snapshot": snapshot(metrics={
+                    "reqs": {"kind": "counter", "value": reqs},
+                    "queue_depth": {"kind": "gauge", "value": depth},
+                }),
+            }
+
+        merged = merge_process_snapshots(
+            [
+                incarnation(0, reqs=10, depth=4),
+                {"label": "bdn:0#1", "wall_offset": 1.0, "snapshot": None},
+                incarnation(2, reqs=7, depth=4),
+                incarnation(3, reqs=5, depth=0),
+            ]
+        )
+        assert merged["metrics"]["reqs"]["value"] == 10 + 7 + 5
+        assert "merge_conflicts" not in merged["metrics"]["reqs"]
+        manifest = {row["label"]: row for row in merged["parts"]}
+        assert manifest["bdn:0#1"]["merged"] is False
+
+    def test_differing_gauge_values_flagged_last_still_wins(self):
+        merged = merge_process_snapshots(
+            [
+                {"label": "a", "wall_offset": 0.0,
+                 "snapshot": snapshot(metrics={"g": {"kind": "gauge", "value": 4}})},
+                {"label": "b", "wall_offset": 0.0,
+                 "snapshot": snapshot(metrics={"g": {"kind": "gauge", "value": 4}})},
+                {"label": "c", "wall_offset": 0.0,
+                 "snapshot": snapshot(metrics={"g": {"kind": "gauge", "value": 9}})},
+            ]
+        )
+        assert merged["metrics"]["g"]["value"] == 9  # last write still wins
+        assert merged["metrics"]["g"]["gauge_conflicts"] == 1  # a==b, c differs
+
 
 def bdn_report(name, intervals, wall_offset=0.0, **queue):
     defaults = {"capacity": 32, "max_depth": 0, "depth": 0, "overflows": 0, "shed": 0}

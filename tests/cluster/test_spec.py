@@ -71,6 +71,19 @@ class TestSerialisation:
         assert clone == spec
         assert clone.client_schedule(0) == spec.client_schedule(0)
 
+    def test_json_roundtrip_preserves_telemetry_plane_fields(self):
+        spec = ClusterSpec(
+            telemetry_interval=0.5,
+            slo_window=2.5,
+            slo_latency_budget=0.1,
+            admission_control=False,
+            profile_rate=97.0,
+            profile_roles=("load", "bdn"),
+        )
+        clone = ClusterSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.profile_roles == ("load", "bdn")  # tuple, not JSON list
+
     def test_save_load(self, tmp_path):
         spec = ClusterSpec(seed=21)
         spec.assign_ports()
@@ -93,3 +106,31 @@ class TestConfigs:
         # Aio multicast is emulated per-process: across processes it
         # reaches nobody, so a cluster client must never rely on it.
         assert ClusterSpec().client_config().use_multicast_fallback is False
+
+
+class TestTelemetryPlane:
+    def test_admission_control_switch_zeroes_the_watermark(self):
+        protected = ClusterSpec(admission_control=True)
+        drilled = ClusterSpec(admission_control=False)
+        assert (
+            protected.bdn_config().admission_high_watermark
+            == protected.admission_watermark
+        )
+        assert drilled.bdn_config().admission_high_watermark == 0
+
+    def test_slo_config_mirrors_the_spec(self):
+        spec = ClusterSpec(slo_window=3.0, queue_capacity=16, p99_bound=2.0,
+                           slo_latency_budget=0.5)
+        config = spec.slo_config()
+        assert config.window == 3.0
+        assert config.queue_capacity == 16
+        assert config.p99_bound == 2.0
+        assert config.latency_budget == 0.5
+
+    def test_profiled_gates_on_rate_and_role_kind(self):
+        off = ClusterSpec(profile_rate=0.0)
+        assert not off.profiled("load")
+        on = ClusterSpec(profile_rate=97.0, profile_roles=("load", "bdn"))
+        assert on.profiled("load")
+        assert on.profiled("bdn:2")  # kind match, any index
+        assert not on.profiled("broker:0")

@@ -60,4 +60,5 @@ class TestCli:
         assert "trace" in TARGETS
         assert "replication" in TARGETS
         assert "cluster_compare" in TARGETS
-        assert len(TARGETS) == 12
+        assert "cluster_live" in TARGETS
+        assert len(TARGETS) == 13

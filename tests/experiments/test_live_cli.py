@@ -1,0 +1,92 @@
+"""The cluster_live render target and the trace no-timeline exit path."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments import trace_cli
+from repro.experiments.cli import main
+from repro.experiments.live_cli import (
+    EXIT_NO_LIVE_DATA,
+    EXIT_NO_SUMMARY,
+    run_cluster_live,
+)
+from repro.obs.timeline import RequestTimeline
+
+
+def summary_with_live_plane() -> dict:
+    return {
+        "slo": {
+            "windows_evaluated": 2,
+            "window_seconds": 5.0,
+            "violations": [],
+            "breached_windows": 1,
+            "budget_burned": 0.5,
+            "trend": [
+                {"window": 0, "start": 0.0, "end": 5.0, "rounds": 12,
+                 "failures": 0, "p99": 0.25, "p99_breached": False,
+                 "burn_rate": 0.0, "violations": []},
+                {"window": 1, "start": 5.0, "end": 10.0, "rounds": 9,
+                 "failures": 0, "p99": 4.0, "p99_breached": True,
+                 "burn_rate": 0.5, "violations": []},
+            ],
+        },
+        "profiles": {
+            "load#0": {
+                "rate_hz": 50.0,
+                "samples": 100,
+                "elapsed": 2.0,
+                "attribution": {
+                    "repro.discovery.requester": {"samples": 60, "percent": 60.0},
+                    "<other> selectors": {"samples": 40, "percent": 40.0},
+                },
+            }
+        },
+    }
+
+
+class TestClusterLive:
+    def test_renders_slo_trend_and_attribution(self, tmp_path, capsys):
+        path = tmp_path / "summary.json"
+        path.write_text(json.dumps(summary_with_live_plane()))
+        assert run_cluster_live(str(path)) == 0
+        out = capsys.readouterr().out
+        assert "per-window trend" in out
+        assert "2 windows of 5.0s" in out
+        assert "4000.0!" in out  # the breached window's p99, flagged
+        assert "repro.discovery.requester" in out
+        assert "60.0%" in out
+
+    def test_missing_summary_distinct_exit_code(self, tmp_path, capsys):
+        assert run_cluster_live(str(tmp_path / "nope.json")) == EXIT_NO_SUMMARY
+        assert "cannot read cluster summary" in capsys.readouterr().out
+
+    def test_summary_without_live_data_distinct_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "summary.json"
+        path.write_text(json.dumps({"rounds": 5, "slo": None}))
+        assert run_cluster_live(str(path)) == EXIT_NO_LIVE_DATA
+        assert "no live-plane data" in capsys.readouterr().out
+
+    def test_wired_into_the_experiments_cli(self, tmp_path, capsys):
+        path = tmp_path / "summary.json"
+        path.write_text(json.dumps(summary_with_live_plane()))
+        assert main(["cluster_live", "--cluster-summary", str(path)]) == 0
+        assert "Continuous profiling" in capsys.readouterr().out
+
+
+class TestTraceNoTimeline:
+    def test_empty_timeline_distinct_exit_code(self, monkeypatch, capsys):
+        # Simulate a ring that evicted (or never saw) the traced run:
+        # assemble returns an empty timeline for the requested id.
+        monkeypatch.setattr(
+            trace_cli, "assemble", lambda obs, tid: RequestTimeline(tid, ())
+        )
+        code = trace_cli.run_trace(runtime="sim", seed=42, topology="star")
+        assert code == trace_cli.EXIT_NO_TIMELINE
+        assert code not in (0, 1)  # distinct from pass and check-failure
+        out = capsys.readouterr().out
+        assert "no assembled timeline" in out
+
+    def test_healthy_trace_still_exits_zero(self, capsys):
+        assert trace_cli.run_trace(runtime="sim", seed=42, topology="star") == 0
+        assert "PhaseTimer cross-check" in capsys.readouterr().out

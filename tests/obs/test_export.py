@@ -4,8 +4,15 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.obs import Observability
-from repro.obs.export import prometheus_text, telemetry_json, telemetry_snapshot
+from repro.obs.export import (
+    escape_label_value,
+    prometheus_text,
+    telemetry_json,
+    telemetry_snapshot,
+)
 from repro.obs.registry import MetricsRegistry
 from repro.obs.timeline import assemble, assemble_from_snapshot, complete_request_ids
 
@@ -105,3 +112,66 @@ class TestPrometheusText:
         registry = MetricsRegistry()
         registry.counter("c").inc()
         assert prometheus_text(registry, prefix="").startswith("# TYPE c counter")
+
+
+def _unescape_label_value(escaped: str) -> str:
+    """The exposition-format parse direction, for round-trip checks."""
+    out, i = [], 0
+    while i < len(escaped):
+        ch = escaped[i]
+        if ch == "\\":
+            nxt = escaped[i + 1]
+            out.append({"\\": "\\", "n": "\n", '"': '"'}[nxt])
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class TestPrometheusLabels:
+    HOSTILE = 'bdn "d0"\nwith \\backslash\\ and }brace{'
+
+    def test_hostile_label_value_round_trips(self):
+        escaped = escape_label_value(self.HOSTILE)
+        assert "\n" not in escaped  # a raw newline would split the sample line
+        assert '\\"' in escaped
+        assert _unescape_label_value(escaped) == self.HOSTILE
+
+    def test_escape_order_backslash_first(self):
+        # If quote were escaped before backslash, \" would become \\\"...
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_labels_attached_to_every_sample(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs").inc(2)
+        h = registry.histogram("rtt", bounds=(0.1,))
+        h.observe(0.05)
+        text = prometheus_text(registry, labels={"process": self.HOSTILE})
+        escaped = escape_label_value(self.HOSTILE)
+        assert f'repro_reqs{{process="{escaped}"}} 2' in text
+        assert f'repro_rtt_bucket{{process="{escaped}",le="0.1"}} 1' in text
+        assert f'repro_rtt_bucket{{process="{escaped}",le="+Inf"}} 1' in text
+        assert f'repro_rtt_count{{process="{escaped}"}} 1' in text
+        # Exactly one line per sample: no label value injected a newline.
+        samples = [
+            line for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert len(samples) == 5  # counter + 1 bucket + Inf + sum + count
+
+    def test_inconsistent_histogram_raises_instead_of_lying(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("rtt", bounds=(0.1,))
+        h.observe(0.05)
+        h.count = 0  # corrupt: finite bucket now exceeds the total count
+        with pytest.raises(ValueError, match="inconsistent"):
+            prometheus_text(registry)
+
+    def test_inf_bucket_equals_count_with_overflow(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("rtt", bounds=(0.1,))
+        h.observe(5.0)  # lands only in +Inf
+        text = prometheus_text(registry)
+        assert 'repro_rtt_bucket{le="0.1"} 0' in text
+        assert 'repro_rtt_bucket{le="+Inf"} 1' in text
